@@ -1,0 +1,139 @@
+//! Analytical area/power model regenerating the paper's Table III.
+//!
+//! The paper implements each configuration with Synopsys ICC2 at a 7 nm
+//! node. We obviously cannot run place-and-route here, so this module
+//! fits a simple structural model to the four published data points:
+//! read ports are implemented by data replication (§IV-B.1), so each
+//! additional port adds one SRAM copy per buffer plus one read-logic
+//! instance, making area and power almost exactly linear in the port
+//! count. The residual fixed term covers the encoder, the count ALUs and
+//! the access-control logic.
+//!
+//! Published anchors (Table III + §I): QZ_1P = 0.013 mm², QZ_2P =
+//! 0.026 mm², QZ_4P = 0.048 mm², QZ_8P = 0.097 mm² and 746 µW; the
+//! QZ_8P instance adds 1.41 % to the A64FX SoC.
+
+use crate::config::{PortCount, QzConfig};
+
+/// Area of one A64FX core at 7 nm in mm² (from the paper's Table IV:
+/// "Core+QUETZAL" = 2.89 mm² with QUETZAL = 0.097 mm²).
+pub const A64FX_CORE_AREA_MM2: f64 = 2.79;
+
+/// Effective per-core share of the A64FX SoC in mm², chosen so the
+/// QZ_8P instance lands on the published 1.41 % SoC overhead.
+pub const A64FX_SOC_AREA_PER_CORE_MM2: f64 = 0.097 / 0.0141;
+
+/// Fitted per-port area increment in mm² (two SRAM copies + read logic).
+const AREA_PER_PORT_MM2: f64 = 0.012;
+/// Fitted fixed area in mm² (encoder, count ALUs, access control).
+const AREA_FIXED_MM2: f64 = 0.001;
+/// Fitted per-port power increment in µW.
+const POWER_PER_PORT_UW: f64 = 92.0;
+/// Fitted fixed power in µW.
+const POWER_FIXED_UW: f64 = 10.0;
+
+/// Post-place-and-route estimates for one QUETZAL configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// The configuration.
+    pub config: QzConfig,
+    /// Total accelerator area in mm² (7 nm).
+    pub area_mm2: f64,
+    /// Total accelerator power in µW.
+    pub power_uw: f64,
+    /// Area overhead relative to one A64FX core (Table III column D).
+    pub core_overhead_pct: f64,
+    /// Area overhead relative to the SoC with one instance per core
+    /// (Table III column E).
+    pub soc_overhead_pct: f64,
+}
+
+/// Produces the Table III row for a configuration.
+pub fn area_report(config: QzConfig) -> AreaReport {
+    let ports = config.ports.count() as f64;
+    // The model is calibrated for 8 KiB buffers; other capacities scale
+    // the SRAM (per-port) term proportionally.
+    let capacity_scale = config.kib_per_buffer as f64 / 8.0;
+    let area_mm2 = AREA_PER_PORT_MM2 * ports * capacity_scale + AREA_FIXED_MM2;
+    let power_uw = POWER_PER_PORT_UW * ports * capacity_scale + POWER_FIXED_UW;
+    AreaReport {
+        config,
+        area_mm2,
+        power_uw,
+        core_overhead_pct: 100.0 * area_mm2 / A64FX_CORE_AREA_MM2,
+        soc_overhead_pct: 100.0 * area_mm2 / A64FX_SOC_AREA_PER_CORE_MM2,
+    }
+}
+
+/// All four Table III rows, in order.
+pub fn table3() -> Vec<AreaReport> {
+    PortCount::all()
+        .into_iter()
+        .map(|ports| {
+            area_report(QzConfig {
+                ports,
+                kib_per_buffer: 8,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn model_hits_published_areas_within_tolerance() {
+        // Published: 0.013 / 0.026 / 0.048 / 0.097 mm².
+        let rows = table3();
+        let published = [0.013, 0.026, 0.048, 0.097];
+        for (row, &want) in rows.iter().zip(&published) {
+            assert!(
+                close(row.area_mm2, want, 0.003),
+                "{}: model {} vs published {}",
+                row.config,
+                row.area_mm2,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn qz8p_power_near_published() {
+        let r = area_report(QzConfig::QZ_8P);
+        assert!(close(r.power_uw, 746.0, 30.0), "power {}", r.power_uw);
+    }
+
+    #[test]
+    fn qz8p_soc_overhead_near_1_4_percent() {
+        let r = area_report(QzConfig::QZ_8P);
+        assert!(
+            close(r.soc_overhead_pct, 1.41, 0.05),
+            "soc overhead {}",
+            r.soc_overhead_pct
+        );
+    }
+
+    #[test]
+    fn area_monotonic_in_ports() {
+        let rows = table3();
+        for w in rows.windows(2) {
+            assert!(w[0].area_mm2 < w[1].area_mm2);
+            assert!(w[0].power_uw < w[1].power_uw);
+        }
+    }
+
+    #[test]
+    fn capacity_scales_sram_term() {
+        let big = area_report(QzConfig {
+            ports: PortCount::P8,
+            kib_per_buffer: 16,
+        });
+        let base = area_report(QzConfig::QZ_8P);
+        assert!(big.area_mm2 > 1.8 * base.area_mm2 - AREA_FIXED_MM2);
+    }
+}

@@ -1,0 +1,113 @@
+//! The count ALU: hardware pipeline of the `qzcount` instruction
+//! (paper §IV-D, Fig. 11).
+//!
+//! Each count ALU instance processes one pair of 64-bit segments:
+//!
+//! 1. bitwise XNOR detects matching bits;
+//! 2. a trailing-ones counter measures the run of matching bits starting
+//!    at the least-significant end;
+//! 3. a shift by `log2(element bits)` converts matching *bits* into
+//!    matching *elements* (shift by 1, 3 or 6 for 2-, 8- and 64-bit
+//!    elements).
+//!
+//! QUETZAL instantiates one count ALU per 64-bit VPU lane, so a 512-bit
+//! vector is processed by [`qzcount_vector`] in a single instruction.
+
+use quetzal_isa::{EncSize, LANES_64};
+
+/// Counts consecutive matching elements between two 64-bit segments,
+/// starting from the least-significant element.
+///
+/// ```
+/// use quetzal_accel::count_alu::qzcount_segment;
+/// use quetzal_isa::EncSize;
+///
+/// // 2-bit elements: 0b01_01 vs 0b11_01 — element 0 matches, element 1 differs.
+/// assert_eq!(qzcount_segment(0b0101, 0b1101, EncSize::E2), 1);
+/// // Identical segments: all 32 2-bit elements match.
+/// assert_eq!(qzcount_segment(7, 7, EncSize::E2), 32);
+/// ```
+#[inline]
+pub fn qzcount_segment(a: u64, b: u64, esize: EncSize) -> u64 {
+    // Stage 1: XNOR marks matching bits with 1.
+    let matched = !(a ^ b);
+    // Stage 2: count trailing ones.
+    let trailing = matched.trailing_ones() as u64;
+    // Stage 3: bits -> elements. A partial element match must not count,
+    // which the shift achieves exactly because element sizes are powers
+    // of two.
+    trailing >> esize.count_shift()
+}
+
+/// Applies the count ALU to all eight 64-bit lanes of a vector pair,
+/// as the `qzcount` instruction does.
+pub fn qzcount_vector(a: &[u64; LANES_64], b: &[u64; LANES_64], esize: EncSize) -> [u64; LANES_64] {
+    let mut out = [0u64; LANES_64];
+    for i in 0..LANES_64 {
+        out[i] = qzcount_segment(a[i], b[i], esize);
+    }
+    out
+}
+
+/// Pipeline depth of the count ALU in cycles (XNOR, trailing-ones count,
+/// shift — fully pipelined, one result per cycle per lane).
+pub const COUNT_ALU_LATENCY: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_segments_count_all_elements() {
+        assert_eq!(qzcount_segment(u64::MAX, u64::MAX, EncSize::E2), 32);
+        assert_eq!(qzcount_segment(0, 0, EncSize::E8), 8);
+        assert_eq!(qzcount_segment(42, 42, EncSize::E64), 1);
+    }
+
+    #[test]
+    fn mismatch_in_first_element_counts_zero() {
+        assert_eq!(qzcount_segment(0b01, 0b10, EncSize::E2), 0);
+        assert_eq!(qzcount_segment(0xFF, 0x00, EncSize::E8), 0);
+        assert_eq!(qzcount_segment(1, 2, EncSize::E64), 0);
+    }
+
+    #[test]
+    fn partial_element_match_does_not_count() {
+        // 2-bit elements: element 0 is 0b01 vs 0b11 — the low bit matches
+        // but the element does not, so the count must be 0.
+        assert_eq!(qzcount_segment(0b01, 0b11, EncSize::E2), 0);
+        // 8-bit elements: first byte matches in its low 7 bits only.
+        assert_eq!(qzcount_segment(0x7F, 0xFF, EncSize::E8), 0);
+    }
+
+    #[test]
+    fn count_stops_at_first_mismatching_element() {
+        // 8-bit elements: bytes 0..3 match, byte 3 differs.
+        let a = u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = u64::from_le_bytes([1, 2, 3, 9, 5, 6, 7, 8]);
+        assert_eq!(qzcount_segment(a, b, EncSize::E8), 3);
+    }
+
+    #[test]
+    fn count_matches_scalar_reference_2bit() {
+        // Cross-check against a naive per-element comparison.
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        let y = x;
+        // Flip element 13 (bits 26..28).
+        x ^= 0b11 << 26;
+        let naive = (0..32)
+            .take_while(|&i| ((x >> (2 * i)) & 3) == ((y >> (2 * i)) & 3))
+            .count() as u64;
+        assert_eq!(naive, 13);
+        assert_eq!(qzcount_segment(x, y, EncSize::E2), naive);
+    }
+
+    #[test]
+    fn vector_form_applies_per_lane() {
+        let a = [0u64, 1, 2, 3, 4, 5, 6, 7];
+        let mut b = a;
+        b[4] = 99;
+        let counts = qzcount_vector(&a, &b, EncSize::E64);
+        assert_eq!(counts, [1, 1, 1, 1, 0, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The QUETZAL data encoder (paper §IV-A, Fig. 9).
+//!
+//! For DNA/RNA input, the encoder extracts bits 1 and 2 of each ASCII
+//! character — a pure wiring operation in hardware — producing the 2-bit
+//! code `(c >> 1) & 3`. A 512-bit vector of 64 characters is thus
+//! compressed into a 128-bit packed payload that the write logic stores
+//! into two consecutive SRAM columns (`segA`/`segB`, §IV-B.2).
+
+use quetzal_genomics::packed::encode_base;
+use quetzal_isa::VLEN_BYTES;
+
+/// Encodes a 512-bit vector of 64 ASCII characters into the 128-bit
+/// packed 2-bit representation, returned as two 64-bit segments
+/// (`segA` = characters 0–31, `segB` = characters 32–63).
+///
+/// ```
+/// use quetzal_accel::encoder::encode_vector;
+///
+/// let mut chars = [b'A'; 64];
+/// chars[0] = b'G'; // G encodes to 0b11
+/// let (seg_a, _seg_b) = encode_vector(&chars);
+/// assert_eq!(seg_a & 0b11, 0b11);
+/// ```
+pub fn encode_vector(chars: &[u8; VLEN_BYTES]) -> (u64, u64) {
+    let mut seg_a = 0u64;
+    let mut seg_b = 0u64;
+    for i in 0..32 {
+        seg_a |= (encode_base(chars[i]) as u64) << (2 * i);
+        seg_b |= (encode_base(chars[i + 32]) as u64) << (2 * i);
+    }
+    (seg_a, seg_b)
+}
+
+/// Latency of the encoder stage in cycles: bit extraction and packing is
+/// combinational; the write into the QBUFFER takes a single cycle
+/// (paper §IV-B.2: "a write in encoded-mode is executed in a single
+/// cycle").
+pub const ENCODE_LATENCY: u64 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_genomics::packed::Packed2;
+    use quetzal_genomics::Alphabet;
+
+    #[test]
+    fn encoder_matches_packed2_layout() {
+        let bases = b"ACGTACGTACGTACGTACGTACGTACGTACGTTTTTGGGGCCCCAAAATTTTGGGGCCCCAAAA";
+        let mut chars = [0u8; 64];
+        chars.copy_from_slice(bases);
+        let (a, b) = encode_vector(&chars);
+        let packed = Packed2::from_bytes(bases, Alphabet::Dna);
+        assert_eq!(a, packed.as_words()[0]);
+        assert_eq!(b, packed.as_words()[1]);
+    }
+
+    #[test]
+    fn all_same_base() {
+        let chars = [b'G'; 64];
+        let (a, b) = encode_vector(&chars);
+        assert_eq!(a, u64::MAX);
+        assert_eq!(b, u64::MAX);
+        let chars = [b'A'; 64];
+        let (a, b) = encode_vector(&chars);
+        assert_eq!(a, 0);
+        assert_eq!(b, 0);
+    }
+}

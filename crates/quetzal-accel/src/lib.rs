@@ -1,0 +1,28 @@
+//! Functional and timing model of the QUETZAL accelerator
+//! micro-architecture (paper §IV).
+//!
+//! The accelerator sits next to the CPU's vector processing unit and is
+//! composed of four blocks (paper Fig. 5):
+//!
+//! * [`encoder`] — the static 2-bit data encoder for DNA/RNA input
+//!   (§IV-A, Fig. 9a/b);
+//! * [`qbuffer`] — the pair of direct-mapped, multi-ported scratchpad
+//!   buffers, including the unaligned sub-word read logic (§IV-B,
+//!   Fig. 10) and the bank-conflict write serialisation;
+//! * [`count_alu`] — the consecutive-match counting pipeline behind the
+//!   `qzcount` instruction (§IV-D, Fig. 11);
+//! * access control — the glue that owns the `qzconf` state and routes
+//!   VPU requests to the buffers (§IV-C), implemented by [`QBuffers`].
+//!
+//! The same structures also carry the timing model (read latency
+//! `8/ports + 1`, write bank conflicts) and the post-place-and-route
+//! [`area`] model that regenerates the paper's Table III.
+
+pub mod area;
+pub mod config;
+pub mod count_alu;
+pub mod encoder;
+pub mod qbuffer;
+
+pub use config::{PortCount, QzConfig};
+pub use qbuffer::{QBuffer, QBuffers};

@@ -1,0 +1,261 @@
+//! Histogram calculation — QUETZAL beyond genomics (paper §III-E,
+//! Fig. 8, and §VII-F).
+//!
+//! Histogramming is dominated by data-dependent read-modify-write
+//! traffic: `hist[bin[i]] += 1`. Vectorising it requires gathers and
+//! scatters plus conflict handling; QUETZAL instead keeps the table in
+//! a QBUFFER and updates it with `qzupdate<add>` (lane-ordered, so
+//! duplicate bins within a vector accumulate correctly).
+//!
+//! * `Base` — scalar load/increment/store per element;
+//! * `Vec` — the standard conflict-free vectorisation: eight private
+//!   sub-histograms (one per lane, `table[bin][lane]`), updated with
+//!   gather/scatter, then reduced;
+//! * `Quetzal` — the table lives in QBUFFER 0 and is updated in place
+//!   (Fig. 8), then read out once.
+
+use crate::common::{emit_compiled_overhead, stage_bytes, stage_words, SimOutcome, Tier};
+use quetzal::isa::*;
+use quetzal::uarch::SimError;
+use quetzal::Machine;
+
+/// Scalar reference histogram.
+pub fn histogram_ref(values: &[u8], bins: usize) -> Vec<u64> {
+    let mut h = vec![0u64; bins];
+    for &v in values {
+        h[v as usize % bins] += 1;
+    }
+    h
+}
+
+fn build_base(in_addr: u64, n: usize, out_addr: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("hist-BASE");
+    b.mov_imm(X0, in_addr as i64);
+    b.mov_imm(X1, n as i64);
+    b.mov_imm(X3, out_addr as i64);
+    b.mov_imm(X4, 0);
+    let top = b.label();
+    let done = b.label();
+    b.bind(top);
+    b.branch(BranchCond::Ge, X4, X1, done);
+    b.alu_rr(SAluOp::Add, X13, X0, X4);
+    b.load(X14, X13, 0, MemSize::B1); // bin
+    b.alu_ri(SAluOp::Shl, X14, X14, 3);
+    b.alu_rr(SAluOp::Add, X14, X3, X14);
+    b.load(X15, X14, 0, MemSize::B8);
+    b.alu_ri(SAluOp::Add, X15, X15, 1);
+    b.store(X15, X14, 0, MemSize::B8);
+    emit_compiled_overhead(&mut b, 4);
+    b.alu_ri(SAluOp::Add, X4, X4, 1);
+    b.jump(top);
+    b.bind(done);
+    b.halt();
+    b.build().expect("hist base builds")
+}
+
+fn build_vec(in_addr: u64, n: usize, table8: u64, bins: usize, out_addr: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("hist-VEC");
+    b.mov_imm(X0, in_addr as i64);
+    b.mov_imm(X1, n as i64);
+    b.mov_imm(X2, table8 as i64);
+    b.mov_imm(X3, out_addr as i64);
+    b.mov_imm(X4, 0);
+    b.mov_imm(X21, 0);
+    b.ptrue(P0, ElemSize::B64);
+    b.index(V2, X21, 1, ElemSize::B64); // lane ids 0..7
+    let top = b.label();
+    let reduce = b.label();
+    let red_loop = b.label();
+    let done = b.label();
+    b.bind(top);
+    b.branch(BranchCond::Ge, X4, X1, reduce);
+    b.alu_rr(SAluOp::Sub, X13, X1, X4);
+    b.pwhilelt(P1, X13, ElemSize::B64);
+    b.alu_rr(SAluOp::Add, X13, X0, X4);
+    b.vload_n(V0, X13, P1, ElemSize::B64, MemSize::B1); // bins
+    // Private-copy slot: bin*8 + lane (conflict-free within a vector).
+    b.valu_vi(VAluOp::Shl, V1, V0, 3, P1, ElemSize::B64);
+    b.valu_vv(VAluOp::Add, V1, V1, V2, P1, ElemSize::B64);
+    b.vgather(V3, X2, V1, P1, ElemSize::B64, MemSize::B8, 8);
+    b.valu_vi(VAluOp::Add, V3, V3, 1, P1, ElemSize::B64);
+    b.vscatter(V3, X2, V1, P1, ElemSize::B64, MemSize::B8, 8);
+    b.alu_ri(SAluOp::Add, X4, X4, 8);
+    b.jump(top);
+    // Reduce the eight private copies per bin.
+    b.bind(reduce);
+    b.mov_imm(X4, 0);
+    b.mov_imm(X5, bins as i64);
+    b.bind(red_loop);
+    b.branch(BranchCond::Ge, X4, X5, done);
+    b.alu_ri(SAluOp::Shl, X13, X4, 6); // bin * 64 bytes
+    b.alu_rr(SAluOp::Add, X13, X2, X13);
+    b.vload(V0, X13, P0, ElemSize::B64);
+    b.vreduce(RedOp::Add, X14, V0, P0, ElemSize::B64);
+    b.alu_ri(SAluOp::Shl, X13, X4, 3);
+    b.alu_rr(SAluOp::Add, X13, X3, X13);
+    b.store(X14, X13, 0, MemSize::B8);
+    b.alu_ri(SAluOp::Add, X4, X4, 1);
+    b.jump(red_loop);
+    b.bind(done);
+    b.halt();
+    b.build().expect("hist vec builds")
+}
+
+fn build_qz(in_addr: u64, n: usize, zeros: u64, bins: usize, out_addr: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("hist-QZ");
+    b.mov_imm(X26, bins as i64);
+    b.mov_imm(X27, bins as i64);
+    b.mov_imm(X28, 2); // 64-bit elements
+    b.qzconf(X26, X27, X28);
+    // Zero the table region (charged staging).
+    crate::common::emit_qz_stage_words(&mut b, QBufSel::Q0, zeros, bins);
+    b.mov_imm(X0, in_addr as i64);
+    b.mov_imm(X1, n as i64);
+    b.mov_imm(X3, out_addr as i64);
+    b.mov_imm(X4, 0);
+    b.ptrue(P0, ElemSize::B64);
+    b.dup_imm(V1, 1, ElemSize::B64);
+    let top = b.label();
+    let readout = b.label();
+    let ro_loop = b.label();
+    let done = b.label();
+    b.bind(top);
+    b.branch(BranchCond::Ge, X4, X1, readout);
+    b.alu_rr(SAluOp::Sub, X13, X1, X4);
+    b.pwhilelt(P1, X13, ElemSize::B64);
+    b.alu_rr(SAluOp::Add, X13, X0, X4);
+    b.vload_n(V0, X13, P1, ElemSize::B64, MemSize::B1); // bins
+    // Update the table directly in the QBUFFER (Fig. 8).
+    b.qzupdate(QzOp::Add, V1, V0, QBufSel::Q0, P1);
+    b.alu_ri(SAluOp::Add, X4, X4, 8);
+    b.jump(top);
+    b.bind(readout);
+    b.mov_imm(X4, 0);
+    b.mov_imm(X5, bins as i64);
+    b.bind(ro_loop);
+    b.branch(BranchCond::Ge, X4, X5, done);
+    b.alu_rr(SAluOp::Sub, X13, X5, X4);
+    b.pwhilelt(P1, X13, ElemSize::B64);
+    b.index(V2, X4, 1, ElemSize::B64);
+    b.qzload(V3, V2, QBufSel::Q0, P1);
+    b.alu_ri(SAluOp::Shl, X13, X4, 3);
+    b.alu_rr(SAluOp::Add, X13, X3, X13);
+    b.vstore(V3, X13, P1, ElemSize::B64);
+    b.alu_ri(SAluOp::Add, X4, X4, 8);
+    b.jump(ro_loop);
+    b.bind(done);
+    b.halt();
+    b.build().expect("hist qz builds")
+}
+
+/// Runs the histogram kernel; the final table lands at the returned
+/// address in simulated memory. [`SimOutcome::value`] is the element
+/// count processed.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on simulation failure.
+///
+/// # Panics
+///
+/// Panics (QUETZAL tiers) if `bins` exceeds the QBUFFER's 64-bit
+/// element capacity.
+pub fn histogram_sim(
+    machine: &mut Machine,
+    values: &[u8],
+    bins: usize,
+    tier: Tier,
+) -> Result<(SimOutcome, u64), SimError> {
+    let in_addr = stage_bytes(machine, values);
+    let out_addr = machine.alloc(8 * bins as u64);
+    let program = match tier {
+        Tier::Base => build_base(in_addr, values.len(), out_addr),
+        Tier::Vec => {
+            let table8 = machine.alloc(64 * bins as u64);
+            build_vec(in_addr, values.len(), table8, bins, out_addr)
+        }
+        Tier::Quetzal | Tier::QuetzalC => {
+            let cap = machine
+                .core()
+                .state()
+                .qz
+                .buf(0)
+                .capacity_elems(quetzal::isa::EncSize::E64);
+            assert!(bins as u64 <= cap, "histogram table exceeds QBUFFER");
+            let zeros = stage_words(machine, &vec![0i64; bins]);
+            build_qz(in_addr, values.len(), zeros, bins, out_addr)
+        }
+    };
+    let stats = machine.run(&program)?;
+    Ok((
+        SimOutcome {
+            value: values.len() as i64,
+            stats,
+        },
+        out_addr,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal::MachineConfig;
+    use quetzal_genomics::dataset::SplitMix64;
+
+    fn input(n: usize, bins: usize, seed: u64) -> Vec<u8> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| (rng.below(bins as u64)) as u8).collect()
+    }
+
+    #[test]
+    fn all_tiers_match_reference() {
+        let bins = 64;
+        let vals = input(500, bins, 9);
+        let want = histogram_ref(&vals, bins);
+        for tier in Tier::all() {
+            let mut m = Machine::new(MachineConfig::default());
+            let (_, out) = histogram_sim(&mut m, &vals, bins, tier).unwrap();
+            let got: Vec<u64> = (0..bins).map(|i| m.read_u64(out + 8 * i as u64)).collect();
+            assert_eq!(got, want, "{tier}");
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input_accumulates() {
+        // All elements in one bin: the worst conflict case.
+        let vals = vec![3u8; 200];
+        let want = histogram_ref(&vals, 16);
+        for tier in [Tier::Vec, Tier::Quetzal] {
+            let mut m = Machine::new(MachineConfig::default());
+            let (_, out) = histogram_sim(&mut m, &vals, 16, tier).unwrap();
+            let got: Vec<u64> = (0..16).map(|i| m.read_u64(out + 8 * i as u64)).collect();
+            assert_eq!(got, want, "{tier}");
+        }
+    }
+
+    #[test]
+    fn quetzal_beats_vec() {
+        let vals = input(2000, 128, 13);
+        let mut mv = Machine::new(MachineConfig::default());
+        let (vec_out, _) = histogram_sim(&mut mv, &vals, 128, Tier::Vec).unwrap();
+        let mut mq = Machine::new(MachineConfig::default());
+        let (qz_out, _) = histogram_sim(&mut mq, &vals, 128, Tier::Quetzal).unwrap();
+        let speedup = vec_out.stats.cycles as f64 / qz_out.stats.cycles as f64;
+        assert!(
+            speedup > 1.5,
+            "QUETZAL histogram should be clearly faster (paper: 3.02x), got {speedup}"
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_zero_table() {
+        let mut m = Machine::new(MachineConfig::default());
+        let (_, out) = histogram_sim(&mut m, &[], 8, Tier::Vec).unwrap();
+        for i in 0..8 {
+            assert_eq!(m.read_u64(out + 8 * i), 0);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Needleman-Wunsch global alignment (the paper's "parasail" classical
+//! DP use case) — scalar reference with full traceback.
+//!
+//! The simulated anti-diagonal kernels live in [`crate::dp_sim`]; this
+//! module provides the `O(n·m)` full-matrix implementation with
+//! transcript recovery, used both as the library-facing aligner and the
+//! correctness oracle for the kernels.
+
+use crate::common::{SimOutcome, Tier};
+use crate::dp_sim::{dp_sim, LinearCosts};
+use quetzal::uarch::SimError;
+use quetzal::Machine;
+use quetzal_genomics::cigar::{Cigar, CigarOp};
+
+/// Result of a global alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NwResult {
+    /// Optimal linear-gap score (lower is better).
+    pub score: i64,
+    /// Optimal transcript.
+    pub cigar: Cigar,
+}
+
+/// Full-matrix Needleman-Wunsch with traceback under linear-gap costs.
+///
+/// ```
+/// use quetzal_algos::nw::nw_align;
+/// use quetzal_algos::dp_sim::LinearCosts;
+///
+/// let r = nw_align(b"ACAG", b"AAGT", LinearCosts::UNIT);
+/// assert_eq!(r.score, 2);
+/// assert!(r.cigar.validate(b"ACAG", b"AAGT").is_ok());
+/// ```
+pub fn nw_align(pattern: &[u8], text: &[u8], costs: LinearCosts) -> NwResult {
+    let m = pattern.len();
+    let n = text.len();
+    // Full matrix, row-major: D[i][j] at i*(n+1)+j.
+    let w = n + 1;
+    let mut dp = vec![0i64; (m + 1) * w];
+    for j in 0..=n {
+        dp[j] = j as i64 * costs.gap;
+    }
+    for i in 1..=m {
+        dp[i * w] = i as i64 * costs.gap;
+        for j in 1..=n {
+            let sub = if pattern[i - 1] == text[j - 1] {
+                0
+            } else {
+                costs.mismatch
+            };
+            let diag = dp[(i - 1) * w + j - 1] + sub;
+            let del = dp[(i - 1) * w + j] + costs.gap; // consume pattern
+            let ins = dp[i * w + j - 1] + costs.gap; // consume text
+            dp[i * w + j] = diag.min(del).min(ins);
+        }
+    }
+    // Traceback.
+    let mut ops = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        let here = dp[i * w + j];
+        if i > 0 && j > 0 {
+            let sub = if pattern[i - 1] == text[j - 1] {
+                0
+            } else {
+                costs.mismatch
+            };
+            if here == dp[(i - 1) * w + j - 1] + sub {
+                ops.push(if sub == 0 {
+                    CigarOp::Match
+                } else {
+                    CigarOp::Mismatch
+                });
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && here == dp[(i - 1) * w + j] + costs.gap {
+            ops.push(CigarOp::Insertion); // consumes pattern only
+            i -= 1;
+        } else {
+            ops.push(CigarOp::Deletion); // consumes text only
+            j -= 1;
+        }
+    }
+    let mut cigar = Cigar::new();
+    for &op in ops.iter().rev() {
+        cigar.push(op);
+    }
+    NwResult {
+        score: dp[m * w + n],
+        cigar,
+    }
+}
+
+/// Simulated full-matrix NW (score only): thin wrapper over the shared
+/// anti-diagonal kernel of [`crate::dp_sim`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] on simulation failure.
+pub fn nw_sim(
+    machine: &mut Machine,
+    pattern: &[u8],
+    text: &[u8],
+    costs: LinearCosts,
+    tier: Tier,
+) -> Result<SimOutcome, SimError> {
+    dp_sim(machine, pattern, text, costs, None, tier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal::MachineConfig;
+    use quetzal_genomics::cigar::Penalties;
+    use quetzal_genomics::dataset::DatasetSpec;
+    use quetzal_genomics::distance::{gotoh_score, levenshtein};
+
+    #[test]
+    fn unit_costs_equal_levenshtein() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"ACAG", b"AAGT"),
+            (b"kitten", b"sitting"),
+            (b"", b"AC"),
+            (b"AC", b""),
+            (b"GATTACA", b"GATTACA"),
+        ];
+        for &(p, t) in cases {
+            let r = nw_align(p, t, LinearCosts::UNIT);
+            assert_eq!(r.score, levenshtein(p, t) as i64, "{p:?}");
+            r.cigar.validate(p, t).unwrap();
+            assert_eq!(r.cigar.edit_distance() as i64, r.score);
+        }
+    }
+
+    #[test]
+    fn custom_costs_match_gotoh_linear() {
+        // Linear gaps are affine gaps with zero open cost.
+        let costs = LinearCosts { mismatch: 3, gap: 2 };
+        let pen = Penalties {
+            mismatch: 3,
+            gap_open: 0,
+            gap_extend: 2,
+        };
+        for pair in DatasetSpec::d100().generate_n(41, 3) {
+            let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+            let r = nw_align(p, t, costs);
+            assert_eq!(r.score, gotoh_score(p, t, pen) as i64);
+            r.cigar.validate(p, t).unwrap();
+        }
+    }
+
+    #[test]
+    fn sim_wrapper_matches_scalar() {
+        let pair = &DatasetSpec::d100().generate_n(43, 1)[0];
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let want = nw_align(p, t, LinearCosts::UNIT).score;
+        let mut m = Machine::new(MachineConfig::default());
+        let out = nw_sim(&mut m, p, t, LinearCosts::UNIT, Tier::Vec).unwrap();
+        assert_eq!(out.value, want);
+    }
+}

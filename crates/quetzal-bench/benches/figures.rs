@@ -1,0 +1,15 @@
+//! `cargo bench` entry point that regenerates every paper table and
+//! figure at a reduced scale (QUETZAL_SCALE defaults to 0.5 here so the
+//! full sweep finishes quickly; the `run_all` binary runs full size).
+
+fn main() {
+    // Criterion passes --bench; ignore all arguments.
+    let scale = std::env::var("QUETZAL_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+    eprintln!("regenerating all paper tables/figures at scale {scale}");
+    for table in quetzal_bench::experiments::run_all(scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Runs the calibration-sensitivity ablations (see the experiment
+//! module docs; not a paper figure).
+fn main() {
+    let scale = quetzal_bench::scale_from_env();
+    println!("{}", quetzal_bench::experiments::ablations::run(scale));
+}

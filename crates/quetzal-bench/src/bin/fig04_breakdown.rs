@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 4 (see the experiment module docs).
+fn main() {
+    let scale = quetzal_bench::scale_from_env();
+    println!("{}", quetzal_bench::experiments::fig04::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 13a (see the experiment module docs).
+fn main() {
+    let scale = quetzal_bench::scale_from_env();
+    println!("{}", quetzal_bench::experiments::fig13a::run(scale));
+}

@@ -1,0 +1,96 @@
+//! `qz_align` — a small command-line aligner over the simulated QUETZAL
+//! machine, for downstream users who want to drive it on their own
+//! data.
+//!
+//! Usage:
+//!   qz_align <pairs.tsv> [--algo wfa|biwfa|ss|nw] [--tier base|vec|qz|qzc]
+//!            [--threshold E] [--protein]
+//!
+//! The input file holds one `pattern<TAB>text` pair per line (the
+//! SneakySnake pair format; see `quetzal_genomics::fasta::read_pairs`).
+//! Prints one line per pair (score or filter verdict) plus aggregate
+//! simulated-cycle statistics.
+
+use quetzal::{Machine, MachineConfig};
+use quetzal_algos::biwfa::biwfa_sim;
+use quetzal_algos::dp_sim::LinearCosts;
+use quetzal_algos::nw::nw_sim;
+use quetzal_algos::sneakysnake::ss_sim;
+use quetzal_algos::wfa_sim::wfa_sim;
+use quetzal_algos::Tier;
+use quetzal_genomics::fasta::read_pairs;
+use quetzal_genomics::Alphabet;
+use std::io::BufReader;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qz_align <pairs.tsv> [--algo wfa|biwfa|ss|nw] \
+         [--tier base|vec|qz|qzc] [--threshold E] [--protein]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut algo = "wfa".to_string();
+    let mut tier = Tier::QuetzalC;
+    let mut threshold = 10u32;
+    let mut alphabet = Alphabet::Dna;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algo" => algo = it.next().unwrap_or_else(|| usage()),
+            "--tier" => {
+                tier = match it.next().as_deref() {
+                    Some("base") => Tier::Base,
+                    Some("vec") => Tier::Vec,
+                    Some("qz") => Tier::Quetzal,
+                    Some("qzc") => Tier::QuetzalC,
+                    _ => usage(),
+                }
+            }
+            "--threshold" => {
+                threshold = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--protein" => alphabet = Alphabet::Protein,
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+        eprintln!("qz_align: cannot open {path}: {e}");
+        std::process::exit(1)
+    });
+    let pairs = read_pairs(BufReader::new(file), alphabet).unwrap_or_else(|e| {
+        eprintln!("qz_align: {e}");
+        std::process::exit(1)
+    });
+
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut total_cycles = 0u64;
+    let mut total_requests = 0u64;
+    for (i, pair) in pairs.iter().enumerate() {
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let out = match algo.as_str() {
+            "wfa" => wfa_sim(&mut machine, p, t, alphabet, tier).expect("wfa"),
+            "biwfa" => biwfa_sim(&mut machine, p, t, alphabet, tier).expect("biwfa"),
+            "ss" => ss_sim(&mut machine, p, t, alphabet, threshold, tier).expect("ss"),
+            "nw" => nw_sim(&mut machine, p, t, LinearCosts::UNIT, tier).expect("nw"),
+            _ => usage(),
+        };
+        total_cycles += out.stats.cycles;
+        total_requests += out.stats.mem_requests;
+        if algo == "ss" {
+            let verdict = if out.value as u32 <= threshold { "accept" } else { "reject" };
+            println!("pair {i}: bound {} -> {verdict}", out.value);
+        } else {
+            println!("pair {i}: score {}", out.value);
+        }
+    }
+    eprintln!(
+        "{} pairs, {algo}/{tier}: {total_cycles} simulated cycles, {total_requests} cache requests",
+        pairs.len()
+    );
+}

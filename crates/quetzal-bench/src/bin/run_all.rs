@@ -1,0 +1,9 @@
+//! Runs every experiment in sequence (tables + figures). Workload sizes
+//! scale with the QUETZAL_SCALE environment variable.
+fn main() {
+    let scale = quetzal_bench::scale_from_env();
+    eprintln!("running all experiments at scale {scale} ...");
+    for table in quetzal_bench::experiments::run_all(scale) {
+        println!("{table}");
+    }
+}

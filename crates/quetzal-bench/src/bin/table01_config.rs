@@ -1,0 +1,4 @@
+//! Prints the simulated system setup (paper Table I).
+fn main() {
+    println!("{}", quetzal_bench::experiments::tables::table01());
+}

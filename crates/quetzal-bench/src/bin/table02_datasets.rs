@@ -1,0 +1,5 @@
+//! Prints the dataset characteristics (paper Table II).
+fn main() {
+    let scale = quetzal_bench::scale_from_env();
+    println!("{}", quetzal_bench::experiments::tables::table02(scale));
+}

@@ -1,0 +1,4 @@
+//! Prints the area/power model results (paper Table III).
+fn main() {
+    println!("{}", quetzal_bench::experiments::tables::table03());
+}

@@ -1,0 +1,5 @@
+//! Prints the accelerator GCUPS/mm² comparison (paper Table IV).
+fn main() {
+    let scale = quetzal_bench::scale_from_env();
+    println!("{}", quetzal_bench::experiments::tables::table04(scale));
+}

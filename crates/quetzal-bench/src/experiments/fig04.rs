@@ -1,0 +1,46 @@
+//! Fig. 4 — execution-time breakdown of the vectorised modern ASM
+//! algorithms. The paper shows cache accesses taking 32–65 % of the
+//! run time of vectorised WFA, BiWFA and SS.
+
+use crate::report::{pct, Table};
+use crate::workloads::{run_algo, table2_workloads, Algo};
+use quetzal::{MachineConfig, StallCat};
+use quetzal_algos::Tier;
+
+/// Runs the experiment.
+pub fn run(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Fig. 4",
+        "execution-time breakdown of vectorised (VEC) algorithms",
+        &[
+            "dataset",
+            "algorithm",
+            "cache-access",
+            "vector-compute",
+            "scalar-compute",
+            "frontend",
+            "base",
+        ],
+    );
+    let cfg = MachineConfig::default();
+    let workloads = table2_workloads(scale);
+    // The paper plots one short and one long dataset per algorithm.
+    for wl in workloads.iter().filter(|w| {
+        w.spec.name == "100bp_1" || w.spec.name == "10Kbp"
+    }) {
+        for algo in Algo::modern() {
+            let s = run_algo(&cfg, algo, wl, Tier::Vec);
+            t.row(&[
+                wl.spec.name.to_string(),
+                algo.to_string(),
+                pct(s.stall_fraction(StallCat::Memory)),
+                pct(s.stall_fraction(StallCat::VectorCompute)),
+                pct(s.stall_fraction(StallCat::ScalarCompute)),
+                pct(s.stall_fraction(StallCat::Frontend)),
+                pct(s.stall_fraction(StallCat::Base)),
+            ]);
+        }
+    }
+    t.note("paper: cache accesses are 32-65% of vectorised execution time; the cache-access column should fall in or above that band");
+    t
+}

@@ -1,0 +1,42 @@
+//! Fig. 12 — design-space exploration: relative performance of the
+//! QZ_1P/2P/4P/8P port configurations, normalised to QZ_1P.
+//! (Paper §VI: more ports cut QBUFFER read latency from 9 to 2 cycles.)
+
+use crate::report::{ratio, Table};
+use crate::workloads::{run_algo, table2_workloads, Algo};
+use quetzal::{MachineConfig, QzConfig};
+use quetzal_algos::Tier;
+
+/// Runs the experiment.
+pub fn run(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Fig. 12",
+        "QUETZAL performance vs number of QBUFFER read ports (normalised to QZ_1P)",
+        &["dataset", "algorithm", "QZ_1P", "QZ_2P", "QZ_4P", "QZ_8P"],
+    );
+    let configs = [
+        QzConfig::QZ_1P,
+        QzConfig::QZ_2P,
+        QzConfig::QZ_4P,
+        QzConfig::QZ_8P,
+    ];
+    for wl in table2_workloads(scale)
+        .into_iter()
+        .filter(|w| w.spec.name == "100bp_1" || w.spec.name == "10Kbp")
+    {
+        for algo in [Algo::Wfa, Algo::Ss] {
+            let cycles: Vec<u64> = configs
+                .iter()
+                .map(|&qz| {
+                    run_algo(&MachineConfig::with_qz(qz), algo, &wl, Tier::Quetzal).cycles
+                })
+                .collect();
+            let base = cycles[0] as f64;
+            let mut row = vec![wl.spec.name.to_string(), algo.to_string()];
+            row.extend(cycles.iter().map(|&c| ratio(base, c as f64)));
+            t.row(&row);
+        }
+    }
+    t.note("paper: performance rises monotonically with ports; QZ_8P is chosen for all other experiments");
+    t
+}

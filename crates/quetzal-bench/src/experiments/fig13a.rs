@@ -1,0 +1,59 @@
+//! Fig. 13a — single-core performance of VEC / QUETZAL / QUETZAL+C over
+//! the baseline, for every algorithm and dataset (plus the protein
+//! use case 4).
+//!
+//! Paper headline numbers: modern algorithms gain 1.5×/2.1× (QUETZAL /
+//! QUETZAL+C over VEC) on short reads and 5.1×/5.5× on long reads;
+//! classical DP gains a modest 1.3–1.4×; protein alignment gains
+//! 6.0×/6.6×.
+
+use crate::report::{ratio, Table};
+use crate::workloads::{protein_workload, run_algo, table2_workloads, Algo, Workload};
+use quetzal::MachineConfig;
+use quetzal_algos::Tier;
+
+fn run_workload(t: &mut Table, cfg: &MachineConfig, wl: &Workload, algos: &[Algo]) {
+    for &algo in algos {
+        let base = run_algo(cfg, algo, wl, Tier::Base).cycles as f64;
+        let vec = run_algo(cfg, algo, wl, Tier::Vec).cycles as f64;
+        let qz = run_algo(cfg, algo, wl, Tier::Quetzal).cycles as f64;
+        let qzc = run_algo(cfg, algo, wl, Tier::QuetzalC).cycles as f64;
+        t.row(&[
+            wl.spec.name.to_string(),
+            algo.to_string(),
+            ratio(base, vec),
+            ratio(base, qz),
+            ratio(base, qzc),
+            ratio(vec, qz),
+            ratio(vec, qzc),
+        ]);
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Fig. 13a",
+        "single-core speedups over the baseline (and over VEC)",
+        &[
+            "dataset",
+            "algorithm",
+            "VEC/base",
+            "QZ/base",
+            "QZ+C/base",
+            "QZ/VEC",
+            "QZ+C/VEC",
+        ],
+    );
+    let cfg = MachineConfig::default();
+    for wl in table2_workloads(scale) {
+        run_workload(&mut t, &cfg, &wl, &Algo::all());
+    }
+    // Use case 4: protein alignment (modern algorithms only, as in the
+    // paper).
+    let protein = protein_workload(scale);
+    run_workload(&mut t, &cfg, &protein, &Algo::modern());
+    t.note("paper: QZ/VEC and QZ+C/VEC are 1.5x/2.1x (short), 5.1x/5.5x (long); classical DP 1.3-1.4x; protein 6.0x/6.6x");
+    t.note("NW/SW run on windowed long reads (paper SVI prescribes windowing/tiling for long sequences)");
+    t
+}

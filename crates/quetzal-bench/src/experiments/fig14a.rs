@@ -1,0 +1,34 @@
+//! Fig. 14a — reduction of memory requests issued to the cache
+//! hierarchy: QUETZAL+C vs VEC. All accesses to the input sequences are
+//! served by the QBUFFERs, so only the (prefetcher-friendly, strided)
+//! wavefront/DP traffic remains.
+
+use crate::report::{ratio, Table};
+use crate::workloads::{run_algo, table2_workloads, Algo};
+use quetzal::MachineConfig;
+use quetzal_algos::Tier;
+
+/// Runs the experiment.
+pub fn run(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Fig. 14a",
+        "cache-hierarchy memory requests: VEC vs QUETZAL+C",
+        &["dataset", "algorithm", "VEC requests", "QZ+C requests", "reduction"],
+    );
+    let cfg = MachineConfig::default();
+    for wl in table2_workloads(scale) {
+        for algo in Algo::modern() {
+            let vec = run_algo(&cfg, algo, &wl, Tier::Vec);
+            let qzc = run_algo(&cfg, algo, &wl, Tier::QuetzalC);
+            t.row(&[
+                wl.spec.name.to_string(),
+                algo.to_string(),
+                vec.mem_requests.to_string(),
+                qzc.mem_requests.to_string(),
+                ratio(vec.mem_requests as f64, qzc.mem_requests as f64),
+            ]);
+        }
+    }
+    t.note("paper: all sequence accesses move into the QBUFFERs, leaving strided DP traffic that the prefetcher handles");
+    t
+}

@@ -1,0 +1,46 @@
+//! Fig. 14b — the combined SS + WFA pipeline (use case 5): QUETZAL+C vs
+//! VEC over mixed accept/reject workloads. Paper (16 cores): 1.8×,
+//! 2.7×, 3.6× and 3.1× for the four datasets.
+
+use crate::report::{ratio, Table};
+use crate::workloads::{table2_workloads, Workload, SEED};
+use quetzal::{Machine, MachineConfig};
+use quetzal_algos::pipeline::{mixed_pairs, pipeline_sim};
+use quetzal_algos::Tier;
+
+fn pipeline_cycles(wl: &Workload, pairs: &[quetzal_genomics::dataset::SeqPair], tier: Tier) -> u64 {
+    let mut machine = Machine::new(MachineConfig::default());
+    let (_, stats) = pipeline_sim(
+        &mut machine,
+        pairs,
+        wl.spec.alphabet,
+        wl.ss_threshold(),
+        tier,
+    )
+    .expect("pipeline sim");
+    stats.cycles
+}
+
+/// Runs the experiment.
+pub fn run(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Fig. 14b",
+        "SS+WFA pipeline speedup: QUETZAL+C over VEC (50% dissimilar pairs)",
+        &["dataset", "pairs", "VEC cycles", "QZ+C cycles", "speedup"],
+    );
+    for wl in table2_workloads(scale) {
+        let n = wl.pairs.len().max(2);
+        let pairs = mixed_pairs(&wl.spec, SEED, n, 0.5);
+        let vec = pipeline_cycles(&wl, &pairs, Tier::Vec);
+        let qzc = pipeline_cycles(&wl, &pairs, Tier::QuetzalC);
+        t.row(&[
+            wl.spec.name.to_string(),
+            pairs.len().to_string(),
+            vec.to_string(),
+            qzc.to_string(),
+            ratio(vec as f64, qzc as f64),
+        ]);
+    }
+    t.note("paper (16 cores): 1.8x, 2.7x, 3.6x, 3.1x across the four datasets; we report the single-core ratio (the multicore model scales both tiers alike)");
+    t
+}

@@ -1,0 +1,57 @@
+//! Fig. 15b — QUETZAL beyond genomics: SpMV and histogram speedups
+//! over their vectorised implementations (paper: 1.94× and 3.02×).
+
+use crate::report::{ratio, Table};
+use quetzal::{Machine, MachineConfig};
+use quetzal_algos::histogram::histogram_sim;
+use quetzal_algos::spmv::{spmv_sim, CsrMatrix};
+use quetzal_algos::Tier;
+use quetzal_genomics::dataset::SplitMix64;
+
+/// Runs the experiment.
+pub fn run(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Fig. 15b",
+        "other application domains: QUETZAL speedup over VEC",
+        &["kernel", "size", "VEC cycles", "QUETZAL cycles", "speedup"],
+    );
+
+    // SpMV: dense rows so the staging amortises (typical sparse suites).
+    let rows = ((60.0 * scale) as usize).max(20);
+    let a = CsrMatrix::random(rows, 512, 160, 23);
+    let mut rng = SplitMix64::new(24);
+    let x: Vec<i64> = (0..512).map(|_| rng.below(1 << 12) as i64).collect();
+    let mut mv = Machine::new(MachineConfig::default());
+    let (vec_out, _) = spmv_sim(&mut mv, &a, &x, Tier::Vec).expect("spmv vec");
+    let mut mq = Machine::new(MachineConfig::default());
+    let (qz_out, _) = spmv_sim(&mut mq, &a, &x, Tier::Quetzal).expect("spmv qz");
+    t.row(&[
+        "SpMV".into(),
+        format!("{} nnz", a.nnz()),
+        vec_out.stats.cycles.to_string(),
+        qz_out.stats.cycles.to_string(),
+        ratio(vec_out.stats.cycles as f64, qz_out.stats.cycles as f64),
+    ]);
+
+    // Histogram.
+    let n = ((4000.0 * scale) as usize).max(1000);
+    let bins = 128;
+    let vals: Vec<u8> = {
+        let mut rng = SplitMix64::new(31);
+        (0..n).map(|_| rng.below(bins as u64) as u8).collect()
+    };
+    let mut mv = Machine::new(MachineConfig::default());
+    let (vec_out, _) = histogram_sim(&mut mv, &vals, bins, Tier::Vec).expect("hist vec");
+    let mut mq = Machine::new(MachineConfig::default());
+    let (qz_out, _) = histogram_sim(&mut mq, &vals, bins, Tier::Quetzal).expect("hist qz");
+    t.row(&[
+        "histogram".into(),
+        format!("{n} elems / {bins} bins"),
+        vec_out.stats.cycles.to_string(),
+        qz_out.stats.cycles.to_string(),
+        ratio(vec_out.stats.cycles as f64, qz_out.stats.cycles as f64),
+    ]);
+
+    t.note("paper: SpMV 1.94x, histogram 3.02x");
+    t
+}

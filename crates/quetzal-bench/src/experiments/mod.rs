@@ -1,0 +1,39 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run(scale: f64) -> Table` producing the same
+//! rows/series the paper reports, plus notes comparing against the
+//! paper's published values. `scale` multiplies workload sizes.
+
+pub mod ablations;
+pub mod fig03;
+pub mod fig04;
+pub mod fig12;
+pub mod fig13a;
+pub mod fig13b;
+pub mod fig14a;
+pub mod fig14b;
+pub mod fig15a;
+pub mod fig15b;
+pub mod tables;
+
+use crate::report::Table;
+
+/// Runs every experiment in paper order (tables first, then figures).
+pub fn run_all(scale: f64) -> Vec<Table> {
+    vec![
+        tables::table01(),
+        tables::table02(scale),
+        tables::table03(),
+        fig03::run(scale),
+        fig04::run(scale),
+        fig12::run(scale),
+        fig13a::run(scale),
+        fig13b::run(scale),
+        fig14a::run(scale),
+        fig14b::run(scale),
+        fig15a::run(scale),
+        fig15b::run(scale),
+        tables::table04(scale),
+        ablations::run(scale),
+    ]
+}

@@ -1,0 +1,170 @@
+//! Tables I–IV of the paper.
+
+use crate::report::{num, Table};
+use crate::workloads::{run_algo, table2_workloads, Algo, SEED};
+use quetzal::accel::area::{area_report, table3};
+use quetzal::uarch::CoreConfig;
+use quetzal::{MachineConfig, QzConfig};
+use quetzal_algos::Tier;
+use quetzal_genomics::dataset::DatasetSpec;
+use quetzal_genomics::distance::myers_distance;
+
+/// Table I — the simulated system setup.
+pub fn table01() -> Table {
+    let c = CoreConfig::a64fx_like();
+    let mut t = Table::new("Table I", "simulated system setup", &["parameter", "value"]);
+    let mut kv = |k: &str, v: String| t.row(&[k.to_string(), v]);
+    kv("CPU", "2.0 GHz, A64FX-like out-of-order core(s)".into());
+    kv("Vector ISA", "SVE-like, 512-bit vector length".into());
+    kv(
+        "L1D",
+        format!(
+            "{} KB, {}-way, load-to-use = {} cycles, stride prefetcher",
+            c.l1d.capacity / 1024,
+            c.l1d.ways,
+            c.l1d.latency
+        ),
+    );
+    kv(
+        "L2 (shared)",
+        format!(
+            "{} MB, {}-way, load-to-use = {} cycles, stride prefetcher",
+            c.l2.capacity / (1024 * 1024),
+            c.l2.ways,
+            c.l2.latency
+        ),
+    );
+    kv(
+        "DRAM",
+        format!(
+            "HBM2-like: {} cycles latency, {} B/cycle bandwidth",
+            c.mem.latency, c.mem.bytes_per_cycle
+        ),
+    );
+    kv(
+        "OoO core",
+        format!(
+            "{}-wide, ROB {}, {} scalar ALUs, {} vector pipes, {} load + {} store ports",
+            c.dispatch_width, c.rob_size, c.scalar_alus, c.vector_fus, c.load_ports, c.store_ports
+        ),
+    );
+    for qz in [QzConfig::QZ_1P, QzConfig::QZ_2P, QzConfig::QZ_8P] {
+        kv(
+            &qz.ports.to_string(),
+            format!(
+                "QBUFFERs: {} KB each, read latency = {} cycles",
+                qz.kib_per_buffer,
+                qz.read_latency()
+            ),
+        );
+    }
+    t
+}
+
+/// Table II — input dataset characteristics (with measured edit rates).
+pub fn table02(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Table II",
+        "input dataset characteristics",
+        &["dataset", "read length", "pairs (nominal)", "pairs (simulated)", "mean edit distance"],
+    );
+    for wl in table2_workloads(scale) {
+        let d: f64 = wl
+            .pairs
+            .iter()
+            .map(|p| myers_distance(p.pattern.as_bytes(), p.text.as_bytes()) as f64)
+            .sum::<f64>()
+            / wl.pairs.len() as f64;
+        t.row(&[
+            wl.spec.name.to_string(),
+            wl.spec.read_len.to_string(),
+            wl.spec.pairs.to_string(),
+            wl.pairs.len().to_string(),
+            num(d),
+        ]);
+    }
+    let protein = DatasetSpec::protein();
+    let pairs = protein.generate_n(SEED, 2);
+    let d: f64 = pairs
+        .iter()
+        .map(|p| myers_distance(p.pattern.as_bytes(), p.text.as_bytes()) as f64)
+        .sum::<f64>()
+        / pairs.len() as f64;
+    t.row(&[
+        "protein".into(),
+        protein.read_len.to_string(),
+        protein.pairs.to_string(),
+        "2".into(),
+        num(d),
+    ]);
+    t.note("generated pairs (DESIGN.md substitution); simulated pair counts are capped like the paper's, scaled by QUETZAL_SCALE");
+    t
+}
+
+/// Table III — area and power of the QUETZAL configurations (7 nm).
+pub fn table03() -> Table {
+    let mut t = Table::new(
+        "Table III",
+        "area and power of the QUETZAL configurations (7 nm model)",
+        &["config", "area (mm²)", "power (µW)", "% of A64FX core", "% of SoC"],
+    );
+    for r in table3() {
+        t.row(&[
+            r.config.ports.to_string(),
+            format!("{:.3}", r.area_mm2),
+            format!("{:.0}", r.power_uw),
+            format!("{:.2}%", r.core_overhead_pct),
+            format!("{:.2}%", r.soc_overhead_pct),
+        ]);
+    }
+    t.note("published anchors: 0.013 / 0.026 / 0.048 / 0.097 mm²; QZ_8P = 746 µW and 1.41% of the SoC");
+    t
+}
+
+/// Table IV — throughput-per-area comparison against domain-specific
+/// accelerators (published PGCUPS/mm² constants + our measured GCUPS).
+pub fn table04(scale: f64) -> Table {
+    let mut t = Table::new(
+        "Table IV",
+        "peak GCUPS/mm² vs domain-specific accelerators (7 nm-scaled)",
+        &["design", "kind", "area (mm²)", "PGCUPS/mm²", "source"],
+    );
+    // Our measured DP-cell rate: banded SW under QUETZAL on the densest
+    // short-read workload.
+    let wl = &table2_workloads(scale)[1]; // 250bp
+    let stats = run_algo(&MachineConfig::default(), Algo::Sw, wl, Tier::QuetzalC);
+    let band = quetzal_algos::swg::default_band(wl.spec.read_len) as f64;
+    let cells: f64 = wl.pairs.len() as f64 * wl.spec.read_len as f64 * band;
+    let gcups = cells * 2.0 / stats.cycles as f64; // 2 GHz -> giga-cells/s
+    let qz_area = area_report(QzConfig::QZ_8P).area_mm2;
+    t.row(&[
+        "QUETZAL".into(),
+        "CPU ext.".into(),
+        format!("{qz_area:.3}"),
+        num(gcups / qz_area),
+        "measured".into(),
+    ]);
+    t.row(&[
+        "Core+QUETZAL".into(),
+        "CPU".into(),
+        "2.89".into(),
+        num(gcups / 2.89),
+        "measured".into(),
+    ]);
+    for (name, kind, area, pgcups) in [
+        ("GenASM", "ASIC", 1.37, 1491.8),
+        ("WFAsic (w/ backtrack)", "ASIC", 0.45, 136.1),
+        ("GenDP", "ASIC", 5.82, 51.0),
+        ("Darwin", "ASIC", 5.06, 685.6),
+    ] {
+        t.row(&[
+            name.into(),
+            kind.into(),
+            format!("{area:.2}"),
+            num(pgcups),
+            "published".into(),
+        ]);
+    }
+    t.note("published rows are the paper's Table IV constants; our GCUPS comes from the simulated banded-SW cell rate, so absolute comparability is indicative only");
+    t
+}

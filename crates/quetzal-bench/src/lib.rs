@@ -1,0 +1,22 @@
+//! Experiment harness regenerating every table and figure of the
+//! QUETZAL paper's evaluation (§VI–§VII).
+//!
+//! Each experiment lives in [`experiments`] as a `run(scale)` function
+//! returning a [`report::Table`] with the same rows/series the paper
+//! plots; one binary per table/figure (see `src/bin/`) prints it, and
+//! `run_all` drives every experiment in sequence. The `QUETZAL_SCALE`
+//! environment variable multiplies workload sizes (pair counts), like
+//! the paper's own read-count capping for tractable simulation times.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+/// Reads the workload scale factor from `QUETZAL_SCALE` (default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("QUETZAL_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(1.0)
+}

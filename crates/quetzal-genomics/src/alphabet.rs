@@ -1,0 +1,149 @@
+//! Biological alphabets supported by QUETZAL.
+//!
+//! The paper's data encoder (§IV-A) distinguishes two encodings: a 2-bit
+//! encoding for the four-character DNA/RNA alphabets and an 8-bit encoding
+//! for proteins (20 amino acids) or nucleotide data containing the
+//! ambiguous base `N`.
+
+/// The biological alphabet a sequence is drawn from.
+///
+/// The alphabet decides which QUETZAL encoding applies: DNA and RNA use
+/// the 2-bit packed encoding, proteins fall back to plain 8-bit bytes.
+///
+/// ```
+/// use quetzal_genomics::Alphabet;
+/// assert_eq!(Alphabet::Dna.bits_per_symbol(), 2);
+/// assert_eq!(Alphabet::Protein.bits_per_symbol(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Alphabet {
+    /// Deoxyribonucleic acid: `A`, `C`, `G`, `T`.
+    Dna,
+    /// Ribonucleic acid: `A`, `C`, `G`, `U`.
+    Rna,
+    /// The 20 standard amino acids (one-letter codes).
+    Protein,
+}
+
+/// The 20 standard amino-acid one-letter codes, alphabetically ordered.
+pub const AMINO_ACIDS: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+
+impl Alphabet {
+    /// The symbols of this alphabet, as uppercase ASCII bytes.
+    pub fn symbols(self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => b"ACGT",
+            Alphabet::Rna => b"ACGU",
+            Alphabet::Protein => AMINO_ACIDS,
+        }
+    }
+
+    /// Number of distinct symbols (4 for nucleic acids, 20 for proteins).
+    pub fn cardinality(self) -> usize {
+        self.symbols().len()
+    }
+
+    /// Bits required by QUETZAL's data encoder for one symbol: 2 for
+    /// DNA/RNA, 8 for proteins (paper §IV-A).
+    pub fn bits_per_symbol(self) -> u32 {
+        match self {
+            Alphabet::Dna | Alphabet::Rna => 2,
+            Alphabet::Protein => 8,
+        }
+    }
+
+    /// Whether `byte` (uppercase ASCII) is a symbol of this alphabet.
+    pub fn contains(self, byte: u8) -> bool {
+        self.symbols().contains(&byte)
+    }
+
+    /// Watson-Crick complement for nucleic-acid alphabets.
+    ///
+    /// Returns `None` for [`Alphabet::Protein`] or bytes outside the
+    /// alphabet.
+    pub fn complement(self, byte: u8) -> Option<u8> {
+        match self {
+            Alphabet::Dna => match byte {
+                b'A' => Some(b'T'),
+                b'T' => Some(b'A'),
+                b'C' => Some(b'G'),
+                b'G' => Some(b'C'),
+                _ => None,
+            },
+            Alphabet::Rna => match byte {
+                b'A' => Some(b'U'),
+                b'U' => Some(b'A'),
+                b'C' => Some(b'G'),
+                b'G' => Some(b'C'),
+                _ => None,
+            },
+            Alphabet::Protein => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Alphabet::Dna => "DNA",
+            Alphabet::Rna => "RNA",
+            Alphabet::Protein => "protein",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_counts() {
+        assert_eq!(Alphabet::Dna.cardinality(), 4);
+        assert_eq!(Alphabet::Rna.cardinality(), 4);
+        assert_eq!(Alphabet::Protein.cardinality(), 20);
+    }
+
+    #[test]
+    fn dna_complement_is_involutive() {
+        for &b in Alphabet::Dna.symbols() {
+            let c = Alphabet::Dna.complement(b).unwrap();
+            assert_eq!(Alphabet::Dna.complement(c), Some(b));
+        }
+    }
+
+    #[test]
+    fn rna_complement_is_involutive() {
+        for &b in Alphabet::Rna.symbols() {
+            let c = Alphabet::Rna.complement(b).unwrap();
+            assert_eq!(Alphabet::Rna.complement(c), Some(b));
+        }
+    }
+
+    #[test]
+    fn protein_has_no_complement() {
+        assert_eq!(Alphabet::Protein.complement(b'A'), None);
+    }
+
+    #[test]
+    fn membership() {
+        assert!(Alphabet::Dna.contains(b'T'));
+        assert!(!Alphabet::Dna.contains(b'U'));
+        assert!(Alphabet::Rna.contains(b'U'));
+        assert!(!Alphabet::Rna.contains(b'T'));
+        assert!(Alphabet::Protein.contains(b'W'));
+        assert!(!Alphabet::Protein.contains(b'B'));
+    }
+
+    #[test]
+    fn complement_rejects_foreign_bytes() {
+        assert_eq!(Alphabet::Dna.complement(b'N'), None);
+        assert_eq!(Alphabet::Rna.complement(b'T'), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Alphabet::Dna.to_string(), "DNA");
+        assert_eq!(Alphabet::Protein.to_string(), "protein");
+    }
+}

@@ -1,0 +1,246 @@
+//! Minimal FASTA and pair-file I/O.
+//!
+//! The generators in [`crate::dataset`] stand in for the paper's input
+//! files, but real data can be used instead: plain FASTA for sequence
+//! collections and the SneakySnake-style *pair file* (one tab-separated
+//! `pattern text` pair per line) for filter/alignment workloads.
+
+use std::io::{self, BufRead, Write};
+
+use crate::alphabet::Alphabet;
+use crate::dataset::SeqPair;
+use crate::sequence::{Seq, SeqError};
+
+/// A FASTA record: a header line (without `>`) and a sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text following the `>` marker.
+    pub id: String,
+    /// The sequence.
+    pub seq: Seq,
+}
+
+/// Error reading FASTA or pair files.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A sequence contained symbols outside the expected alphabet.
+    Seq {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The validation failure.
+        source: SeqError,
+    },
+    /// Structural problem (e.g. sequence data before any header).
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "i/o error: {e}"),
+            FastaError::Seq { line, source } => write!(f, "line {line}: {source}"),
+            FastaError::Format { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            FastaError::Seq { source, .. } => Some(source),
+            FastaError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Reads all records from FASTA-formatted input.
+///
+/// Multi-line sequences are concatenated; blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on I/O failure, on sequence data appearing
+/// before the first header, or on symbols outside `alphabet`.
+pub fn read_fasta<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records = Vec::new();
+    let mut current: Option<(String, Vec<u8>, usize)> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(id) = line.strip_prefix('>') {
+            if let Some((id, bytes, start)) = current.take() {
+                records.push(FastaRecord {
+                    id,
+                    seq: Seq::new(bytes, alphabet)
+                        .map_err(|source| FastaError::Seq { line: start, source })?,
+                });
+            }
+            current = Some((id.trim().to_string(), Vec::new(), i + 1));
+        } else {
+            match &mut current {
+                Some((_, bytes, _)) => bytes.extend_from_slice(line.as_bytes()),
+                None => {
+                    return Err(FastaError::Format {
+                        line: i + 1,
+                        message: "sequence data before first '>' header".into(),
+                    })
+                }
+            }
+        }
+    }
+    if let Some((id, bytes, start)) = current {
+        records.push(FastaRecord {
+            id,
+            seq: Seq::new(bytes, alphabet)
+                .map_err(|source| FastaError::Seq { line: start, source })?,
+        });
+    }
+    Ok(records)
+}
+
+/// Writes records as FASTA with 70-column wrapping.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_fasta<W: Write>(mut writer: W, records: &[FastaRecord]) -> io::Result<()> {
+    for r in records {
+        writeln!(writer, ">{}", r.id)?;
+        for chunk in r.seq.as_bytes().chunks(70) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a SneakySnake-style pair file: one `pattern<TAB>text` pair per
+/// line (spaces also accepted as the separator).
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on I/O failure, missing fields, or invalid
+/// symbols.
+pub fn read_pairs<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<SeqPair>, FastaError> {
+    let mut pairs = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (p, t) = match (fields.next(), fields.next()) {
+            (Some(p), Some(t)) => (p, t),
+            _ => {
+                return Err(FastaError::Format {
+                    line: i + 1,
+                    message: "expected two whitespace-separated sequences".into(),
+                })
+            }
+        };
+        let pattern = Seq::new(p.as_bytes().to_vec(), alphabet)
+            .map_err(|source| FastaError::Seq { line: i + 1, source })?;
+        let text = Seq::new(t.as_bytes().to_vec(), alphabet)
+            .map_err(|source| FastaError::Seq { line: i + 1, source })?;
+        pairs.push(SeqPair { pattern, text });
+    }
+    Ok(pairs)
+}
+
+/// Writes pairs in the pair-file format read by [`read_pairs`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_pairs<W: Write>(mut writer: W, pairs: &[SeqPair]) -> io::Result<()> {
+    for p in pairs {
+        writeln!(writer, "{}\t{}", p.pattern, p.text)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fasta_round_trip() {
+        let records = vec![
+            FastaRecord {
+                id: "read1".into(),
+                seq: Seq::dna(b"ACGTACGT").unwrap(),
+            },
+            FastaRecord {
+                id: "read2 extra".into(),
+                seq: Seq::dna(&b"A".repeat(150)[..]).unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        let parsed = read_fasta(&buf[..], Alphabet::Dna).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn fasta_multiline_and_blank_lines() {
+        let input = b">r1\nACGT\n\nACGT\n>r2\nTTTT\n";
+        let recs = read_fasta(&input[..], Alphabet::Dna).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.as_bytes(), b"ACGTACGT");
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_data() {
+        let err = read_fasta(&b"ACGT\n"[..], Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, FastaError::Format { line: 1, .. }));
+    }
+
+    #[test]
+    fn fasta_rejects_bad_symbols_with_line() {
+        let err = read_fasta(&b">r1\nACGN\n"[..], Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, FastaError::Seq { line: 1, .. }));
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        let pairs = vec![SeqPair {
+            pattern: Seq::dna(b"ACGT").unwrap(),
+            text: Seq::dna(b"AGGT").unwrap(),
+        }];
+        let mut buf = Vec::new();
+        write_pairs(&mut buf, &pairs).unwrap();
+        let parsed = read_pairs(&buf[..], Alphabet::Dna).unwrap();
+        assert_eq!(parsed, pairs);
+    }
+
+    #[test]
+    fn pairs_skip_comments_and_blanks() {
+        let input = b"# header\n\nACGT\tAGGT\n";
+        let pairs = read_pairs(&input[..], Alphabet::Dna).unwrap();
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn pairs_reject_single_field() {
+        let err = read_pairs(&b"ACGT\n"[..], Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, FastaError::Format { line: 1, .. }));
+    }
+}

@@ -1,0 +1,260 @@
+//! 2-bit nucleotide packing — the software twin of QUETZAL's data encoder.
+//!
+//! The paper's data encoder (§IV-A, Fig. 9) derives the 2-bit code of a
+//! nucleotide by extracting bits 1 and 2 of its ASCII representation:
+//!
+//! | Base | ASCII      | bits 2..1 | code |
+//! |------|------------|-----------|------|
+//! | A    | `0100_0001` | `00`     | 0    |
+//! | C    | `0100_0011` | `01`     | 1    |
+//! | T    | `0101_0100` | `10`     | 2    |
+//! | U    | `0101_0101` | `10`     | 2    |
+//! | G    | `0100_0111` | `11`     | 3    |
+//!
+//! This makes hardware encoding a pure wiring operation. The same trick is
+//! used here so that the simulator's QBUFFER contents match what the RTL
+//! would hold bit-for-bit.
+
+use crate::alphabet::Alphabet;
+use crate::sequence::Seq;
+
+/// Number of 2-bit symbols stored per 64-bit word.
+pub const BASES_PER_WORD: usize = 32;
+
+/// Encodes one nucleotide byte to its 2-bit code (`(b >> 1) & 3`).
+///
+/// The input is assumed to be a valid uppercase `A`/`C`/`G`/`T`/`U`; other
+/// bytes produce an unspecified (but in-range) code, mirroring the
+/// hardware, which performs no validation.
+#[inline]
+pub fn encode_base(b: u8) -> u8 {
+    (b >> 1) & 0b11
+}
+
+/// Decodes a 2-bit code back to an ASCII base for the given alphabet.
+///
+/// # Panics
+///
+/// Panics if `code > 3` or if `alphabet` is [`Alphabet::Protein`].
+pub fn decode_base(code: u8, alphabet: Alphabet) -> u8 {
+    let t_or_u = match alphabet {
+        Alphabet::Dna => b'T',
+        Alphabet::Rna => b'U',
+        Alphabet::Protein => panic!("protein symbols are not 2-bit encodable"),
+    };
+    match code {
+        0 => b'A',
+        1 => b'C',
+        2 => t_or_u,
+        3 => b'G',
+        _ => panic!("2-bit code out of range: {code}"),
+    }
+}
+
+/// A nucleotide sequence packed at 2 bits per base, 32 bases per `u64`
+/// word, least-significant bits first.
+///
+/// This is exactly the layout QUETZAL's QBUFFERs hold after `qzencode`,
+/// so the [`segment`](Packed2::segment) accessor reproduces what the
+/// read-logic module's unaligned slicing (paper Fig. 10) returns.
+///
+/// ```
+/// use quetzal_genomics::{Packed2, Seq};
+///
+/// let s = Seq::dna(b"ACGT")?;
+/// let p = Packed2::from_seq(&s);
+/// assert_eq!(p.get(0), 0); // A
+/// assert_eq!(p.get(3), 2); // T
+/// assert_eq!(p.decode(), s);
+/// # Ok::<(), quetzal_genomics::SeqError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Packed2 {
+    words: Vec<u64>,
+    len: usize,
+    alphabet: Alphabet,
+}
+
+impl Packed2 {
+    /// Packs a DNA/RNA sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is a protein sequence (2-bit encoding only
+    /// exists for four-letter alphabets).
+    pub fn from_seq(seq: &Seq) -> Self {
+        assert_ne!(
+            seq.alphabet(),
+            Alphabet::Protein,
+            "2-bit packing requires a nucleic-acid alphabet"
+        );
+        Self::from_bytes(seq.as_bytes(), seq.alphabet())
+    }
+
+    /// Packs raw uppercase nucleotide bytes without validation.
+    pub fn from_bytes(bytes: &[u8], alphabet: Alphabet) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(BASES_PER_WORD)];
+        for (i, &b) in bytes.iter().enumerate() {
+            let code = encode_base(b) as u64;
+            words[i / BASES_PER_WORD] |= code << (2 * (i % BASES_PER_WORD));
+        }
+        Packed2 {
+            words,
+            len: bytes.len(),
+            alphabet,
+        }
+    }
+
+    /// Number of bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The alphabet the packing was created from.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// The 2-bit code of base `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "base index {i} out of range ({})", self.len);
+        ((self.words[i / BASES_PER_WORD] >> (2 * (i % BASES_PER_WORD))) & 0b11) as u8
+    }
+
+    /// Returns the 64-bit segment holding the 32 bases starting at element
+    /// index `i` (bases past the end read as zero).
+    ///
+    /// This is the software equivalent of the QBUFFER read logic's
+    /// unaligned access: it reads two consecutive words and splices them
+    /// at the bit offset (paper Fig. 10, steps 2–5).
+    pub fn segment(&self, i: usize) -> u64 {
+        let word = i / BASES_PER_WORD;
+        let bit = 2 * (i % BASES_PER_WORD);
+        let lo = self.words.get(word).copied().unwrap_or(0);
+        if bit == 0 {
+            lo
+        } else {
+            let hi = self.words.get(word + 1).copied().unwrap_or(0);
+            (lo >> bit) | (hi << (64 - bit))
+        }
+    }
+
+    /// The underlying packed words (little-endian base order).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The packed representation as bytes, as it would sit in a QBUFFER.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Decodes back to an ASCII sequence.
+    pub fn decode(&self) -> Seq {
+        let bytes: Vec<u8> = (0..self.len)
+            .map(|i| decode_base(self.get(i), self.alphabet))
+            .collect();
+        Seq::new(bytes, self.alphabet).expect("decoded bases are always valid")
+    }
+
+    /// Iterator over the 2-bit codes.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_matches_paper_table() {
+        assert_eq!(encode_base(b'A'), 0);
+        assert_eq!(encode_base(b'C'), 1);
+        assert_eq!(encode_base(b'T'), 2);
+        assert_eq!(encode_base(b'U'), 2);
+        assert_eq!(encode_base(b'G'), 3);
+    }
+
+    #[test]
+    fn decode_round_trip_dna() {
+        for &b in b"ACGT" {
+            assert_eq!(decode_base(encode_base(b), Alphabet::Dna), b);
+        }
+    }
+
+    #[test]
+    fn decode_round_trip_rna() {
+        for &b in b"ACGU" {
+            assert_eq!(decode_base(encode_base(b), Alphabet::Rna), b);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let s = Seq::dna(b"ACGTACGTTTGACCA").unwrap();
+        let p = Packed2::from_seq(&s);
+        assert_eq!(p.len(), 15);
+        assert_eq!(p.decode(), s);
+    }
+
+    #[test]
+    fn segment_aligned_reads_word() {
+        // 32 'G's = all-ones word.
+        let s = Seq::dna(&b"G".repeat(32)[..]).unwrap();
+        let p = Packed2::from_seq(&s);
+        assert_eq!(p.segment(0), u64::MAX);
+    }
+
+    #[test]
+    fn segment_unaligned_splices_words() {
+        // 31 'A's then 'C' then 'G': element 31 is C (01), element 32 is G (11).
+        let mut v = b"A".repeat(31);
+        v.push(b'C');
+        v.push(b'G');
+        let p = Packed2::from_bytes(&v, Alphabet::Dna);
+        let seg = p.segment(31);
+        assert_eq!(seg & 0b11, 0b01, "first element of segment is C");
+        assert_eq!((seg >> 2) & 0b11, 0b11, "second element is G");
+        assert_eq!(seg >> 4, 0, "rest reads as zero past the end");
+    }
+
+    #[test]
+    fn segment_past_end_is_zero() {
+        let p = Packed2::from_bytes(b"AC", Alphabet::Dna);
+        assert_eq!(p.segment(2), 0);
+        assert_eq!(p.segment(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let p = Packed2::from_bytes(b"AC", Alphabet::Dna);
+        let _ = p.get(2);
+    }
+
+    #[test]
+    fn le_bytes_layout() {
+        let p = Packed2::from_bytes(b"GAAA", Alphabet::Dna); // G=11 in LSBs
+        let bytes = p.to_le_bytes();
+        assert_eq!(bytes[0], 0b11);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let p = Packed2::from_bytes(b"ACGTTGCA", Alphabet::Dna);
+        let via_iter: Vec<u8> = p.iter().collect();
+        let via_get: Vec<u8> = (0..p.len()).map(|i| p.get(i)).collect();
+        assert_eq!(via_iter, via_get);
+    }
+}

@@ -1,0 +1,176 @@
+//! Analytical GPU throughput model (paper §VII-D, Fig. 15a).
+//!
+//! The paper compares 16-core QUETZAL against an NVIDIA A40 running
+//! WFA-GPU and GASAL2. We cannot run CUDA here, so this crate models
+//! the *mechanism* the paper identifies for the CPU/GPU crossover:
+//! GPU throughput is the product of massive parallelism and per-thread
+//! cell rate, but the number of alignments resident per SM is capped by
+//! on-chip memory. Short reads keep thousands of alignments in flight;
+//! long reads blow the working set ("low occupancy", §VII-D
+//! observation 2) and throughput collapses.
+//!
+//! ```text
+//! throughput = SMs × clock × cell_rate × occupancy / cells_per_pair
+//! occupancy  = clamp(resident_alignments / needed_for_latency_hiding)
+//! ```
+//!
+//! Constants are calibrated to the paper's reported relations (WFA-GPU
+//! drops ~40 % and GASAL2 ~83 % going short → long; see the Fig. 15a
+//! experiment binary). The model is deliberately simple and fully
+//! documented so its assumptions can be audited.
+
+/// Physical GPU parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Marketing name for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Shared memory + L1 available per SM in KiB.
+    pub onchip_kib_per_sm: f64,
+    /// Concurrent alignments per SM needed to hide latency (warp
+    /// parallelism target).
+    pub latency_hiding_alignments: u32,
+    /// Die area in mm² (the paper notes the A40 is >10× QUETZAL's area).
+    pub area_mm2: f64,
+}
+
+impl GpuModel {
+    /// The NVIDIA A40 used in the paper's §VII-D experiments.
+    pub fn a40() -> GpuModel {
+        GpuModel {
+            name: "NVIDIA A40",
+            sms: 84,
+            clock_ghz: 1.74,
+            onchip_kib_per_sm: 128.0,
+            latency_hiding_alignments: 24,
+            area_mm2: 628.0,
+        }
+    }
+}
+
+/// Which GPU aligner is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuAligner {
+    /// WFA-GPU (wavefront alignment; working set grows with the
+    /// wavefront count).
+    WfaGpu,
+    /// GASAL2 (banded DP alignment; working set grows with the band
+    /// rows, O(n)).
+    Gasal2,
+}
+
+impl GpuAligner {
+    /// DP cells (or wavefront cells) a thread block processes per pair.
+    pub fn cells_per_pair(self, read_len: f64, distance: f64) -> f64 {
+        match self {
+            // WFA work: extension O(n) plus d wavefronts of O(d).
+            GpuAligner::WfaGpu => read_len + distance * distance,
+            // Banded DP: n rows × band width (ksw2-like band of n/10).
+            GpuAligner::Gasal2 => read_len * (read_len / 10.0).max(16.0),
+        }
+    }
+
+    /// Peak cells per SM per cycle at full occupancy (fitted to the
+    /// tools' published GCUPS ranges).
+    pub fn peak_cells_per_sm_cycle(self) -> f64 {
+        match self {
+            // Wavefront cells are branchy and divergence-heavy.
+            GpuAligner::WfaGpu => 0.02,
+            // ~37 peak GCUPS device-wide — mid of GASAL2's published
+            // per-kernel range once traceback is included.
+            GpuAligner::Gasal2 => 0.25,
+        }
+    }
+
+    /// Per-alignment on-chip working set in bytes.
+    pub fn working_set_bytes(self, read_len: f64, distance: f64) -> f64 {
+        match self {
+            // Wavefront pair for the current score plus backtrace blocks.
+            GpuAligner::WfaGpu => 64.0 + 24.0 * distance,
+            // Two DP rows of 4-byte cells plus sequence tiles.
+            GpuAligner::Gasal2 => 64.0 + 10.0 * read_len,
+        }
+    }
+}
+
+impl std::fmt::Display for GpuAligner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GpuAligner::WfaGpu => "WFA-GPU",
+            GpuAligner::Gasal2 => "GASAL2",
+        })
+    }
+}
+
+/// Occupancy (0, 1]: the fraction of the latency-hiding parallelism the
+/// on-chip memory can keep resident.
+pub fn occupancy(model: &GpuModel, aligner: GpuAligner, read_len: f64, distance: f64) -> f64 {
+    let ws = aligner.working_set_bytes(read_len, distance);
+    let resident = (model.onchip_kib_per_sm * 1024.0 / ws).max(1.0);
+    (resident / model.latency_hiding_alignments as f64).clamp(0.02, 1.0)
+}
+
+/// Modelled end-to-end throughput in pairs per second.
+pub fn throughput_pairs_per_sec(
+    model: &GpuModel,
+    aligner: GpuAligner,
+    read_len: f64,
+    distance: f64,
+) -> f64 {
+    let occ = occupancy(model, aligner, read_len, distance);
+    let cells = aligner.cells_per_pair(read_len, distance);
+    model.sms as f64 * model.clock_ghz * 1e9 * aligner.peak_cells_per_sm_cycle() * occ / cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_reads_run_at_full_occupancy() {
+        let m = GpuModel::a40();
+        assert!((occupancy(&m, GpuAligner::WfaGpu, 100.0, 4.0) - 1.0).abs() < 1e-9);
+        assert!(occupancy(&m, GpuAligner::Gasal2, 100.0, 4.0) > 0.2);
+    }
+
+    #[test]
+    fn long_reads_collapse_occupancy() {
+        let m = GpuModel::a40();
+        let short = occupancy(&m, GpuAligner::Gasal2, 100.0, 4.0);
+        let long = occupancy(&m, GpuAligner::Gasal2, 10_000.0, 200.0);
+        assert!(
+            long < short / 4.0,
+            "long-read occupancy must collapse: {short} -> {long}"
+        );
+    }
+
+    #[test]
+    fn throughput_decreases_with_length() {
+        let m = GpuModel::a40();
+        for aligner in [GpuAligner::WfaGpu, GpuAligner::Gasal2] {
+            let t100 = throughput_pairs_per_sec(&m, aligner, 100.0, 4.0);
+            let t10k = throughput_pairs_per_sec(&m, aligner, 10_000.0, 200.0);
+            assert!(t10k < t100 / 50.0, "{aligner}: {t100} -> {t10k}");
+        }
+    }
+
+    #[test]
+    fn throughputs_are_in_plausible_ranges() {
+        // WFA-GPU reports millions of short alignments/sec.
+        let m = GpuModel::a40();
+        let t = throughput_pairs_per_sec(&m, GpuAligner::WfaGpu, 100.0, 4.0);
+        assert!(t > 1e5 && t < 1e9, "short WFA-GPU throughput {t}");
+        let t = throughput_pairs_per_sec(&m, GpuAligner::Gasal2, 100.0, 4.0);
+        assert!(t > 1e5 && t < 1e9, "short GASAL2 throughput {t}");
+    }
+
+    #[test]
+    fn a40_dwarfs_quetzal_in_area() {
+        // §VII-D observation 1: the A40 consumes >10x more area than
+        // a QUETZAL-augmented CPU core.
+        assert!(GpuModel::a40().area_mm2 > 10.0 * 2.89);
+    }
+}

@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for the QUETZAL workspace.
+//!
+//! The tests live in the repository-level `tests/` directory and are
+//! wired into this package via `[[test]]` path entries; this library
+//! crate intentionally exports nothing.

@@ -1,0 +1,1073 @@
+//! Instruction definitions, operand extraction and disassembly.
+
+use crate::reg::{PReg, Reg, VReg, XReg};
+use crate::types::{ElemSize, MemSize, QBufSel};
+
+/// Scalar ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SAluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (longer latency).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Set to 1 if `a < b` (signed), else 0.
+    SetLt,
+    /// Set to 1 if `a == b`, else 0.
+    SetEq,
+}
+
+/// Vector ALU operation (elementwise, predicated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VAluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Signed minimum.
+    Smin,
+    /// Signed maximum.
+    Smax,
+    /// Logical shift left by per-element amount.
+    Shl,
+    /// Logical shift right by per-element amount.
+    Shr,
+}
+
+/// Comparison condition (scalar branches and vector compares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two signed values.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Le => a <= b,
+            BranchCond::Gt => a > b,
+            BranchCond::Ge => a >= b,
+        }
+    }
+
+    /// Mnemonic suffix (`eq`, `ne`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "eq",
+            BranchCond::Ne => "ne",
+            BranchCond::Lt => "lt",
+            BranchCond::Le => "le",
+            BranchCond::Gt => "gt",
+            BranchCond::Ge => "ge",
+        }
+    }
+}
+
+/// Horizontal (cross-lane) reduction operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedOp {
+    /// Sum of active elements.
+    Add,
+    /// Signed minimum of active elements.
+    Min,
+    /// Signed maximum of active elements.
+    Max,
+}
+
+/// Operation applied by `qzmhm<OPN>` / `qzmm<OPN>` to the values read
+/// from the QBUFFERs (paper §III-A: "e.g., addition, comparison, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QzOp {
+    /// Count consecutive matching elements (routes through the count ALU;
+    /// the paper's `qzmhm<qzcount>` composition).
+    Count,
+    /// Elementwise addition.
+    Add,
+    /// Elementwise subtraction.
+    Sub,
+    /// Elementwise equality (1 where equal, 0 where not).
+    CmpEq,
+    /// Elementwise signed minimum.
+    Min,
+    /// Elementwise signed maximum.
+    Max,
+    /// Elementwise multiplication (used by the SpMV kernel, §VII-F).
+    Mul,
+}
+
+impl QzOp {
+    /// Mnemonic used in disassembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            QzOp::Count => "qzcount",
+            QzOp::Add => "add",
+            QzOp::Sub => "sub",
+            QzOp::CmpEq => "cmpeq",
+            QzOp::Min => "min",
+            QzOp::Max => "max",
+            QzOp::Mul => "mul",
+        }
+    }
+}
+
+/// One instruction of the simulated ISA.
+///
+/// Branch targets are resolved instruction indices (see
+/// [`ProgramBuilder`](crate::ProgramBuilder) for label-based
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    // ---- scalar ----
+    /// `rd = imm`.
+    MovImm {
+        /// Destination.
+        rd: XReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd = rn <op> rm`.
+    AluRR {
+        /// Operation.
+        op: SAluOp,
+        /// Destination.
+        rd: XReg,
+        /// First source.
+        rn: XReg,
+        /// Second source.
+        rm: XReg,
+    },
+    /// `rd = rn <op> imm`.
+    AluRI {
+        /// Operation.
+        op: SAluOp,
+        /// Destination.
+        rd: XReg,
+        /// Source.
+        rn: XReg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// Scalar load: `rd = mem[rn + offset]` (zero-extended).
+    Load {
+        /// Destination.
+        rd: XReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        size: MemSize,
+    },
+    /// Scalar store: `mem[rn + offset] = rs`.
+    Store {
+        /// Value to store.
+        rs: XReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        size: MemSize,
+    },
+    /// Conditional branch: `if rn <cond> rm goto target`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// Left operand.
+        rn: XReg,
+        /// Right operand.
+        rm: XReg,
+        /// Resolved target instruction index.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Resolved target instruction index.
+        target: usize,
+    },
+    /// Stops execution.
+    Halt,
+
+    // ---- vector ----
+    /// Broadcast scalar register: `vd[i] = rn`.
+    Dup {
+        /// Destination.
+        vd: VReg,
+        /// Source scalar.
+        rn: XReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Broadcast immediate: `vd[i] = imm`.
+    DupImm {
+        /// Destination.
+        vd: VReg,
+        /// Immediate value.
+        imm: i64,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Lane indices: `vd[i] = rn + i * step` (SVE `INDEX`).
+    Index {
+        /// Destination.
+        vd: VReg,
+        /// Start value register.
+        rn: XReg,
+        /// Per-lane increment.
+        step: i64,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Elementwise `vd = vn <op> vm` under predicate `pg` (inactive lanes
+    /// keep their previous `vd` value, i.e. merging predication).
+    VAluVV {
+        /// Operation.
+        op: VAluOp,
+        /// Destination.
+        vd: VReg,
+        /// First source.
+        vn: VReg,
+        /// Second source.
+        vm: VReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Elementwise `vd = vn <op> imm` under predicate `pg`.
+    VAluVI {
+        /// Operation.
+        op: VAluOp,
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vn: VReg,
+        /// Immediate operand.
+        imm: i64,
+        /// Governing predicate.
+        pg: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Vector compare producing a predicate: `pd[i] = active(pg,i) && (vn[i] <cond> vm[i])`.
+    VCmpVV {
+        /// Condition.
+        cond: BranchCond,
+        /// Destination predicate.
+        pd: PReg,
+        /// First source.
+        vn: VReg,
+        /// Second source.
+        vm: VReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Vector-immediate compare producing a predicate.
+    VCmpVI {
+        /// Condition.
+        cond: BranchCond,
+        /// Destination predicate.
+        pd: PReg,
+        /// Source vector.
+        vn: VReg,
+        /// Immediate operand.
+        imm: i64,
+        /// Governing predicate.
+        pg: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Select: `vd[i] = pg[i] ? vn[i] : vm[i]`.
+    VSel {
+        /// Destination.
+        vd: VReg,
+        /// Selector predicate.
+        pg: PReg,
+        /// Taken where predicate is set.
+        vn: VReg,
+        /// Taken where predicate is clear.
+        vm: VReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Unit-stride vector load from `mem[rn ..]` of all lanes under `pg`.
+    VLoad {
+        /// Destination.
+        vd: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Unit-stride narrow load: reads `lanes(esize)` consecutive
+    /// `msize`-byte memory elements starting at `rn`, zero-extending
+    /// each into a lane (SVE `ld1b`/`ld1h`/… into wider elements).
+    VLoadN {
+        /// Destination.
+        vd: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Lane size.
+        esize: ElemSize,
+        /// Memory element size.
+        msize: MemSize,
+    },
+    /// Unit-stride vector store.
+    VStore {
+        /// Source data.
+        vs: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Gather: `vd[i] = mem[rn + idx[i] * scale]` for active lanes.
+    ///
+    /// Cracked by the timing model into one cache access per active lane
+    /// (the memory-indexed bottleneck of paper §II-G).
+    VGather {
+        /// Destination.
+        vd: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Per-lane indices.
+        idx: VReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Lane size (of both indices and destination lanes).
+        esize: ElemSize,
+        /// Bytes read from memory per lane, zero-extended into the lane
+        /// (SVE `ld1b`/`ld1h`/… with wider offsets).
+        msize: MemSize,
+        /// Index scale in bytes.
+        scale: u8,
+    },
+    /// Scatter: `mem[rn + idx[i] * scale] = vs[i]` for active lanes.
+    VScatter {
+        /// Source data.
+        vs: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Per-lane indices.
+        idx: VReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Lane size (of both indices and source lanes).
+        esize: ElemSize,
+        /// Bytes written to memory per lane (lane value truncated).
+        msize: MemSize,
+        /// Index scale in bytes.
+        scale: u8,
+    },
+    /// Horizontal reduction of active lanes into a scalar.
+    VReduce {
+        /// Operation.
+        op: RedOp,
+        /// Destination scalar.
+        rd: XReg,
+        /// Source vector.
+        vn: VReg,
+        /// Governing predicate.
+        pg: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Extract lane: `rd = vn[lane]`.
+    VExtract {
+        /// Destination scalar.
+        rd: XReg,
+        /// Source vector.
+        vn: VReg,
+        /// Lane index.
+        lane: u8,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Insert lane: `vd[lane] = rn` (other lanes unchanged).
+    VInsert {
+        /// Destination vector.
+        vd: VReg,
+        /// Source scalar.
+        rn: XReg,
+        /// Lane index.
+        lane: u8,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Slide lanes toward lane 0 by `amount`, zero-filling the top:
+    /// `vd[i] = vn[i + amount]`.
+    VSlideDown {
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vn: VReg,
+        /// Lane shift amount.
+        amount: u8,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Slide lanes away from lane 0 by one and insert a scalar:
+    /// `vd[0] = rn; vd[i] = vn[i-1]` (RVV `vslide1up`).
+    VSlide1Up {
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vn: VReg,
+        /// Scalar inserted at lane 0.
+        rn: XReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+
+    // ---- predicates ----
+    /// Set all lanes of `pd` active.
+    PTrue {
+        /// Destination predicate.
+        pd: PReg,
+        /// Element size (sets one bit per element).
+        esize: ElemSize,
+    },
+    /// First `rn` lanes active (SVE `WHILELT` with 0 base): lane `i`
+    /// active iff `i < rn`.
+    PWhileLt {
+        /// Destination predicate.
+        pd: PReg,
+        /// Active-lane count register.
+        rn: XReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+    /// Clear all lanes of `pd`.
+    PFalse {
+        /// Destination predicate.
+        pd: PReg,
+    },
+    /// `pd = pn & pm`.
+    PAnd {
+        /// Destination predicate.
+        pd: PReg,
+        /// First source.
+        pn: PReg,
+        /// Second source.
+        pm: PReg,
+    },
+    /// `pd = pn | pm`.
+    POr {
+        /// Destination predicate.
+        pd: PReg,
+        /// First source.
+        pn: PReg,
+        /// Second source.
+        pm: PReg,
+    },
+    /// `pd = pn & !pm` (bic — deactivate lanes).
+    PBic {
+        /// Destination predicate.
+        pd: PReg,
+        /// First source.
+        pn: PReg,
+        /// Lanes to clear.
+        pm: PReg,
+    },
+    /// Count active lanes: `rd = popcount(pn)` at element granularity.
+    PCount {
+        /// Destination scalar.
+        rd: XReg,
+        /// Source predicate.
+        pn: PReg,
+        /// Element size.
+        esize: ElemSize,
+    },
+
+    // ---- QUETZAL extension (paper §III-A) ----
+    /// `qzconf(Eb0, Eb1, Esiz)`: configure element counts and element
+    /// size of the QBUFFERs from three scalar registers.
+    QzConf {
+        /// Register holding the element count of QBUFFER 0.
+        eb0: XReg,
+        /// Register holding the element count of QBUFFER 1.
+        eb1: XReg,
+        /// Register holding the element-size field (0: 2-bit, 1: 8-bit,
+        /// 2: 64-bit).
+        esiz: XReg,
+    },
+    /// `qzencode(SEL, VAL, Idx)`: bit-encode the 8-bit characters of
+    /// `val` (2 bits per DNA/RNA base) and store them into QBUFFER `sel`
+    /// at element position `idx` (scalar register). Executes at commit.
+    QzEncode {
+        /// Destination buffer.
+        sel: QBufSel,
+        /// Vector of input characters.
+        val: VReg,
+        /// Scalar register holding the destination element index.
+        idx: XReg,
+    },
+    /// `qzstore(VAL, IDX, SEL)`: store each element of `val` at the
+    /// per-lane element index `idx` into QBUFFER `sel`. Executes at
+    /// commit; bank conflicts serialize (paper §IV-B.2).
+    QzStore {
+        /// Vector of values.
+        val: VReg,
+        /// Vector of element indices.
+        idx: VReg,
+        /// Destination buffer.
+        sel: QBufSel,
+        /// Governing predicate (the paper leaves predication implicit;
+        /// we make it explicit, as SVE hardware would).
+        pg: PReg,
+    },
+    /// `qzload(IDX, SEL)`: read QBUFFER `sel` at the per-lane element
+    /// indices in `idx`, returning one 64-bit segment per lane (for 2-
+    /// and 8-bit configurations the segment holds the packed elements
+    /// starting at that index; for 64-bit it is the element itself).
+    QzLoad {
+        /// Destination vector.
+        vd: VReg,
+        /// Vector of element indices.
+        idx: VReg,
+        /// Source buffer.
+        sel: QBufSel,
+        /// Governing predicate (inactive lanes read zero).
+        pg: PReg,
+    },
+    /// `qzmhm<OPN>(IDX0, IDX1)`: read both QBUFFERs at per-lane indices
+    /// and combine the two reads with `op`.
+    QzMhm {
+        /// Combining operation.
+        op: QzOp,
+        /// Destination vector.
+        vd: VReg,
+        /// Indices into QBUFFER 0.
+        idx0: VReg,
+        /// Indices into QBUFFER 1.
+        idx1: VReg,
+        /// Governing predicate (inactive lanes produce zero).
+        pg: PReg,
+    },
+    /// `qzmm<OPN>(VAL, IDX, SEL)`: combine a VRF vector with values read
+    /// from one QBUFFER.
+    QzMm {
+        /// Combining operation.
+        op: QzOp,
+        /// Destination vector.
+        vd: VReg,
+        /// VRF operand.
+        val: VReg,
+        /// Indices into the buffer.
+        idx: VReg,
+        /// Source buffer.
+        sel: QBufSel,
+        /// Governing predicate (inactive lanes produce zero).
+        pg: PReg,
+    },
+    /// `qzcount(VAL0, VAL1)`: per-64-bit-segment count of consecutive
+    /// matching elements (element size from `qzconf`).
+    QzCount {
+        /// Destination vector (per-segment counts).
+        vd: VReg,
+        /// First operand.
+        vn: VReg,
+        /// Second operand.
+        vm: VReg,
+    },
+    /// Read-modify-write `qzstore` variant: `qbuf[idx[i]] <op>= val[i]`,
+    /// processed in lane order so duplicate indices accumulate. Used by
+    /// the histogram kernel (paper Fig. 8); documented extension — see
+    /// DESIGN.md.
+    QzUpdate {
+        /// Accumulation operation.
+        op: QzOp,
+        /// Vector of values.
+        val: VReg,
+        /// Vector of element indices.
+        idx: VReg,
+        /// Target buffer.
+        sel: QBufSel,
+        /// Governing predicate (inactive lanes are skipped).
+        pg: PReg,
+    },
+}
+
+/// Coarse instruction class used by the timing model to pick issue
+/// ports, latencies and stall attribution buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Scalar integer ALU (1 cycle).
+    ScalarAlu,
+    /// Scalar multiply (3 cycles).
+    ScalarMul,
+    /// Scalar load.
+    ScalarLoad,
+    /// Scalar store.
+    ScalarStore,
+    /// Control transfer.
+    Branch,
+    /// Vector ALU.
+    VectorAlu,
+    /// Vector multiply.
+    VectorMul,
+    /// Unit-stride vector memory read.
+    VectorLoad,
+    /// Unit-stride vector memory write.
+    VectorStore,
+    /// Indexed vector read — cracked into per-lane cache accesses.
+    Gather,
+    /// Indexed vector write — cracked into per-lane cache accesses.
+    Scatter,
+    /// Cross-lane reduction / permute.
+    VectorHorizontal,
+    /// Predicate manipulation.
+    Predicate,
+    /// QUETZAL configuration.
+    QzConfig,
+    /// QUETZAL buffer write (commit-time).
+    QzWrite,
+    /// QUETZAL buffer read.
+    QzRead,
+    /// QUETZAL count ALU.
+    QzCountOp,
+    /// Program end.
+    Halt,
+}
+
+impl Instruction {
+    /// The timing class of this instruction.
+    pub fn class(&self) -> InstClass {
+        use Instruction::*;
+        match self {
+            MovImm { .. } => InstClass::ScalarAlu,
+            AluRR { op, .. } | AluRI { op, .. } => {
+                if *op == SAluOp::Mul {
+                    InstClass::ScalarMul
+                } else {
+                    InstClass::ScalarAlu
+                }
+            }
+            Load { .. } => InstClass::ScalarLoad,
+            Store { .. } => InstClass::ScalarStore,
+            Branch { .. } | Jump { .. } => InstClass::Branch,
+            Halt => InstClass::Halt,
+            Dup { .. } | DupImm { .. } | Index { .. } | VSel { .. } => InstClass::VectorAlu,
+            VAluVV { op, .. } | VAluVI { op, .. } => {
+                if *op == VAluOp::Mul {
+                    InstClass::VectorMul
+                } else {
+                    InstClass::VectorAlu
+                }
+            }
+            VCmpVV { .. } | VCmpVI { .. } => InstClass::VectorAlu,
+            VLoad { .. } | VLoadN { .. } => InstClass::VectorLoad,
+            VStore { .. } => InstClass::VectorStore,
+            VGather { .. } => InstClass::Gather,
+            VScatter { .. } => InstClass::Scatter,
+            VReduce { .. } | VExtract { .. } | VInsert { .. } | VSlideDown { .. }
+            | VSlide1Up { .. } => InstClass::VectorHorizontal,
+            PTrue { .. } | PWhileLt { .. } | PFalse { .. } | PAnd { .. } | POr { .. }
+            | PBic { .. } | PCount { .. } => InstClass::Predicate,
+            QzConf { .. } => InstClass::QzConfig,
+            QzEncode { .. } | QzStore { .. } | QzUpdate { .. } => InstClass::QzWrite,
+            QzLoad { .. } | QzMhm { .. } | QzMm { .. } => InstClass::QzRead,
+            QzCount { .. } => InstClass::QzCountOp,
+        }
+    }
+
+    /// Calls `f` for every register this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        use Instruction::*;
+        match *self {
+            MovImm { .. } | Halt | Jump { .. } | PTrue { .. } | PFalse { .. } | DupImm { .. } => {}
+            AluRR { rn, rm, .. } => {
+                f(rn.into());
+                f(rm.into());
+            }
+            AluRI { rn, .. } => f(rn.into()),
+            Load { rn, .. } => f(rn.into()),
+            Store { rs, rn, .. } => {
+                f(rs.into());
+                f(rn.into());
+            }
+            Branch { rn, rm, .. } => {
+                f(rn.into());
+                f(rm.into());
+            }
+            Dup { rn, .. } => f(rn.into()),
+            Index { rn, .. } => f(rn.into()),
+            VAluVV { vd, vn, vm, pg, .. } => {
+                // Merging predication also reads the old destination.
+                f(vd.into());
+                f(vn.into());
+                f(vm.into());
+                f(pg.into());
+            }
+            VAluVI { vd, vn, pg, .. } => {
+                f(vd.into());
+                f(vn.into());
+                f(pg.into());
+            }
+            VCmpVV { vn, vm, pg, .. } => {
+                f(vn.into());
+                f(vm.into());
+                f(pg.into());
+            }
+            VCmpVI { vn, pg, .. } => {
+                f(vn.into());
+                f(pg.into());
+            }
+            VSel { pg, vn, vm, .. } => {
+                f(pg.into());
+                f(vn.into());
+                f(vm.into());
+            }
+            VLoad { rn, pg, .. } | VLoadN { rn, pg, .. } => {
+                f(rn.into());
+                f(pg.into());
+            }
+            VStore { vs, rn, pg, .. } => {
+                f(vs.into());
+                f(rn.into());
+                f(pg.into());
+            }
+            VGather { rn, idx, pg, .. } => {
+                f(rn.into());
+                f(idx.into());
+                f(pg.into());
+            }
+            VScatter { vs, rn, idx, pg, .. } => {
+                f(vs.into());
+                f(rn.into());
+                f(idx.into());
+                f(pg.into());
+            }
+            VReduce { vn, pg, .. } => {
+                f(vn.into());
+                f(pg.into());
+            }
+            VExtract { vn, .. } => f(vn.into()),
+            VInsert { vd, rn, .. } => {
+                f(vd.into());
+                f(rn.into());
+            }
+            VSlideDown { vn, .. } => f(vn.into()),
+            VSlide1Up { vn, rn, .. } => {
+                f(vn.into());
+                f(rn.into());
+            }
+            PWhileLt { rn, .. } => f(rn.into()),
+            PAnd { pn, pm, .. } | POr { pn, pm, .. } | PBic { pn, pm, .. } => {
+                f(pn.into());
+                f(pm.into());
+            }
+            PCount { pn, .. } => f(pn.into()),
+            QzConf { eb0, eb1, esiz } => {
+                f(eb0.into());
+                f(eb1.into());
+                f(esiz.into());
+            }
+            QzEncode { val, idx, .. } => {
+                f(val.into());
+                f(idx.into());
+            }
+            QzStore { val, idx, pg, .. } | QzUpdate { val, idx, pg, .. } => {
+                f(val.into());
+                f(idx.into());
+                f(pg.into());
+            }
+            QzLoad { idx, pg, .. } => {
+                f(idx.into());
+                f(pg.into());
+            }
+            QzMhm { idx0, idx1, pg, .. } => {
+                f(idx0.into());
+                f(idx1.into());
+                f(pg.into());
+            }
+            QzMm { val, idx, pg, .. } => {
+                f(val.into());
+                f(idx.into());
+                f(pg.into());
+            }
+            QzCount { vn, vm, .. } => {
+                f(vn.into());
+                f(vm.into());
+            }
+        }
+    }
+
+    /// Calls `f` for every register this instruction writes.
+    pub fn for_each_def(&self, mut f: impl FnMut(Reg)) {
+        use Instruction::*;
+        match *self {
+            MovImm { rd, .. } | AluRR { rd, .. } | AluRI { rd, .. } | Load { rd, .. } => {
+                f(rd.into())
+            }
+            Store { .. } | Branch { .. } | Jump { .. } | Halt => {}
+            Dup { vd, .. }
+            | DupImm { vd, .. }
+            | Index { vd, .. }
+            | VAluVV { vd, .. }
+            | VAluVI { vd, .. }
+            | VSel { vd, .. }
+            | VLoad { vd, .. }
+            | VLoadN { vd, .. }
+            | VGather { vd, .. }
+            | VInsert { vd, .. }
+            | VSlideDown { vd, .. }
+            | VSlide1Up { vd, .. } => f(vd.into()),
+            VStore { .. } | VScatter { .. } => {}
+            VCmpVV { pd, .. } | VCmpVI { pd, .. } => f(pd.into()),
+            VReduce { rd, .. } | VExtract { rd, .. } | PCount { rd, .. } => f(rd.into()),
+            PTrue { pd, .. } | PWhileLt { pd, .. } | PFalse { pd } | PAnd { pd, .. }
+            | POr { pd, .. } | PBic { pd, .. } => f(pd.into()),
+            QzConf { .. } | QzEncode { .. } | QzStore { .. } | QzUpdate { .. } => {}
+            QzLoad { vd, .. } | QzMhm { vd, .. } | QzMm { vd, .. } | QzCount { vd, .. } => {
+                f(vd.into())
+            }
+        }
+    }
+
+    /// Whether this is a control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Branch { .. } | Instruction::Jump { .. } | Instruction::Halt
+        )
+    }
+
+    /// Whether the instruction must execute non-speculatively at commit
+    /// (QBUFFER-writing instructions, paper §IV-E).
+    pub fn executes_at_commit(&self) -> bool {
+        matches!(
+            self,
+            Instruction::QzEncode { .. }
+                | Instruction::QzStore { .. }
+                | Instruction::QzUpdate { .. }
+                | Instruction::QzConf { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use Instruction::*;
+        match self {
+            MovImm { rd, imm } => write!(f, "mov {rd}, #{imm}"),
+            AluRR { op, rd, rn, rm } => write!(f, "{op:?} {rd}, {rn}, {rm}"),
+            AluRI { op, rd, rn, imm } => write!(f, "{op:?} {rd}, {rn}, #{imm}"),
+            Load { rd, rn, offset, size } => {
+                write!(f, "ldr{} {rd}, [{rn}, #{offset}]", size.bytes())
+            }
+            Store { rs, rn, offset, size } => {
+                write!(f, "str{} {rs}, [{rn}, #{offset}]", size.bytes())
+            }
+            Branch { cond, rn, rm, target } => {
+                write!(f, "b.{} {rn}, {rm}, @{target}", cond.mnemonic())
+            }
+            Jump { target } => write!(f, "b @{target}"),
+            Halt => write!(f, "halt"),
+            Dup { vd, rn, esize } => write!(f, "dup {vd}.{esize}, {rn}"),
+            DupImm { vd, imm, esize } => write!(f, "dup {vd}.{esize}, #{imm}"),
+            Index { vd, rn, step, esize } => write!(f, "index {vd}.{esize}, {rn}, #{step}"),
+            VAluVV { op, vd, vn, vm, pg, esize } => {
+                write!(f, "{op:?} {vd}.{esize}, {pg}/m, {vn}, {vm}")
+            }
+            VAluVI { op, vd, vn, imm, pg, esize } => {
+                write!(f, "{op:?} {vd}.{esize}, {pg}/m, {vn}, #{imm}")
+            }
+            VCmpVV { cond, pd, vn, vm, pg, esize } => {
+                write!(f, "cmp.{} {pd}.{esize}, {pg}/z, {vn}, {vm}", cond.mnemonic())
+            }
+            VCmpVI { cond, pd, vn, imm, pg, esize } => {
+                write!(f, "cmp.{} {pd}.{esize}, {pg}/z, {vn}, #{imm}", cond.mnemonic())
+            }
+            VSel { vd, pg, vn, vm, esize } => write!(f, "sel {vd}.{esize}, {pg}, {vn}, {vm}"),
+            VLoad { vd, rn, pg, esize } => write!(f, "ld1 {vd}.{esize}, {pg}/z, [{rn}]"),
+            VLoadN { vd, rn, pg, esize, msize } => {
+                write!(f, "ld1n{} {vd}.{esize}, {pg}/z, [{rn}]", msize.bytes())
+            }
+            VStore { vs, rn, pg, esize } => write!(f, "st1 {vs}.{esize}, {pg}, [{rn}]"),
+            VGather { vd, rn, idx, pg, esize, msize, scale } => {
+                write!(
+                    f,
+                    "ld1b{} {vd}.{esize}, {pg}/z, [{rn}, {idx}, lsl #{scale}]",
+                    msize.bytes()
+                )
+            }
+            VScatter { vs, rn, idx, pg, esize, msize, scale } => {
+                write!(
+                    f,
+                    "st1b{} {vs}.{esize}, {pg}, [{rn}, {idx}, lsl #{scale}]",
+                    msize.bytes()
+                )
+            }
+            VReduce { op, rd, vn, pg, esize } => {
+                write!(f, "{op:?}v {rd}, {pg}, {vn}.{esize}")
+            }
+            VExtract { rd, vn, lane, esize } => write!(f, "umov {rd}, {vn}.{esize}[{lane}]"),
+            VInsert { vd, rn, lane, esize } => write!(f, "ins {vd}.{esize}[{lane}], {rn}"),
+            VSlideDown { vd, vn, amount, esize } => {
+                write!(f, "slidedown {vd}.{esize}, {vn}, #{amount}")
+            }
+            VSlide1Up { vd, vn, rn, esize } => write!(f, "slide1up {vd}.{esize}, {vn}, {rn}"),
+            PTrue { pd, esize } => write!(f, "ptrue {pd}.{esize}"),
+            PWhileLt { pd, rn, esize } => write!(f, "whilelt {pd}.{esize}, xzr, {rn}"),
+            PFalse { pd } => write!(f, "pfalse {pd}"),
+            PAnd { pd, pn, pm } => write!(f, "and {pd}, {pn}, {pm}"),
+            POr { pd, pn, pm } => write!(f, "orr {pd}, {pn}, {pm}"),
+            PBic { pd, pn, pm } => write!(f, "bic {pd}, {pn}, {pm}"),
+            PCount { rd, pn, esize } => write!(f, "cntp {rd}, {pn}.{esize}"),
+            QzConf { eb0, eb1, esiz } => write!(f, "qzconf {eb0}, {eb1}, {esiz}"),
+            QzEncode { sel, val, idx } => write!(f, "qzencode {sel}, {val}, {idx}"),
+            QzStore { val, idx, sel, pg } => write!(f, "qzstore {val}, {idx}, {sel}, {pg}"),
+            QzLoad { vd, idx, sel, pg } => write!(f, "qzload {vd}, {idx}, {sel}, {pg}"),
+            QzMhm { op, vd, idx0, idx1, pg } => {
+                write!(f, "qzmhm<{}> {vd}, {idx0}, {idx1}, {pg}", op.mnemonic())
+            }
+            QzMm { op, vd, val, idx, sel, pg } => {
+                write!(f, "qzmm<{}> {vd}, {val}, {idx}, {sel}, {pg}", op.mnemonic())
+            }
+            QzCount { vd, vn, vm } => write!(f, "qzcount {vd}, {vn}, {vm}"),
+            QzUpdate { op, val, idx, sel, pg } => {
+                write!(f, "qzupdate<{}> {val}, {idx}, {sel}, {pg}", op.mnemonic())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::aliases::*;
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Lt.eval(-1, 0));
+        assert!(!BranchCond::Lt.eval(0, 0));
+        assert!(BranchCond::Le.eval(0, 0));
+        assert!(BranchCond::Ne.eval(1, 2));
+        assert!(BranchCond::Ge.eval(2, 2));
+        assert!(BranchCond::Gt.eval(3, 2));
+        assert!(BranchCond::Eq.eval(5, 5));
+    }
+
+    #[test]
+    fn classes() {
+        let gather = Instruction::VGather {
+            vd: V0,
+            rn: X0,
+            idx: V1,
+            pg: P0,
+            esize: ElemSize::B64,
+            msize: MemSize::B8,
+            scale: 1,
+        };
+        assert_eq!(gather.class(), InstClass::Gather);
+        let qzst = Instruction::QzStore { val: V0, idx: V1, sel: QBufSel::Q0, pg: P0 };
+        assert_eq!(qzst.class(), InstClass::QzWrite);
+        assert!(qzst.executes_at_commit());
+        assert!(!gather.executes_at_commit());
+    }
+
+    #[test]
+    fn use_def_extraction() {
+        let i = Instruction::VAluVV {
+            op: VAluOp::Add,
+            vd: V2,
+            vn: V0,
+            vm: V1,
+            pg: P0,
+            esize: ElemSize::B64,
+        };
+        let mut uses = Vec::new();
+        i.for_each_use(|r| uses.push(r));
+        // Merging predication: old destination is also a source.
+        assert_eq!(uses.len(), 4);
+        assert!(uses.contains(&Reg::V(V2)));
+        assert!(uses.contains(&Reg::P(P0)));
+        let mut defs = Vec::new();
+        i.for_each_def(|r| defs.push(r));
+        assert_eq!(defs, vec![Reg::V(V2)]);
+    }
+
+    #[test]
+    fn stores_have_no_defs() {
+        let i = Instruction::VScatter {
+            vs: V0,
+            rn: X0,
+            idx: V1,
+            pg: P0,
+            esize: ElemSize::B32,
+            msize: MemSize::B4,
+            scale: 4,
+        };
+        let mut defs = Vec::new();
+        i.for_each_def(|r| defs.push(r));
+        assert!(defs.is_empty());
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_for_all_shapes() {
+        let samples = [
+            Instruction::MovImm { rd: X1, imm: -3 },
+            Instruction::Branch { cond: BranchCond::Lt, rn: X0, rm: X1, target: 7 },
+            Instruction::QzMhm { op: QzOp::Count, vd: V3, idx0: V1, idx1: V2, pg: P0 },
+            Instruction::QzConf { eb0: X1, eb1: X2, esiz: X3 },
+            Instruction::PWhileLt { pd: P1, rn: X4, esize: ElemSize::B64 },
+        ];
+        for s in &samples {
+            assert!(!s.to_string().is_empty());
+        }
+        assert_eq!(
+            Instruction::QzMhm { op: QzOp::Count, vd: V3, idx0: V1, idx1: V2, pg: P0 }.to_string(),
+            "qzmhm<qzcount> z3, z1, z2, p0"
+        );
+    }
+
+    use crate::types::{ElemSize, QBufSel};
+}

@@ -1,0 +1,40 @@
+//! The simulated instruction set of the QUETZAL reproduction.
+//!
+//! This crate defines a compact, SVE-flavoured scalar + vector ISA
+//! (512-bit vectors, predicated execution, gather/scatter) together with
+//! the QUETZAL extension instructions from the paper (§III-A):
+//! `qzconf`, `qzencode`, `qzstore`, `qzload`, `qzmhm<OPN>`, `qzmm<OPN>`
+//! and `qzcount`.
+//!
+//! Kernels are written against [`ProgramBuilder`] the way one would write
+//! SVE intrinsics, and executed by the `quetzal-uarch` crate, which
+//! provides both functional semantics and an out-of-order timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use quetzal_isa::*;
+//!
+//! // z1 = splat(7) + 5, elementwise over 64-bit lanes
+//! let mut b = ProgramBuilder::new();
+//! b.ptrue(P0, ElemSize::B64);
+//! b.dup_imm(V0, 7, ElemSize::B64);
+//! b.valu_vi(VAluOp::Add, V1, V0, 5, P0, ElemSize::B64);
+//! b.halt();
+//! let prog = b.build()?;
+//! assert_eq!(prog.len(), 4);
+//! # Ok::<(), quetzal_isa::BuildError>(())
+//! ```
+
+pub mod inst;
+pub mod program;
+pub mod reg;
+pub mod types;
+
+pub use inst::{BranchCond, InstClass, Instruction, QzOp, RedOp, SAluOp, VAluOp};
+pub use program::{BuildError, Label, Program, ProgramBuilder};
+pub use reg::{PReg, Reg, VReg, XReg};
+pub use types::{ElemSize, EncSize, MemSize, QBufSel, LANES_64, VLEN_BITS, VLEN_BYTES};
+
+// Ergonomic register aliases so kernels read like assembly listings.
+pub use reg::aliases::*;

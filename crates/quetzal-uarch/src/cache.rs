@@ -1,0 +1,331 @@
+//! Two-level cache hierarchy with stride prefetching and a
+//! bandwidth-limited HBM2 main memory (paper Table I).
+//!
+//! The model is a timing model over real tag state: set-associative LRU
+//! arrays decide hit/miss; misses propagate downward and pay the
+//! configured load-to-use latencies; L2 misses additionally queue on a
+//! DRAM channel with finite bytes-per-cycle bandwidth (the resource that
+//! caps multicore scaling in Fig. 13b).
+
+use crate::config::{CacheConfig, CoreConfig};
+use crate::stats::RunStats;
+use std::collections::HashMap;
+
+/// A set-associative LRU tag array.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: usize,
+    ways: usize,
+    line_bits: u32,
+    /// `tags[set * ways + way]`.
+    tags: Vec<Option<u64>>,
+    /// LRU timestamps parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl CacheArray {
+    /// Builds the tag array for a configuration.
+    pub fn new(cfg: &CacheConfig) -> CacheArray {
+        let sets = cfg.sets().max(1);
+        CacheArray {
+            sets,
+            ways: cfg.ways,
+            line_bits: cfg.line.trailing_zeros(),
+            tags: vec![None; sets * cfg.ways],
+            stamps: vec![0; sets * cfg.ways],
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets as u64) as usize
+    }
+
+    /// Line address (cache-line granularity) of a byte address.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_bits
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        1 << self.line_bits
+    }
+
+    /// Looks a line up, refreshing LRU state on hit.
+    pub fn probe(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let set = self.set_of(line);
+        for w in 0..self.ways {
+            let i = set * self.ways + w;
+            if self.tags[i] == Some(line) {
+                self.stamps[i] = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs a line, evicting the LRU way. Returns the evicted line.
+    pub fn install(&mut self, line: u64) -> Option<u64> {
+        self.tick += 1;
+        let set = self.set_of(line);
+        let mut victim = set * self.ways;
+        for w in 0..self.ways {
+            let i = set * self.ways + w;
+            if self.tags[i].is_none() {
+                victim = i;
+                break;
+            }
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
+        let evicted = self.tags[victim];
+        self.tags[victim] = Some(line);
+        self.stamps[victim] = self.tick;
+        evicted
+    }
+
+    /// Whether a line is resident (no LRU update; for tests).
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        (0..self.ways).any(|w| self.tags[set * self.ways + w] == Some(line))
+    }
+}
+
+/// Per-PC stride detector (degree-N line prefetcher on L1/L2, Table I).
+#[derive(Debug, Clone, Default)]
+struct StridePrefetcher {
+    /// pc -> (last line, last stride, confidence).
+    table: HashMap<u64, (u64, i64, u8)>,
+}
+
+impl StridePrefetcher {
+    /// Observes a demand access; returns lines to prefetch.
+    fn observe(&mut self, pc: u64, line: u64, degree: usize) -> Vec<u64> {
+        let entry = self.table.entry(pc).or_insert((line, 0, 0));
+        let stride = line as i64 - entry.0 as i64;
+        if stride != 0 && stride == entry.1 {
+            entry.2 = entry.2.saturating_add(1);
+        } else if stride != 0 {
+            entry.1 = stride;
+            entry.2 = 0;
+        }
+        entry.0 = line;
+        if entry.2 >= 2 && entry.1 != 0 {
+            let s = entry.1;
+            (1..=degree as i64)
+                .filter_map(|k| line.checked_add_signed(s * k))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// The full memory system of one core: private L1D, (share of the)
+/// shared L2, and the DRAM channel.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    l1: CacheArray,
+    l2: CacheArray,
+    l1_lat: u64,
+    l2_lat: u64,
+    dram_lat: u64,
+    dram_bytes_per_cycle: f64,
+    dram_next_free: f64,
+    prefetcher: StridePrefetcher,
+    prefetch_degree: usize,
+}
+
+impl MemSystem {
+    /// Builds the memory system for a core configuration.
+    pub fn new(cfg: &CoreConfig) -> MemSystem {
+        MemSystem {
+            l1: CacheArray::new(&cfg.l1d),
+            l2: CacheArray::new(&cfg.l2),
+            l1_lat: cfg.l1d.latency,
+            l2_lat: cfg.l2.latency,
+            dram_lat: cfg.mem.latency,
+            dram_bytes_per_cycle: cfg.mem.bytes_per_cycle,
+            dram_next_free: 0.0,
+            prefetcher: StridePrefetcher::default(),
+            prefetch_degree: cfg.prefetch_degree,
+        }
+    }
+
+    /// Timing+state update for one demand access of `size` bytes at
+    /// `addr`, issued at `cycle` by instruction `pc`. Returns the
+    /// completion cycle. Stores are absorbed by the write buffer (they
+    /// complete at L1 latency) but still install lines (write-allocate)
+    /// and generate DRAM traffic on miss.
+    pub fn access(
+        &mut self,
+        pc: u64,
+        addr: u64,
+        size: usize,
+        is_store: bool,
+        cycle: u64,
+        stats: &mut RunStats,
+    ) -> u64 {
+        let first = self.l1.line_of(addr);
+        let last = self.l1.line_of(addr + size.max(1) as u64 - 1);
+        let mut done = cycle;
+        for line in first..=last {
+            let t = self.access_line(line, cycle, stats);
+            done = done.max(t);
+            // Train the prefetcher on demand lines and install its
+            // predictions without charging latency (they proceed in the
+            // background; timing effect is the later hit).
+            for pl in self.prefetcher.observe(pc, line, self.prefetch_degree) {
+                if !self.l2.contains(pl) {
+                    stats.prefetches += 1;
+                    stats.dram_bytes += self.l2.line_bytes() as u64;
+                    self.l2.install(pl);
+                }
+                if !self.l1.contains(pl) {
+                    self.l1.install(pl);
+                }
+            }
+        }
+        if is_store {
+            // Write buffer: the store retires at L1 speed regardless of
+            // where the line was found.
+            cycle + self.l1_lat
+        } else {
+            done
+        }
+    }
+
+    fn access_line(&mut self, line: u64, cycle: u64, stats: &mut RunStats) -> u64 {
+        if self.l1.probe(line) {
+            stats.l1_hits += 1;
+            return cycle + self.l1_lat;
+        }
+        stats.l1_misses += 1;
+        if self.l2.probe(line) {
+            self.l1.install(line);
+            return cycle + self.l2_lat;
+        }
+        stats.l2_misses += 1;
+        stats.dram_bytes += self.l1.line_bytes() as u64;
+        // Queue on the DRAM channel: bandwidth-limited line transfer.
+        let start = self.dram_next_free.max(cycle as f64);
+        let transfer = self.l1.line_bytes() as f64 / self.dram_bytes_per_cycle;
+        self.dram_next_free = start + transfer;
+        self.l2.install(line);
+        self.l1.install(line);
+        (start + transfer).ceil() as u64 + self.dram_lat
+    }
+
+    /// L1 latency (used by the store-buffer path of the timing model).
+    pub fn l1_latency(&self) -> u64 {
+        self.l1_lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+
+    fn sys() -> (MemSystem, RunStats) {
+        (MemSystem::new(&CoreConfig::a64fx_like()), RunStats::default())
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let (mut m, mut s) = sys();
+        let t1 = m.access(0, 0x1000, 8, false, 0, &mut s);
+        assert!(t1 >= 120, "cold miss pays DRAM latency, got {t1}");
+        assert_eq!(s.l2_misses, 1);
+        let t2 = m.access(0, 0x1008, 8, false, t1, &mut s);
+        assert_eq!(t2, t1 + 4, "same line now hits L1");
+        assert_eq!(s.l1_hits, 1);
+    }
+
+    #[test]
+    fn l2_hit_pays_l2_latency() {
+        let (mut m, mut s) = sys();
+        m.access(0, 0x2000, 8, false, 0, &mut s);
+        // Evict from L1 by filling its set: L1 has 128 sets, so lines
+        // 0x2000 + k*128*64 collide in set.
+        let stride = 128 * 64;
+        for k in 1..=9u64 {
+            m.access(1000 + k, 0x2000 + k * stride, 8, false, 0, &mut s);
+        }
+        let before_hits = s.l1_hits;
+        let t = m.access(0, 0x2000, 8, false, 1000, &mut s);
+        assert_eq!(s.l1_hits, before_hits, "L1 must miss after eviction");
+        assert_eq!(t, 1000 + 37, "L2 hit latency");
+    }
+
+    #[test]
+    fn stores_complete_at_l1_speed_but_generate_traffic() {
+        let (mut m, mut s) = sys();
+        let t = m.access(0, 0x9000, 8, true, 5, &mut s);
+        assert_eq!(t, 5 + 4, "write buffer absorbs the store");
+        assert!(s.dram_bytes > 0, "write-allocate fetched the line");
+    }
+
+    #[test]
+    fn multi_line_access_touches_both_lines() {
+        let (mut m, mut s) = sys();
+        m.access(0, 0x1000 - 4, 8, false, 0, &mut s);
+        assert_eq!(s.l1_misses, 2, "straddling access probes two lines");
+    }
+
+    #[test]
+    fn stride_prefetcher_hides_streaming_latency() {
+        let (mut m, mut s) = sys();
+        // Stream 64 consecutive lines from the same pc.
+        let mut cold = 0;
+        for k in 0..64u64 {
+            let t = m.access(7, 0x10_0000 + k * 64, 8, false, k * 200, &mut s);
+            if t - k * 200 > 37 {
+                cold += 1;
+            }
+        }
+        assert!(
+            cold <= 4,
+            "after training, the stream should hit prefetched lines (cold={cold})"
+        );
+        assert!(s.prefetches > 0);
+    }
+
+    #[test]
+    fn dram_bandwidth_throttles_burst() {
+        let cfg = {
+            let mut c = CoreConfig::a64fx_like();
+            c.mem.bytes_per_cycle = 1.0; // 64 cycles per line
+            c.prefetch_degree = 0;
+            c
+        };
+        let mut m = MemSystem::new(&cfg);
+        let mut s = RunStats::default();
+        // Two simultaneous cold misses: the second queues behind the first.
+        let t1 = m.access(0, 0, 8, false, 0, &mut s);
+        let t2 = m.access(1, 1 << 20, 8, false, 0, &mut s);
+        assert!(t2 >= t1 + 63, "second line waits for the channel: {t1} {t2}");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_lines() {
+        let cfg = CacheConfig {
+            capacity: 4 * 64,
+            ways: 2,
+            line: 64,
+            latency: 1,
+        };
+        let mut a = CacheArray::new(&cfg);
+        // Two sets; lines 0,2,4 map to set 0.
+        a.install(0);
+        a.install(2);
+        assert!(a.probe(0)); // refresh 0 -> LRU is 2
+        a.install(4); // evicts 2
+        assert!(a.contains(0));
+        assert!(!a.contains(2));
+        assert!(a.contains(4));
+    }
+}

@@ -1,0 +1,913 @@
+//! Functional interpreter and the [`Core`] facade.
+//!
+//! The interpreter executes programs against [`ArchState`] with exact
+//! ISA semantics (it *is* the functional model — vector instructions
+//! really compute) and streams one [`DynInst`] per executed instruction
+//! into an [`ExecSink`]. Paired with [`OooTiming`] this yields an
+//! execution-driven, cycle-level simulation; paired with [`NullSink`]
+//! it is a fast functional emulator
+//! used by correctness tests.
+
+use crate::config::CoreConfig;
+use crate::ooo::{DynInst, ExecSink, NullSink, OooTiming};
+use crate::state::{truncate, ArchState};
+use crate::stats::RunStats;
+use quetzal_accel::count_alu::{qzcount_vector, COUNT_ALU_LATENCY};
+use quetzal_isa::{
+    ElemSize, Instruction, Program, RedOp, SAluOp, VAluOp, LANES_64, VLEN_BYTES,
+};
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The instruction budget was exhausted (runaway kernel loop).
+    InstLimit {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// `qzconf` was executed with an invalid element-size field.
+    InvalidQzConf {
+        /// The offending `Esiz` value.
+        esiz: u64,
+        /// Program counter of the instruction.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InstLimit { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+            SimError::InvalidQzConf { esiz, pc } => {
+                write!(f, "invalid qzconf element size {esiz} at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn scalar_alu(op: SAluOp, a: u64, b: u64) -> u64 {
+    match op {
+        SAluOp::Add => a.wrapping_add(b),
+        SAluOp::Sub => a.wrapping_sub(b),
+        SAluOp::Mul => a.wrapping_mul(b),
+        SAluOp::And => a & b,
+        SAluOp::Or => a | b,
+        SAluOp::Xor => a ^ b,
+        SAluOp::Shl => a.wrapping_shl(b as u32 & 63),
+        SAluOp::Shr => a.wrapping_shr(b as u32 & 63),
+        SAluOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        SAluOp::Min => (a as i64).min(b as i64) as u64,
+        SAluOp::Max => (a as i64).max(b as i64) as u64,
+        SAluOp::SetLt => u64::from((a as i64) < (b as i64)),
+        SAluOp::SetEq => u64::from(a == b),
+    }
+}
+
+fn vector_alu(op: VAluOp, a: i64, b: i64, esize: ElemSize) -> u64 {
+    let r = match op {
+        VAluOp::Add => a.wrapping_add(b),
+        VAluOp::Sub => a.wrapping_sub(b),
+        VAluOp::Mul => a.wrapping_mul(b),
+        VAluOp::And => a & b,
+        VAluOp::Or => a | b,
+        VAluOp::Xor => a ^ b,
+        VAluOp::Smin => a.min(b),
+        VAluOp::Smax => a.max(b),
+        VAluOp::Shl => ((a as u64).wrapping_shl(b as u32 & 63)) as i64,
+        VAluOp::Shr => ((a as u64) & mask_of(esize)).wrapping_shr(b as u32 & 63) as i64,
+    };
+    truncate(r, esize)
+}
+
+fn mask_of(esize: ElemSize) -> u64 {
+    if esize.bits() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << esize.bits()) - 1
+    }
+}
+
+/// Executes `program` on `state`, streaming retired instructions into
+/// `sink`. Returns the number of executed instructions.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the instruction budget is exhausted or an
+/// invalid `qzconf` is executed.
+pub fn execute(
+    state: &mut ArchState,
+    program: &Program,
+    sink: &mut impl ExecSink,
+    budget: u64,
+) -> Result<u64, SimError> {
+    let mut pc = 0usize;
+    let mut executed = 0u64;
+    let mut d = DynInst::default();
+
+    loop {
+        if executed >= budget {
+            return Err(SimError::InstLimit { budget });
+        }
+        let inst = program.fetch(pc);
+        executed += 1;
+        d.reset(pc);
+        let mut next_pc = pc + 1;
+
+        match inst {
+            Instruction::MovImm { rd, imm } => state.set_x(rd, imm as u64),
+            Instruction::AluRR { op, rd, rn, rm } => {
+                let v = scalar_alu(op, state.x(rn), state.x(rm));
+                state.set_x(rd, v);
+            }
+            Instruction::AluRI { op, rd, rn, imm } => {
+                let v = scalar_alu(op, state.x(rn), imm as u64);
+                state.set_x(rd, v);
+            }
+            Instruction::Load { rd, rn, offset, size } => {
+                let addr = state.x(rn).wrapping_add_signed(offset);
+                let v = state.mem.read_le(addr, size.bytes());
+                state.set_x(rd, v);
+                d.mem.push((addr, size.bytes() as u32));
+            }
+            Instruction::Store { rs, rn, offset, size } => {
+                let addr = state.x(rn).wrapping_add_signed(offset);
+                state.mem.write_le(addr, state.x(rs), size.bytes());
+                d.mem.push((addr, size.bytes() as u32));
+            }
+            Instruction::Branch { cond, rn, rm, target } => {
+                let taken = cond.eval(state.x(rn) as i64, state.x(rm) as i64);
+                d.taken = taken;
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Instruction::Jump { target } => {
+                d.taken = true;
+                next_pc = target;
+            }
+            Instruction::Halt => {
+                sink.retire(&inst, &d);
+                return Ok(executed);
+            }
+
+            Instruction::Dup { vd, rn, esize } => {
+                let v = state.x(rn);
+                for i in 0..esize.lanes() {
+                    state.set_v_elem(vd, i, esize, v);
+                }
+            }
+            Instruction::DupImm { vd, imm, esize } => {
+                for i in 0..esize.lanes() {
+                    state.set_v_elem(vd, i, esize, imm as u64);
+                }
+            }
+            Instruction::Index { vd, rn, step, esize } => {
+                let start = state.x(rn) as i64;
+                for i in 0..esize.lanes() {
+                    state.set_v_elem(vd, i, esize, truncate(start + step * i as i64, esize));
+                }
+            }
+            Instruction::VAluVV { op, vd, vn, vm, pg, esize } => {
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let a = state.v_elem_i64(vn, i, esize);
+                        let b = state.v_elem_i64(vm, i, esize);
+                        state.set_v_elem(vd, i, esize, vector_alu(op, a, b, esize));
+                    }
+                }
+            }
+            Instruction::VAluVI { op, vd, vn, imm, pg, esize } => {
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let a = state.v_elem_i64(vn, i, esize);
+                        state.set_v_elem(vd, i, esize, vector_alu(op, a, imm, esize));
+                    }
+                }
+            }
+            Instruction::VCmpVV { cond, pd, vn, vm, pg, esize } => {
+                let mut p = 0u64;
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let a = state.v_elem_i64(vn, i, esize);
+                        let b = state.v_elem_i64(vm, i, esize);
+                        if cond.eval(a, b) {
+                            p |= 1 << (i * esize.bytes());
+                        }
+                    }
+                }
+                state.set_p(pd, p);
+            }
+            Instruction::VCmpVI { cond, pd, vn, imm, pg, esize } => {
+                let mut p = 0u64;
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let a = state.v_elem_i64(vn, i, esize);
+                        if cond.eval(a, imm) {
+                            p |= 1 << (i * esize.bytes());
+                        }
+                    }
+                }
+                state.set_p(pd, p);
+            }
+            Instruction::VSel { vd, pg, vn, vm, esize } => {
+                for i in 0..esize.lanes() {
+                    let v = if state.lane_active(pg, i, esize) {
+                        state.v_elem(vn, i, esize)
+                    } else {
+                        state.v_elem(vm, i, esize)
+                    };
+                    state.set_v_elem(vd, i, esize, v);
+                }
+            }
+            Instruction::VLoad { vd, rn, pg, esize } => {
+                let base = state.x(rn);
+                for i in 0..esize.lanes() {
+                    let v = if state.lane_active(pg, i, esize) {
+                        state.mem.read_le(base + (i * esize.bytes()) as u64, esize.bytes())
+                    } else {
+                        0
+                    };
+                    state.set_v_elem(vd, i, esize, v);
+                }
+                d.mem.push((base, VLEN_BYTES as u32));
+            }
+            Instruction::VLoadN { vd, rn, pg, esize, msize } => {
+                let base = state.x(rn);
+                for i in 0..esize.lanes() {
+                    let v = if state.lane_active(pg, i, esize) {
+                        state.mem.read_le(base + (i * msize.bytes()) as u64, msize.bytes())
+                    } else {
+                        0
+                    };
+                    state.set_v_elem(vd, i, esize, v);
+                }
+                d.mem.push((base, (esize.lanes() * msize.bytes()) as u32));
+            }
+            Instruction::VStore { vs, rn, pg, esize } => {
+                let base = state.x(rn);
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let v = state.v_elem(vs, i, esize);
+                        state.mem.write_le(base + (i * esize.bytes()) as u64, v, esize.bytes());
+                    }
+                }
+                d.mem.push((base, VLEN_BYTES as u32));
+            }
+            Instruction::VGather { vd, rn, idx, pg, esize, msize, scale } => {
+                let base = state.x(rn);
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let off = state.v_elem_i64(idx, i, esize);
+                        let addr = base.wrapping_add_signed(off.wrapping_mul(scale as i64));
+                        let v = state.mem.read_le(addr, msize.bytes());
+                        state.set_v_elem(vd, i, esize, v);
+                        d.mem.push((addr, msize.bytes() as u32));
+                    } else {
+                        state.set_v_elem(vd, i, esize, 0);
+                    }
+                }
+            }
+            Instruction::VScatter { vs, rn, idx, pg, esize, msize, scale } => {
+                let base = state.x(rn);
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let off = state.v_elem_i64(idx, i, esize);
+                        let addr = base.wrapping_add_signed(off.wrapping_mul(scale as i64));
+                        state.mem.write_le(addr, state.v_elem(vs, i, esize), msize.bytes());
+                        d.mem.push((addr, msize.bytes() as u32));
+                    }
+                }
+            }
+            Instruction::VReduce { op, rd, vn, pg, esize } => {
+                let mut acc: Option<i64> = None;
+                for i in 0..esize.lanes() {
+                    if state.lane_active(pg, i, esize) {
+                        let v = state.v_elem_i64(vn, i, esize);
+                        acc = Some(match (acc, op) {
+                            (None, _) => v,
+                            (Some(a), RedOp::Add) => a.wrapping_add(v),
+                            (Some(a), RedOp::Min) => a.min(v),
+                            (Some(a), RedOp::Max) => a.max(v),
+                        });
+                    }
+                }
+                let empty = match op {
+                    RedOp::Add => 0,
+                    RedOp::Min => i64::MAX,
+                    RedOp::Max => i64::MIN,
+                };
+                state.set_x(rd, acc.unwrap_or(empty) as u64);
+            }
+            Instruction::VExtract { rd, vn, lane, esize } => {
+                let v = state.v_elem(vn, lane as usize, esize);
+                state.set_x(rd, v);
+            }
+            Instruction::VInsert { vd, rn, lane, esize } => {
+                let v = state.x(rn);
+                state.set_v_elem(vd, lane as usize, esize, v);
+            }
+            Instruction::VSlideDown { vd, vn, amount, esize } => {
+                let lanes = esize.lanes();
+                let mut tmp = vec![0u64; lanes];
+                for (i, item) in tmp.iter_mut().enumerate() {
+                    let src = i + amount as usize;
+                    *item = if src < lanes { state.v_elem(vn, src, esize) } else { 0 };
+                }
+                for (i, &v) in tmp.iter().enumerate() {
+                    state.set_v_elem(vd, i, esize, v);
+                }
+            }
+            Instruction::VSlide1Up { vd, vn, rn, esize } => {
+                let lanes = esize.lanes();
+                let mut tmp = vec![0u64; lanes];
+                tmp[0] = state.x(rn);
+                for (i, item) in tmp.iter_mut().enumerate().skip(1) {
+                    *item = state.v_elem(vn, i - 1, esize);
+                }
+                for (i, &v) in tmp.iter().enumerate() {
+                    state.set_v_elem(vd, i, esize, v);
+                }
+            }
+
+            Instruction::PTrue { pd, esize } => {
+                state.set_p(pd, ArchState::pred_first_n(esize.lanes(), esize));
+            }
+            Instruction::PWhileLt { pd, rn, esize } => {
+                let n = state.x(rn) as i64;
+                let n = n.clamp(0, esize.lanes() as i64) as usize;
+                state.set_p(pd, ArchState::pred_first_n(n, esize));
+            }
+            Instruction::PFalse { pd } => state.set_p(pd, 0),
+            Instruction::PAnd { pd, pn, pm } => state.set_p(pd, state.p(pn) & state.p(pm)),
+            Instruction::POr { pd, pn, pm } => state.set_p(pd, state.p(pn) | state.p(pm)),
+            Instruction::PBic { pd, pn, pm } => state.set_p(pd, state.p(pn) & !state.p(pm)),
+            Instruction::PCount { rd, pn, esize } => {
+                let c = state.pred_count(pn, esize);
+                state.set_x(rd, c);
+            }
+
+            Instruction::QzConf { eb0, eb1, esiz } => {
+                let esiz_v = state.x(esiz);
+                if !state.qz.conf(state.x(eb0), state.x(eb1), esiz_v) {
+                    return Err(SimError::InvalidQzConf { esiz: esiz_v, pc });
+                }
+                d.qz_latency = 1;
+            }
+            Instruction::QzEncode { sel, val, idx } => {
+                let chars = *state.v(val);
+                let at = state.x(idx);
+                d.qz_latency = state.qz.encode(sel.index(), &chars, at);
+            }
+            Instruction::QzStore { val, idx, sel, pg } => {
+                let mask = state.mask64(pg);
+                let idxs = state.v_lanes64(idx);
+                let vals = state.v_lanes64(val);
+                let lanes: Vec<(u64, u64)> = (0..LANES_64)
+                    .filter(|&i| mask[i])
+                    .map(|i| (idxs[i], vals[i]))
+                    .collect();
+                d.qz_latency = state.qz.store(sel.index(), &lanes);
+            }
+            Instruction::QzUpdate { op, val, idx, sel, pg } => {
+                let mask = state.mask64(pg);
+                let idxs = state.v_lanes64(idx);
+                let vals = state.v_lanes64(val);
+                let lanes: Vec<(u64, u64)> = (0..LANES_64)
+                    .filter(|&i| mask[i])
+                    .map(|i| (idxs[i], vals[i]))
+                    .collect();
+                d.qz_latency = state.qz.update(sel.index(), op, &lanes);
+            }
+            Instruction::QzLoad { vd, idx, sel, pg } => {
+                let mask = state.mask64(pg);
+                let idxs = state.v_lanes64(idx);
+                let (vals, lat) = state.qz.load(sel.index(), &idxs, &mask);
+                for (i, &v) in vals.iter().enumerate() {
+                    state.set_v_elem(vd, i, ElemSize::B64, v);
+                }
+                d.qz_latency = lat;
+            }
+            Instruction::QzMhm { op, vd, idx0, idx1, pg } => {
+                let mask = state.mask64(pg);
+                let i0 = state.v_lanes64(idx0);
+                let i1 = state.v_lanes64(idx1);
+                let (vals, lat) = state.qz.mhm(op, &i0, &i1, &mask);
+                for (i, &v) in vals.iter().enumerate() {
+                    state.set_v_elem(vd, i, ElemSize::B64, v);
+                }
+                d.qz_latency = lat;
+            }
+            Instruction::QzMm { op, vd, val, idx, sel, pg } => {
+                let mask = state.mask64(pg);
+                let vv = state.v_lanes64(val);
+                let ii = state.v_lanes64(idx);
+                let (vals, lat) = state.qz.mm(op, sel.index(), &vv, &ii, &mask);
+                for (i, &v) in vals.iter().enumerate() {
+                    state.set_v_elem(vd, i, ElemSize::B64, v);
+                }
+                d.qz_latency = lat;
+            }
+            Instruction::QzCount { vd, vn, vm } => {
+                let a = state.v_lanes64(vn);
+                let b = state.v_lanes64(vm);
+                let counts = qzcount_vector(&a, &b, state.qz.esize);
+                for (i, &c) in counts.iter().enumerate() {
+                    state.set_v_elem(vd, i, ElemSize::B64, c);
+                }
+                d.qz_latency = COUNT_ALU_LATENCY;
+            }
+        }
+
+        sink.retire(&inst, &d);
+        pc = next_pc;
+    }
+}
+
+/// One simulated core: architectural state plus the out-of-order timing
+/// engine. Cache and accelerator state persist across `run` calls, so a
+/// workload can be submitted as many consecutive kernels.
+#[derive(Debug, Clone)]
+pub struct Core {
+    state: ArchState,
+    timing: OooTiming,
+    budget: u64,
+}
+
+impl Core {
+    /// Default per-run instruction budget.
+    pub const DEFAULT_BUDGET: u64 = 2_000_000_000;
+
+    /// Creates a core with the given configuration.
+    pub fn new(cfg: CoreConfig) -> Core {
+        Core {
+            state: ArchState::new(cfg.qz),
+            timing: OooTiming::new(cfg),
+            budget: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// Architectural state (registers, memory, QBUFFERs).
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Mutable architectural state — used by drivers to stage inputs and
+    /// read results.
+    pub fn state_mut(&mut self) -> &mut ArchState {
+        &mut self.state
+    }
+
+    /// Sets the per-run instruction budget (runaway-loop guard).
+    pub fn set_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    /// Runs a program with full timing; returns this run's statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on budget exhaustion or invalid `qzconf`.
+    pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        self.timing.begin_run();
+        execute(&mut self.state, program, &mut self.timing, self.budget)?;
+        Ok(self.timing.end_run())
+    }
+
+    /// Runs a program functionally only (no timing — fast path for
+    /// correctness tests). Returns the executed instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on budget exhaustion or invalid `qzconf`.
+    pub fn run_functional(&mut self, program: &Program) -> Result<u64, SimError> {
+        let mut sink = NullSink;
+        execute(&mut self.state, program, &mut sink, self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::sign_extend;
+    use quetzal_isa::*;
+
+    fn core() -> Core {
+        Core::new(CoreConfig::a64fx_like())
+    }
+
+    fn run(b: &mut ProgramBuilder) -> (Core, RunStats) {
+        let mut c = core();
+        let p = b.build().unwrap();
+        let s = c.run(&p).unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn scalar_loop_sums() {
+        // for i in 0..10 { acc += i }
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.mov_imm(X0, 0); // i
+        b.mov_imm(X1, 0); // acc
+        b.mov_imm(X2, 10);
+        b.bind(top);
+        b.alu_rr(SAluOp::Add, X1, X1, X0);
+        b.alu_ri(SAluOp::Add, X0, X0, 1);
+        b.branch(BranchCond::Lt, X0, X2, top);
+        b.halt();
+        let (c, s) = run(&mut b);
+        assert_eq!(c.state().x(X1), 45);
+        assert_eq!(s.branches, 10);
+    }
+
+    #[test]
+    fn memory_round_trip_through_isa() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 0x100);
+        b.mov_imm(X1, 0xABCD);
+        b.store(X1, X0, 8, MemSize::B8);
+        b.load(X2, X0, 8, MemSize::B8);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(c.state().x(X2), 0xABCD);
+    }
+
+    #[test]
+    fn vector_add_with_predicate() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 5);
+        b.pwhilelt(P0, X0, ElemSize::B64); // first 5 lanes
+        b.dup_imm(V0, 7, ElemSize::B64);
+        b.dup_imm(V1, 0, ElemSize::B64);
+        b.ptrue(P1, ElemSize::B64);
+        b.valu_vv(VAluOp::Add, V1, V0, V0, P0, ElemSize::B64);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(c.state().v_elem(V1, 0, ElemSize::B64), 14);
+        assert_eq!(c.state().v_elem(V1, 4, ElemSize::B64), 14);
+        assert_eq!(c.state().v_elem(V1, 5, ElemSize::B64), 0, "inactive lane merged");
+    }
+
+    #[test]
+    fn gather_reads_indexed_elements() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 0x1000);
+        b.ptrue(P0, ElemSize::B64);
+        // idx = [0, 2, 4, ...] * 8 bytes scale
+        b.mov_imm(X1, 0);
+        b.index(V0, X1, 2, ElemSize::B64);
+        b.vgather(V1, X0, V0, P0, ElemSize::B64, MemSize::B8, 8);
+        b.halt();
+        let mut c = core();
+        for i in 0..20u64 {
+            c.state_mut().mem.write_le(0x1000 + i * 8, 100 + i, 8);
+        }
+        let p = b.build().unwrap();
+        let s = c.run(&p).unwrap();
+        assert_eq!(c.state().v_elem(V1, 0, ElemSize::B64), 100);
+        assert_eq!(c.state().v_elem(V1, 3, ElemSize::B64), 106);
+        assert_eq!(s.indexed_ops, 1);
+        assert_eq!(s.mem_requests, 8);
+    }
+
+    #[test]
+    fn scatter_then_gather_round_trip() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 0x2000);
+        b.ptrue(P0, ElemSize::B64);
+        b.mov_imm(X1, 0);
+        b.index(V0, X1, 3, ElemSize::B64); // indices 0,3,6,...
+        b.mov_imm(X2, 50);
+        b.index(V1, X2, 1, ElemSize::B64); // values 50..57
+        b.vscatter(V1, X0, V0, P0, ElemSize::B64, MemSize::B8, 8);
+        b.vgather(V2, X0, V0, P0, ElemSize::B64, MemSize::B8, 8);
+        b.halt();
+        let (c, _) = run(&mut b);
+        for i in 0..8 {
+            assert_eq!(c.state().v_elem(V2, i, ElemSize::B64), 50 + i as u64);
+        }
+    }
+
+    #[test]
+    fn reduction_and_extract() {
+        let mut b = ProgramBuilder::new();
+        b.ptrue(P0, ElemSize::B64);
+        b.mov_imm(X0, 1);
+        b.index(V0, X0, 1, ElemSize::B64); // 1..8
+        b.vreduce(RedOp::Add, X1, V0, P0, ElemSize::B64);
+        b.vreduce(RedOp::Max, X2, V0, P0, ElemSize::B64);
+        b.vreduce(RedOp::Min, X3, V0, P0, ElemSize::B64);
+        b.vextract(X4, V0, 3, ElemSize::B64);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(c.state().x(X1), 36);
+        assert_eq!(c.state().x(X2), 8);
+        assert_eq!(c.state().x(X3), 1);
+        assert_eq!(c.state().x(X4), 4);
+    }
+
+    #[test]
+    fn empty_reduction_identities() {
+        let mut b = ProgramBuilder::new();
+        b.pfalse(P0);
+        b.dup_imm(V0, 9, ElemSize::B64);
+        b.vreduce(RedOp::Add, X1, V0, P0, ElemSize::B64);
+        b.vreduce(RedOp::Min, X2, V0, P0, ElemSize::B64);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(c.state().x(X1), 0);
+        assert_eq!(c.state().x(X2) as i64, i64::MAX);
+    }
+
+    #[test]
+    fn slide_operations() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 10);
+        b.index(V0, X0, 10, ElemSize::B64); // 10,20,...,80
+        b.vslidedown(V1, V0, 2, ElemSize::B64);
+        b.mov_imm(X1, 99);
+        b.vslide1up(V2, V0, X1, ElemSize::B64);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(c.state().v_elem(V1, 0, ElemSize::B64), 30);
+        assert_eq!(c.state().v_elem(V1, 5, ElemSize::B64), 80);
+        assert_eq!(c.state().v_elem(V1, 6, ElemSize::B64), 0, "zero fill");
+        assert_eq!(c.state().v_elem(V2, 0, ElemSize::B64), 99);
+        assert_eq!(c.state().v_elem(V2, 1, ElemSize::B64), 10);
+    }
+
+    #[test]
+    fn vcmp_and_pcount_loop_control() {
+        // Deactivate lanes where V0 >= 4 and count the rest.
+        let mut b = ProgramBuilder::new();
+        b.ptrue(P0, ElemSize::B64);
+        b.mov_imm(X0, 0);
+        b.index(V0, X0, 1, ElemSize::B64); // 0..7
+        b.vcmp_vi(BranchCond::Lt, P1, V0, 4, P0, ElemSize::B64);
+        b.pcount(X1, P1, ElemSize::B64);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(c.state().x(X1), 4);
+    }
+
+    #[test]
+    fn qz_conf_encode_load_pipeline() {
+        let mut b = ProgramBuilder::new();
+        // Configure: 64 elements each, 2-bit.
+        b.mov_imm(X0, 64).mov_imm(X1, 64).mov_imm(X2, 0);
+        b.qzconf(X0, X1, X2);
+        // Load 64 chars from memory into V0, encode into Q0 at 0.
+        b.mov_imm(X3, 0x100);
+        b.ptrue(P0, ElemSize::B8);
+        b.vload(V0, X3, P0, ElemSize::B8);
+        b.mov_imm(X4, 0);
+        b.qzencode(QBufSel::Q0, V0, X4);
+        // Read back segment at element 0.
+        b.ptrue(P1, ElemSize::B64);
+        b.dup_imm(V1, 0, ElemSize::B64);
+        b.qzload(V2, V1, QBufSel::Q0, P1);
+        b.halt();
+        let mut c = core();
+        let seq: Vec<u8> = (0..64).map(|i| b"ACGT"[i % 4]).collect();
+        c.state_mut().mem.write_bytes(0x100, &seq);
+        let p = b.build().unwrap();
+        let s = c.run(&p).unwrap();
+        // Expected packed word: ACGT repeated -> codes 0,1,3,2 LSB-first.
+        let mut want = 0u64;
+        for i in 0..32 {
+            want |= ([0u64, 1, 3, 2][i % 4]) << (2 * i);
+        }
+        assert_eq!(c.state().v_elem(V2, 0, ElemSize::B64), want);
+        assert!(s.qz_accesses >= 2);
+    }
+
+    #[test]
+    fn qzmhm_count_between_buffers() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 64).mov_imm(X1, 64).mov_imm(X2, 0);
+        b.qzconf(X0, X1, X2);
+        b.ptrue(P0, ElemSize::B64);
+        b.dup_imm(V0, 0, ElemSize::B64);
+        b.qzmhm(QzOp::Count, V1, V0, V0, P0);
+        b.halt();
+        let mut c = core();
+        // Same image in both buffers -> 32 matches per segment.
+        let img: Vec<u8> = (0..16).map(|i| i as u8).collect();
+        c.state_mut().qz.load_image(0, &img);
+        c.state_mut().qz.load_image(1, &img);
+        let p = b.build().unwrap();
+        c.run(&p).unwrap();
+        assert_eq!(c.state().v_elem(V1, 0, ElemSize::B64), 32);
+    }
+
+    #[test]
+    fn qzstore_and_qzupdate_histogram_style() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 128).mov_imm(X1, 128).mov_imm(X2, 2);
+        b.qzconf(X0, X1, X2);
+        b.ptrue(P0, ElemSize::B64);
+        b.dup_imm(V0, 5, ElemSize::B64); // all lanes index 5
+        b.dup_imm(V1, 1, ElemSize::B64); // +1 each
+        b.qzupdate(QzOp::Add, V1, V0, QBufSel::Q0, P0);
+        b.dup_imm(V2, 5, ElemSize::B64);
+        b.qzload(V3, V2, QBufSel::Q0, P0);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(
+            c.state().v_elem(V3, 0, ElemSize::B64),
+            8,
+            "eight lanes accumulated into bin 5"
+        );
+    }
+
+    #[test]
+    fn invalid_qzconf_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 1).mov_imm(X1, 1).mov_imm(X2, 7);
+        b.qzconf(X0, X1, X2);
+        b.halt();
+        let mut c = core();
+        let p = b.build().unwrap();
+        assert!(matches!(c.run(&p), Err(SimError::InvalidQzConf { esiz: 7, .. })));
+    }
+
+    #[test]
+    fn budget_stops_runaway_loops() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.jump(top);
+        b.halt();
+        let mut c = core();
+        c.set_budget(10_000);
+        let p = b.build().unwrap();
+        assert!(matches!(c.run(&p), Err(SimError::InstLimit { budget: 10_000 })));
+    }
+
+    #[test]
+    fn signed_vector_semantics() {
+        let mut b = ProgramBuilder::new();
+        b.ptrue(P0, ElemSize::B32);
+        b.dup_imm(V0, -3, ElemSize::B32);
+        b.dup_imm(V1, 2, ElemSize::B32);
+        b.valu_vv(VAluOp::Smax, V2, V0, V1, P0, ElemSize::B32);
+        b.valu_vv(VAluOp::Smin, V3, V0, V1, P0, ElemSize::B32);
+        b.halt();
+        let (c, _) = run(&mut b);
+        assert_eq!(sign_extend(c.state().v_elem(V2, 0, ElemSize::B32), ElemSize::B32), 2);
+        assert_eq!(sign_extend(c.state().v_elem(V3, 0, ElemSize::B32), ElemSize::B32), -3);
+    }
+
+    #[test]
+    fn functional_run_matches_timed_run() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.mov_imm(X0, 0);
+        b.mov_imm(X1, 0);
+        b.mov_imm(X2, 50);
+        b.bind(top);
+        b.alu_rr(SAluOp::Add, X1, X1, X0);
+        b.alu_ri(SAluOp::Add, X0, X0, 1);
+        b.branch(BranchCond::Lt, X0, X2, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut c1 = core();
+        c1.run(&p).unwrap();
+        let mut c2 = core();
+        c2.run_functional(&p).unwrap();
+        assert_eq!(c1.state().x(X1), c2.state().x(X1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Differential testing: random straight-line scalar programs are
+    //! executed by the simulator and by a direct Rust evaluator; the
+    //! final register files must agree exactly.
+
+    use super::*;
+    use proptest::prelude::*;
+    use quetzal_isa::{ProgramBuilder, SAluOp, XReg};
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        MovImm(u8, i64),
+        AluRR(SAluOp, u8, u8, u8),
+        AluRI(SAluOp, u8, u8, i64),
+        Store(u8, u64),
+        Load(u8, u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let alu = proptest::sample::select(vec![
+            SAluOp::Add,
+            SAluOp::Sub,
+            SAluOp::Mul,
+            SAluOp::And,
+            SAluOp::Or,
+            SAluOp::Xor,
+            SAluOp::Shl,
+            SAluOp::Shr,
+            SAluOp::Sar,
+            SAluOp::Min,
+            SAluOp::Max,
+            SAluOp::SetLt,
+            SAluOp::SetEq,
+        ]);
+        prop_oneof![
+            (0u8..24, any::<i64>()).prop_map(|(r, v)| Op::MovImm(r, v)),
+            (alu.clone(), 0u8..24, 0u8..24, 0u8..24)
+                .prop_map(|(op, d, a, b)| Op::AluRR(op, d, a, b)),
+            (alu, 0u8..24, 0u8..24, -1000i64..1000)
+                .prop_map(|(op, d, a, v)| Op::AluRI(op, d, a, v)),
+            (0u8..24, 0u64..64).prop_map(|(r, s)| Op::Store(r, 0x4000 + 8 * s)),
+            (0u8..24, 0u64..64).prop_map(|(r, s)| Op::Load(r, 0x4000 + 8 * s)),
+        ]
+    }
+
+    fn oracle_alu(op: SAluOp, a: u64, b: u64) -> u64 {
+        // Independent re-statement of the architectural semantics.
+        match op {
+            SAluOp::Add => a.wrapping_add(b),
+            SAluOp::Sub => a.wrapping_sub(b),
+            SAluOp::Mul => a.wrapping_mul(b),
+            SAluOp::And => a & b,
+            SAluOp::Or => a | b,
+            SAluOp::Xor => a ^ b,
+            SAluOp::Shl => a << (b & 63),
+            SAluOp::Shr => a >> (b & 63),
+            SAluOp::Sar => ((a as i64) >> (b & 63)) as u64,
+            SAluOp::Min => (a as i64).min(b as i64) as u64,
+            SAluOp::Max => (a as i64).max(b as i64) as u64,
+            SAluOp::SetLt => ((a as i64) < (b as i64)) as u64,
+            SAluOp::SetEq => (a == b) as u64,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn interpreter_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            // Build the simulated program.
+            let mut b = ProgramBuilder::new();
+            for op in &ops {
+                match *op {
+                    Op::MovImm(r, v) => {
+                        b.mov_imm(XReg::new(r), v);
+                    }
+                    Op::AluRR(o, d, x, y) => {
+                        b.alu_rr(o, XReg::new(d), XReg::new(x), XReg::new(y));
+                    }
+                    Op::AluRI(o, d, x, v) => {
+                        b.alu_ri(o, XReg::new(d), XReg::new(x), v);
+                    }
+                    Op::Store(r, addr) => {
+                        b.mov_imm(XReg::new(25), addr as i64);
+                        b.store(XReg::new(r), XReg::new(25), 0, quetzal_isa::MemSize::B8);
+                    }
+                    Op::Load(r, addr) => {
+                        b.mov_imm(XReg::new(25), addr as i64);
+                        b.load(XReg::new(r), XReg::new(25), 0, quetzal_isa::MemSize::B8);
+                    }
+                }
+            }
+            b.halt();
+            let mut core = Core::new(CoreConfig::a64fx_like());
+            core.run(&b.build().unwrap()).unwrap();
+
+            // Evaluate with the direct oracle.
+            let mut regs = [0u64; 26];
+            let mut mem = std::collections::HashMap::<u64, u64>::new();
+            for op in &ops {
+                match *op {
+                    Op::MovImm(r, v) => regs[r as usize] = v as u64,
+                    Op::AluRR(o, d, x, y) => {
+                        regs[d as usize] = oracle_alu(o, regs[x as usize], regs[y as usize])
+                    }
+                    Op::AluRI(o, d, x, v) => {
+                        regs[d as usize] = oracle_alu(o, regs[x as usize], v as u64)
+                    }
+                    Op::Store(r, addr) => {
+                        regs[25] = addr;
+                        mem.insert(addr, regs[r as usize]);
+                    }
+                    Op::Load(r, addr) => {
+                        regs[25] = addr;
+                        regs[r as usize] = mem.get(&addr).copied().unwrap_or(0);
+                    }
+                }
+            }
+            for (r, &want) in regs.iter().enumerate() {
+                prop_assert_eq!(core.state().x(XReg::new(r as u8)), want, "x{}", r);
+            }
+            for (&addr, &want) in &mem {
+                prop_assert_eq!(core.state().mem.read_le(addr, 8), want, "mem {:#x}", addr);
+            }
+        }
+    }
+}

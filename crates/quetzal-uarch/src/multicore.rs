@@ -1,0 +1,133 @@
+//! Multicore scaling model (paper Fig. 13b).
+//!
+//! The paper runs 1–16 cores that share the L2 and the HBM2 channels;
+//! scaling is near-linear for cache-resident working sets and
+//! bandwidth-limited for long reads. We reproduce that with a
+//! *surrogate-core* model: one core is simulated processing `1/n` of the
+//! workload while seeing its *share* of the shared resources (L2
+//! capacity divided by `n`, DRAM bandwidth divided by `n` — see
+//! [`CoreConfig::share_of`]). The parallel run time is the surrogate's
+//! run time; speedup is `T(1) / T(n)`.
+//!
+//! This captures both limiters the paper identifies (capacity pressure
+//! and bandwidth saturation) without a lock-step multi-core event loop,
+//! and is documented as a substitution in DESIGN.md.
+
+use crate::config::CoreConfig;
+use crate::interp::{Core, SimError};
+use crate::stats::RunStats;
+
+/// Result of a multicore scaling experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Number of cores.
+    pub cores: usize,
+    /// Parallel run time in cycles (surrogate core's time on its shard).
+    pub cycles: u64,
+    /// Speedup over the single-core run.
+    pub speedup: f64,
+    /// Surrogate-core statistics.
+    pub stats: RunStats,
+}
+
+/// Runs `workload` on 1..=`max_cores` cores (powers of two) and reports
+/// the scaling curve.
+///
+/// `workload(core, shard, shards)` must execute shard `shard` of
+/// `shards` equal parts of the full workload on `core`, returning the
+/// accumulated statistics of all kernels it submitted. The model
+/// simulates shard 0 as the surrogate.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the workload.
+pub fn scaling_curve<F>(
+    base_cfg: &CoreConfig,
+    max_cores: usize,
+    mut workload: F,
+) -> Result<Vec<ScalingPoint>, SimError>
+where
+    F: FnMut(&mut Core, usize, usize) -> Result<RunStats, SimError>,
+{
+    let mut points = Vec::new();
+    let mut t1 = 0u64;
+    let mut n = 1;
+    while n <= max_cores {
+        let cfg = base_cfg.clone().share_of(n);
+        let mut core = Core::new(cfg);
+        let stats = workload(&mut core, 0, n)?;
+        let cycles = stats.cycles.max(1);
+        if n == 1 {
+            t1 = cycles;
+        }
+        points.push(ScalingPoint {
+            cores: n,
+            cycles,
+            speedup: t1 as f64 / cycles as f64,
+            stats,
+        });
+        n *= 2;
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_isa::*;
+
+    /// A trivially parallel compute workload: speedup should be ~linear.
+    #[test]
+    fn compute_bound_workload_scales_linearly() {
+        let cfg = CoreConfig::a64fx_like();
+        let points = scaling_curve(&cfg, 8, |core, _shard, shards| {
+            let iters = 8000 / shards as i64;
+            let mut b = ProgramBuilder::new();
+            let top = b.label();
+            b.mov_imm(X0, 0);
+            b.mov_imm(X2, iters);
+            b.bind(top);
+            b.alu_ri(SAluOp::Add, X0, X0, 1);
+            b.branch(BranchCond::Lt, X0, X2, top);
+            b.halt();
+            core.run(&b.build().unwrap())
+        })
+        .unwrap();
+        assert_eq!(points.len(), 4); // 1, 2, 4, 8
+        let s8 = points[3].speedup;
+        assert!(s8 > 5.0, "compute-bound speedup at 8 cores: {s8}");
+    }
+
+    /// A streaming workload larger than the L2 share: bandwidth division
+    /// must bend the curve away from linear.
+    #[test]
+    fn bandwidth_bound_workload_saturates() {
+        let mut cfg = CoreConfig::a64fx_like();
+        // Make bandwidth scarce so the effect is visible at small scale.
+        cfg.mem.bytes_per_cycle = 4.0;
+        cfg.prefetch_degree = 0;
+        let total_bytes = 4 << 20; // 4 MiB stream
+        let points = scaling_curve(&cfg, 8, |core, _shard, shards| {
+            let bytes = total_bytes / shards;
+            let lines = (bytes / 64) as i64;
+            let mut b = ProgramBuilder::new();
+            let top = b.label();
+            b.mov_imm(X0, 0);
+            b.mov_imm(X1, 1 << 26);
+            b.mov_imm(X2, lines);
+            b.bind(top);
+            b.load(X3, X1, 0, MemSize::B8);
+            b.alu_ri(SAluOp::Add, X1, X1, 64);
+            b.alu_ri(SAluOp::Add, X0, X0, 1);
+            b.branch(BranchCond::Lt, X0, X2, top);
+            b.halt();
+            core.run(&b.build().unwrap())
+        })
+        .unwrap();
+        let s8 = points[3].speedup;
+        assert!(
+            s8 < 6.0,
+            "bandwidth-bound speedup must be sub-linear at 8 cores: {s8}"
+        );
+    }
+}

@@ -1,0 +1,681 @@
+//! Out-of-order timing model.
+//!
+//! The interpreter ([`crate::interp`]) executes instructions functionally
+//! and streams [`DynInst`] records into this model, which computes when
+//! each instruction would dispatch, issue, complete and commit on an
+//! A64FX-like out-of-order core. The model captures exactly the effects
+//! the paper's analysis rests on:
+//!
+//! * **dataflow timing with renaming** — an instruction issues when its
+//!   youngest source operand is ready and a functional unit of its class
+//!   is free (WAW/WAR hazards are removed, as register renaming would);
+//! * **bounded reorder buffer** — dispatch stalls when the ROB is full,
+//!   so long-latency memory operations back-pressure the front end;
+//! * **limited load/store ports** and **gather/scatter cracking**: an
+//!   indexed memory instruction becomes one cache access per active
+//!   lane, issued through the load ports with a fixed crack overhead, so
+//!   an all-L1-hit 8-lane gather costs ≈ 20 cycles (§II-G cites 19–22);
+//! * **commit-time execution of QBUFFER writes** (`qzstore`/`qzencode`,
+//!   §IV-E): they occupy the commit stage for their bank-conflict
+//!   latency;
+//! * **stall attribution** — every cycle of the final run time is
+//!   attributed to a [`StallCat`], with memory-ness propagated through
+//!   dependence chains, regenerating the Fig. 4 breakdown.
+
+use crate::cache::MemSystem;
+use crate::config::CoreConfig;
+use crate::stats::{RunStats, StallCat};
+use quetzal_isa::{InstClass, Instruction, Reg};
+
+use std::collections::VecDeque;
+
+/// One dynamic instruction record produced by the functional
+/// interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct DynInst {
+    /// Static program counter (instruction index).
+    pub pc: usize,
+    /// Whether a conditional branch was taken.
+    pub taken: bool,
+    /// Demand memory accesses: `(address, bytes)`. Unit-stride vector
+    /// accesses carry a single entry covering the whole range;
+    /// gather/scatter carry one entry per active lane.
+    pub mem: Vec<(u64, u32)>,
+    /// Latency determined functionally for QUETZAL operations
+    /// (port-limited reads, bank-conflict writes, count-ALU depth).
+    pub qz_latency: u64,
+}
+
+impl DynInst {
+    /// Resets the record for reuse (avoids reallocating `mem`).
+    pub fn reset(&mut self, pc: usize) {
+        self.pc = pc;
+        self.taken = false;
+        self.mem.clear();
+        self.qz_latency = 0;
+    }
+}
+
+/// Receives retired instructions from the interpreter.
+pub trait ExecSink {
+    /// Called once per executed instruction, in program order.
+    fn retire(&mut self, inst: &Instruction, dyn_inst: &DynInst);
+}
+
+/// A sink that discards timing (pure functional execution).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl ExecSink for NullSink {
+    fn retire(&mut self, _inst: &Instruction, _dyn_inst: &DynInst) {}
+}
+
+const BPRED_ENTRIES: usize = 4096;
+
+/// The out-of-order timing engine. State (caches, predictor, clock)
+/// persists across kernel submissions so a workload composed of many
+/// kernels sees warm caches, exactly as consecutive function calls on
+/// real hardware would.
+#[derive(Debug, Clone)]
+pub struct OooTiming {
+    cfg: CoreConfig,
+    /// The memory hierarchy.
+    pub mem: MemSystem,
+    reg_ready: [u64; Reg::FLAT_COUNT],
+    reg_taint: [StallCat; Reg::FLAT_COUNT],
+    // Front end.
+    front_cycle: u64,
+    front_slots: u64,
+    fetch_resume: u64,
+    // Functional units / ports (cycle each becomes free).
+    fu_scalar: Vec<u64>,
+    fu_vector: Vec<u64>,
+    load_ports: Vec<u64>,
+    store_ports: Vec<u64>,
+    // Dedicated indexed-access (gather/scatter) pipe: the A64FX cracks
+    // memory-indexed SVE operations into a serial element stream through
+    // a single pipeline, which is why their latency is >= 19 cycles even
+    // on L1 hits (paper SII-G).
+    gather_pipe: u64,
+    qz_port: u64,
+    // Recent stores for the store-to-load forwarding hazard model:
+    // (address, bytes, completion cycle).
+    store_buffer: VecDeque<(u64, u32, u64)>,
+    // In-order commit.
+    rob: VecDeque<u64>,
+    commit_cycle: u64,
+    commit_slots: u64,
+    run_start_cycle: u64,
+    // Branch predictor: 2-bit saturating counters.
+    bpred: Vec<u8>,
+    stats: RunStats,
+}
+
+impl OooTiming {
+    /// Creates a timing engine for a core configuration.
+    pub fn new(cfg: CoreConfig) -> OooTiming {
+        let mem = MemSystem::new(&cfg);
+        OooTiming {
+            fu_scalar: vec![0; cfg.scalar_alus],
+            fu_vector: vec![0; cfg.vector_fus],
+            load_ports: vec![0; cfg.load_ports],
+            store_ports: vec![0; cfg.store_ports],
+            gather_pipe: 0,
+            qz_port: 0,
+            mem,
+            cfg,
+            reg_ready: [0; Reg::FLAT_COUNT],
+            reg_taint: [StallCat::Base; Reg::FLAT_COUNT],
+            front_cycle: 0,
+            front_slots: 0,
+            fetch_resume: 0,
+            store_buffer: VecDeque::new(),
+            rob: VecDeque::new(),
+            commit_cycle: 0,
+            commit_slots: 0,
+            run_start_cycle: 0,
+            bpred: vec![1u8; BPRED_ENTRIES],
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Starts accounting a new kernel run (cycle counters continue,
+    /// statistics restart).
+    pub fn begin_run(&mut self) {
+        self.stats = RunStats::default();
+        self.run_start_cycle = self.commit_cycle;
+        // A kernel submission is a serialising boundary: the new kernel's
+        // first instruction cannot dispatch before the previous kernel
+        // fully committed.
+        self.front_cycle = self.front_cycle.max(self.commit_cycle);
+        self.front_slots = 0;
+        self.fetch_resume = self.fetch_resume.max(self.commit_cycle);
+    }
+
+    /// Finishes the run: closes the stall attribution and returns the
+    /// run's statistics.
+    pub fn end_run(&mut self) -> RunStats {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.cycles = self.commit_cycle - self.run_start_cycle;
+        let attributed: u64 = stats.stall_cycles.iter().skip(1).sum();
+        stats.stall_cycles[StallCat::Base.index()] = stats.cycles.saturating_sub(attributed);
+        stats
+    }
+
+    /// The current global cycle (monotonic across runs).
+    pub fn now(&self) -> u64 {
+        self.commit_cycle
+    }
+
+    fn alloc_unit(units: &mut [u64], at: u64, busy: u64) -> u64 {
+        let (best, _) = units
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("at least one unit");
+        let start = units[best].max(at);
+        units[best] = start + busy;
+        start
+    }
+
+    fn dispatch(&mut self) -> u64 {
+        let mut floor = self.fetch_resume;
+        if self.rob.len() >= self.cfg.rob_size {
+            // Oldest in-flight instruction must commit to free a slot.
+            let oldest = self.rob.pop_front().expect("rob nonempty");
+            floor = floor.max(oldest);
+        }
+        if floor > self.front_cycle {
+            self.front_cycle = floor;
+            self.front_slots = 0;
+        }
+        if self.front_slots >= self.cfg.dispatch_width {
+            self.front_cycle += 1;
+            self.front_slots = 0;
+        }
+        self.front_slots += 1;
+        self.front_cycle
+    }
+
+    fn commit(&mut self, completion: u64, cat: StallCat, extra_commit_busy: u64) {
+        // Width-limited, in-order commit.
+        if self.commit_slots >= self.cfg.commit_width {
+            self.commit_cycle += 1;
+            self.commit_slots = 0;
+        }
+        let ideal = self.commit_cycle;
+        let commit_at = ideal.max(completion);
+        if commit_at > ideal {
+            let gap = commit_at - ideal;
+            self.stats.stall_cycles[cat.index()] += gap;
+            self.commit_cycle = commit_at;
+            self.commit_slots = 0;
+        }
+        self.commit_slots += 1;
+        if extra_commit_busy > 0 {
+            // Commit-time QBUFFER writes occupy the commit stage.
+            self.stats.stall_cycles[StallCat::Quetzal.index()] += extra_commit_busy;
+            self.commit_cycle += extra_commit_busy;
+            self.commit_slots = 0;
+        }
+        self.rob.push_back(self.commit_cycle);
+        if self.rob.len() > self.cfg.rob_size {
+            self.rob.pop_front();
+        }
+    }
+
+    fn operands_ready(&self, inst: &Instruction) -> (u64, StallCat) {
+        let mut t = 0;
+        let mut cat = StallCat::Frontend;
+        inst.for_each_use(|r| {
+            let i = r.flat_index();
+            if self.reg_ready[i] >= t {
+                t = self.reg_ready[i];
+                cat = self.reg_taint[i];
+            }
+        });
+        (t, cat)
+    }
+
+    fn set_defs(&mut self, inst: &Instruction, ready: u64, cat: StallCat) {
+        inst.for_each_def(|r| {
+            let i = r.flat_index();
+            self.reg_ready[i] = ready;
+            self.reg_taint[i] = cat;
+        });
+    }
+
+    /// Memory-dependence ordering through the store buffer: a load that
+    /// overlaps an older in-flight store cannot complete before that
+    /// store's data exists. Same-address same-size overlaps forward from
+    /// the store buffer at no extra cost; *misaligned* overlaps cannot
+    /// be forwarded and replay after the store drains — the classic
+    /// store-to-load forwarding failure that Fig. 7 shows QUETZAL
+    /// removing from classical DP.
+    /// Returns the earliest completion floor imposed by in-flight
+    /// stores, and whether the load must replay (failed forward).
+    fn forwarding_hazard(&self, addr: u64, size: u32) -> (u64, bool) {
+        let mut floor = 0;
+        let mut replay = false;
+        for &(sa, ss, done) in &self.store_buffer {
+            let overlap = addr < sa + ss as u64 && sa < addr + size as u64;
+            if !overlap {
+                continue;
+            }
+            if sa == addr && ss == size {
+                // Clean forward: data available when the store's data is.
+                floor = floor.max(done);
+            } else {
+                floor = floor.max(done + self.cfg.store_fwd_penalty);
+                replay = true;
+            }
+        }
+        (floor, replay)
+    }
+
+    fn record_store(&mut self, addr: u64, size: u32, done: u64) {
+        self.store_buffer.push_back((addr, size, done));
+        if self.store_buffer.len() > 40 {
+            self.store_buffer.pop_front();
+        }
+    }
+
+    fn predict(&mut self, pc: usize, taken: bool) -> bool {
+        let idx = pc % BPRED_ENTRIES;
+        let predicted = self.bpred[idx] >= 2;
+        // 2-bit saturating update.
+        if taken {
+            self.bpred[idx] = (self.bpred[idx] + 1).min(3);
+        } else {
+            self.bpred[idx] = self.bpred[idx].saturating_sub(1);
+        }
+        predicted == taken
+    }
+}
+
+impl ExecSink for OooTiming {
+    fn retire(&mut self, inst: &Instruction, d: &DynInst) {
+        let class = inst.class();
+        let dispatched = self.dispatch();
+        let (ops_ready, ops_cat) = self.operands_ready(inst);
+        let ready_at = dispatched.max(ops_ready);
+        self.stats.instructions += 1;
+        self.stats.uops += 1;
+
+        let (completion, cat, extra_commit) = match class {
+            InstClass::ScalarAlu | InstClass::ScalarMul => {
+                let lat = if class == InstClass::ScalarMul {
+                    self.cfg.scalar_mul_lat
+                } else {
+                    self.cfg.scalar_alu_lat
+                };
+                let start = Self::alloc_unit(&mut self.fu_scalar, ready_at, 1);
+                let cat = if ops_ready > dispatched {
+                    ops_cat
+                } else {
+                    StallCat::ScalarCompute
+                };
+                (start + lat, cat, 0)
+            }
+            InstClass::Branch => {
+                self.stats.branches += 1;
+                let start = Self::alloc_unit(&mut self.fu_scalar, ready_at, 1);
+                let completion = start + self.cfg.scalar_alu_lat;
+                if matches!(inst, Instruction::Branch { .. }) && !self.predict(d.pc, d.taken) {
+                    self.stats.mispredicts += 1;
+                    self.fetch_resume = completion + self.cfg.mispredict_penalty;
+                }
+                let cat = if ops_ready > dispatched {
+                    ops_cat
+                } else {
+                    StallCat::Frontend
+                };
+                (completion, cat, 0)
+            }
+            InstClass::ScalarLoad | InstClass::VectorLoad => {
+                let start = Self::alloc_unit(&mut self.load_ports, ready_at, 1);
+                let mut done = start;
+                for &(addr, size) in &d.mem {
+                    self.stats.mem_requests += 1;
+                    done = done.max(self.mem.access(
+                        d.pc as u64,
+                        addr,
+                        size as usize,
+                        false,
+                        start,
+                        &mut self.stats,
+                    ));
+                    let (floor, replay) = self.forwarding_hazard(addr, size);
+                    if replay {
+                        // The replayed access occupies a port slot again.
+                        let r = Self::alloc_unit(&mut self.load_ports, start, 1);
+                        done = done.max(r + self.mem.l1_latency());
+                    }
+                    done = done.max(floor);
+                }
+                (done.max(start + 1), StallCat::Memory, 0)
+            }
+            InstClass::ScalarStore | InstClass::VectorStore => {
+                let start = Self::alloc_unit(&mut self.store_ports, ready_at, 1);
+                let mut done = start;
+                for &(addr, size) in &d.mem {
+                    self.stats.mem_requests += 1;
+                    done = done.max(self.mem.access(
+                        d.pc as u64,
+                        addr,
+                        size as usize,
+                        true,
+                        start,
+                        &mut self.stats,
+                    ));
+                }
+                for &(addr, size) in &d.mem {
+                    self.record_store(addr, size, done);
+                }
+                (done.max(start + 1), StallCat::Memory, 0)
+            }
+            InstClass::Gather | InstClass::Scatter => {
+                // Cracked into one scalar request per active lane: each
+                // element generates its own address and occupies a cache
+                // port; no coalescing (paper §II-G).
+                self.stats.indexed_ops += 1;
+                let is_store = class == InstClass::Scatter;
+                let start = ready_at + self.cfg.gather_crack_overhead;
+                let mut done = start;
+                // Elements drain through the single indexed-access pipe
+                // at one address per cycle; concurrent gathers queue.
+                let mut issue_times = Vec::with_capacity(d.mem.len());
+                for _ in &d.mem {
+                    let t = self.gather_pipe.max(start);
+                    self.gather_pipe = t + 1;
+                    issue_times.push(t);
+                }
+                for (&(addr, size), &at) in d.mem.iter().zip(&issue_times) {
+                    self.stats.mem_requests += 1;
+                    self.stats.uops += 1;
+                    done = done.max(self.mem.access(
+                        d.pc as u64,
+                        addr,
+                        size as usize,
+                        is_store,
+                        at,
+                        &mut self.stats,
+                    ));
+                }
+                (done.max(start + 1), StallCat::Memory, 0)
+            }
+            InstClass::VectorAlu | InstClass::VectorMul | InstClass::VectorHorizontal => {
+                let lat = match class {
+                    InstClass::VectorMul => self.cfg.vector_mul_lat,
+                    InstClass::VectorHorizontal => self.cfg.vector_horiz_lat,
+                    _ => self.cfg.vector_alu_lat,
+                };
+                let start = Self::alloc_unit(&mut self.fu_vector, ready_at, 1);
+                let cat = if ops_ready > dispatched {
+                    ops_cat
+                } else {
+                    StallCat::VectorCompute
+                };
+                (start + lat, cat, 0)
+            }
+            InstClass::Predicate => {
+                let start = Self::alloc_unit(&mut self.fu_scalar, ready_at, 1);
+                let cat = if ops_ready > dispatched {
+                    ops_cat
+                } else {
+                    StallCat::ScalarCompute
+                };
+                (start + self.cfg.pred_lat, cat, 0)
+            }
+            InstClass::QzRead => {
+                self.stats.qz_accesses += 1;
+                let start = self.qz_port.max(ready_at);
+                self.qz_port = start + 1;
+                (start + d.qz_latency, StallCat::Quetzal, 0)
+            }
+            InstClass::QzCountOp => {
+                let start = Self::alloc_unit(&mut self.fu_vector, ready_at, 1);
+                (start + d.qz_latency.max(1), StallCat::VectorCompute, 0)
+            }
+            InstClass::QzWrite | InstClass::QzConfig => {
+                // Executes at commit (paper §IV-E): the value must be
+                // ready, then the write occupies commit for any
+                // bank-conflict cycles beyond the first (a conflict-free
+                // write retires within its commit slot like a normal
+                // buffered store).
+                self.stats.qz_accesses += 1;
+                (ready_at, StallCat::Quetzal, d.qz_latency.saturating_sub(1))
+            }
+            InstClass::Halt => (ready_at, StallCat::Frontend, 0),
+        };
+
+        self.set_defs(inst, completion, cat);
+        self.commit(completion, cat, extra_commit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_isa::*;
+
+    fn engine() -> OooTiming {
+        let mut t = OooTiming::new(CoreConfig::a64fx_like());
+        t.begin_run();
+        t
+    }
+
+    fn dyn_at(pc: usize) -> DynInst {
+        DynInst {
+            pc,
+            ..DynInst::default()
+        }
+    }
+
+    #[test]
+    fn independent_alus_pipeline() {
+        let mut t = engine();
+        // 8 independent scalar adds on 2 ALUs, width 4: should take only
+        // a handful of cycles.
+        for pc in 0..8 {
+            let inst = Instruction::MovImm {
+                rd: XReg::new(pc as u8),
+                imm: 1,
+            };
+            t.retire(&inst, &dyn_at(pc));
+        }
+        let s = t.end_run();
+        assert_eq!(s.instructions, 8);
+        assert!(s.cycles <= 10, "cycles = {}", s.cycles);
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        let mut t = engine();
+        let inst = Instruction::AluRI {
+            op: SAluOp::Add,
+            rd: X0,
+            rn: X0,
+            imm: 1,
+        };
+        for pc in 0..100 {
+            t.retire(&inst, &dyn_at(pc));
+        }
+        let s = t.end_run();
+        assert!(s.cycles >= 100, "chain must be ≥1 cycle/inst: {}", s.cycles);
+    }
+
+    #[test]
+    fn gather_l1_hit_costs_about_twenty_cycles() {
+        let mut t = engine();
+        // Warm the line.
+        let warm = Instruction::Load {
+            rd: X1,
+            rn: X0,
+            offset: 0,
+            size: MemSize::B8,
+        };
+        let mut d = dyn_at(0);
+        d.mem.push((0x1000, 8));
+        t.retire(&warm, &d);
+        let _ = t.end_run();
+
+        t.begin_run();
+        let gather = Instruction::VGather {
+            vd: V0,
+            rn: X0,
+            idx: V1,
+            pg: P0,
+            esize: ElemSize::B64,
+            msize: MemSize::B8,
+            scale: 8,
+        };
+        let mut d = dyn_at(1);
+        for i in 0..8u64 {
+            d.mem.push((0x1000 + 8 * i, 8));
+        }
+        t.retire(&gather, &d);
+        let s = t.end_run();
+        assert!(
+            (16..=28).contains(&s.cycles),
+            "L1-hit gather should cost ~19-22 cycles, got {}",
+            s.cycles
+        );
+        assert_eq!(s.mem_requests, 8, "one request per lane");
+        assert_eq!(s.indexed_ops, 1);
+    }
+
+    #[test]
+    fn qz_read_beats_gather() {
+        let mut t = engine();
+        let qzload = Instruction::QzLoad {
+            vd: V0,
+            idx: V1,
+            sel: QBufSel::Q0,
+            pg: P0,
+        };
+        let mut d = dyn_at(0);
+        d.qz_latency = 2;
+        t.retire(&qzload, &d);
+        let s = t.end_run();
+        assert!(s.cycles <= 4, "qzload is 2 cycles + commit: {}", s.cycles);
+        assert_eq!(s.qz_accesses, 1);
+        assert_eq!(s.mem_requests, 0, "no cache traffic");
+    }
+
+    #[test]
+    fn qz_write_serialises_commit() {
+        let mut t = engine();
+        let st = Instruction::QzStore {
+            val: V0,
+            idx: V1,
+            sel: QBufSel::Q0,
+            pg: P0,
+        };
+        let mut d = dyn_at(0);
+        d.qz_latency = 8; // worst-case bank conflicts
+        t.retire(&st, &d);
+        let s = t.end_run();
+        // Seven conflict cycles beyond the ordinary commit slot.
+        assert!(s.cycles >= 7, "cycles = {}", s.cycles);
+        assert!(s.stall_cycles[StallCat::Quetzal.index()] >= 7);
+    }
+
+    #[test]
+    fn mispredicted_branch_pays_penalty() {
+        let mut t = engine();
+        let br = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rn: X0,
+            rm: X1,
+            target: 0,
+        };
+        // Alternating taken/not-taken defeats the 2-bit predictor.
+        for pc in 0..40 {
+            let mut d = dyn_at(0); // same pc -> same predictor entry
+            d.taken = pc % 2 == 0;
+            t.retire(&br, &d);
+        }
+        let s = t.end_run();
+        assert!(s.mispredicts > 10, "mispredicts = {}", s.mispredicts);
+        assert!(
+            s.cycles > 40 * 2,
+            "mispredict penalties must show: {}",
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn rob_backpressure_limits_overlap() {
+        // A long-latency cold miss at the head plus many independent adds:
+        // with a 128-entry ROB, at most ~128 instructions can slip past.
+        let mut t = engine();
+        let load = Instruction::Load {
+            rd: X1,
+            rn: X0,
+            offset: 0,
+            size: MemSize::B8,
+        };
+        let mut d = dyn_at(0);
+        d.mem.push((1 << 30, 8));
+        t.retire(&load, &d);
+        // 1000 independent single-cycle instructions.
+        for pc in 1..=1000 {
+            t.retire(
+                &Instruction::MovImm { rd: X2, imm: 0 },
+                &dyn_at(pc),
+            );
+        }
+        let s = t.end_run();
+        // Ideal would be 1000/4 = 250 cycles; the cold miss (≥120) must
+        // not be fully hidden because commit is in-order.
+        assert!(s.stall_cycles[StallCat::Memory.index()] >= 100);
+        assert!(s.cycles >= 250);
+    }
+
+    #[test]
+    fn stall_attribution_sums_to_cycles() {
+        let mut t = engine();
+        for pc in 0..50 {
+            let mut d = dyn_at(pc);
+            d.mem.push((0x2000 + (pc as u64) * 8, 8));
+            t.retire(
+                &Instruction::Load {
+                    rd: X1,
+                    rn: X0,
+                    offset: 0,
+                    size: MemSize::B8,
+                },
+                &d,
+            );
+        }
+        let s = t.end_run();
+        let total: u64 = s.stall_cycles.iter().sum();
+        assert_eq!(total, s.cycles);
+    }
+
+    #[test]
+    fn memory_taint_propagates_to_dependents() {
+        let mut t = engine();
+        // Cold load into X1, then a long chain of adds consuming X1.
+        let load = Instruction::Load {
+            rd: X1,
+            rn: X0,
+            offset: 0,
+            size: MemSize::B8,
+        };
+        let mut d = dyn_at(0);
+        d.mem.push((1 << 25, 8));
+        t.retire(&load, &d);
+        let add = Instruction::AluRR {
+            op: SAluOp::Add,
+            rd: X1,
+            rn: X1,
+            rm: X1,
+        };
+        t.retire(&add, &dyn_at(1));
+        let s = t.end_run();
+        // The add's commit gap must be attributed to memory.
+        assert!(s.stall_cycles[StallCat::Memory.index()] > 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Architectural state: registers, simulated memory and accelerator.
+
+use quetzal_accel::{QBuffers, QzConfig};
+use quetzal_isa::{ElemSize, PReg, VReg, XReg, VLEN_BYTES};
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse, paged, byte-addressable simulated memory.
+///
+/// Unwritten memory reads as zero — convenient for buffers that
+/// algorithms initialise lazily.
+#[derive(Debug, Clone, Default)]
+pub struct SimMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SimMemory {
+    /// Creates an empty memory.
+    pub fn new() -> SimMemory {
+        SimMemory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `n ≤ 8` bytes little-endian, zero-extended.
+    pub fn read_le(&self, addr: u64, n: usize) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n ≤ 8` bytes of `value` little-endian.
+    pub fn write_le(&mut self, addr: u64, value: u64, n: usize) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// Number of resident pages (for footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// A 512-bit vector register value.
+pub type VValue = [u8; VLEN_BYTES];
+
+/// Full architectural state of one core plus its QUETZAL instance.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    x: [u64; 32],
+    v: [VValue; 32],
+    /// Predicates: one bit per byte lane (bit *i* governs byte lane *i*,
+    /// as in SVE). An element is active iff the bit of its first byte is
+    /// set.
+    p: [u64; 16],
+    /// Simulated main memory.
+    pub mem: SimMemory,
+    /// QUETZAL accelerator state.
+    pub qz: QBuffers,
+}
+
+impl ArchState {
+    /// Fresh state with zeroed registers and the given accelerator
+    /// configuration.
+    pub fn new(qz_config: QzConfig) -> ArchState {
+        ArchState {
+            x: [0; 32],
+            v: [[0; VLEN_BYTES]; 32],
+            p: [0; 16],
+            mem: SimMemory::new(),
+            qz: QBuffers::new(qz_config),
+        }
+    }
+
+    /// Scalar register value.
+    pub fn x(&self, r: XReg) -> u64 {
+        self.x[r.index() as usize]
+    }
+
+    /// Sets a scalar register.
+    pub fn set_x(&mut self, r: XReg, v: u64) {
+        self.x[r.index() as usize] = v;
+    }
+
+    /// Vector register bytes.
+    pub fn v(&self, r: VReg) -> &VValue {
+        &self.v[r.index() as usize]
+    }
+
+    /// Mutable vector register bytes.
+    pub fn v_mut(&mut self, r: VReg) -> &mut VValue {
+        &mut self.v[r.index() as usize]
+    }
+
+    /// Predicate register (bit per byte lane).
+    pub fn p(&self, r: PReg) -> u64 {
+        self.p[r.index() as usize]
+    }
+
+    /// Sets a predicate register.
+    pub fn set_p(&mut self, r: PReg, v: u64) {
+        self.p[r.index() as usize] = v;
+    }
+
+    /// Reads element `i` of vector `r`, zero-extended to 64 bits.
+    pub fn v_elem(&self, r: VReg, i: usize, esize: ElemSize) -> u64 {
+        let b = esize.bytes();
+        let off = i * b;
+        let mut v = 0u64;
+        for k in 0..b {
+            v |= (self.v[r.index() as usize][off + k] as u64) << (8 * k);
+        }
+        v
+    }
+
+    /// Reads element `i` of vector `r` sign-extended to `i64`.
+    pub fn v_elem_i64(&self, r: VReg, i: usize, esize: ElemSize) -> i64 {
+        sign_extend(self.v_elem(r, i, esize), esize)
+    }
+
+    /// Writes the low bits of `value` to element `i` of vector `r`.
+    pub fn set_v_elem(&mut self, r: VReg, i: usize, esize: ElemSize, value: u64) {
+        let b = esize.bytes();
+        let off = i * b;
+        for k in 0..b {
+            self.v[r.index() as usize][off + k] = (value >> (8 * k)) as u8;
+        }
+    }
+
+    /// Whether element `i` (at `esize`) is active under predicate `pg`.
+    pub fn lane_active(&self, pg: PReg, i: usize, esize: ElemSize) -> bool {
+        (self.p(pg) >> (i * esize.bytes())) & 1 == 1
+    }
+
+    /// Builds a predicate word with the first `n` elements (at `esize`)
+    /// active.
+    pub fn pred_first_n(n: usize, esize: ElemSize) -> u64 {
+        let mut p = 0u64;
+        for i in 0..esize.lanes().min(n) {
+            p |= 1 << (i * esize.bytes());
+        }
+        p
+    }
+
+    /// Counts active elements of a predicate at `esize`.
+    pub fn pred_count(&self, pg: PReg, esize: ElemSize) -> u64 {
+        (0..esize.lanes())
+            .filter(|&i| self.lane_active(pg, i, esize))
+            .count() as u64
+    }
+
+    /// The eight 64-bit lanes of a vector register.
+    pub fn v_lanes64(&self, r: VReg) -> [u64; 8] {
+        let mut out = [0u64; 8];
+        for (i, item) in out.iter_mut().enumerate() {
+            *item = self.v_elem(r, i, ElemSize::B64);
+        }
+        out
+    }
+
+    /// Active-lane mask at 64-bit granularity.
+    pub fn mask64(&self, pg: PReg) -> [bool; 8] {
+        let mut m = [false; 8];
+        for (i, item) in m.iter_mut().enumerate() {
+            *item = self.lane_active(pg, i, ElemSize::B64);
+        }
+        m
+    }
+}
+
+/// Sign-extends the low `esize` bits of `v`.
+pub fn sign_extend(v: u64, esize: ElemSize) -> i64 {
+    let bits = esize.bits();
+    if bits == 64 {
+        v as i64
+    } else {
+        let shift = 64 - bits;
+        ((v << shift) as i64) >> shift
+    }
+}
+
+/// Truncates an `i64` to the element width (wrapping).
+pub fn truncate(v: i64, esize: ElemSize) -> u64 {
+    if esize.bits() == 64 {
+        v as u64
+    } else {
+        (v as u64) & ((1u64 << esize.bits()) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_isa::{P0, V0, X0};
+
+    #[test]
+    fn memory_reads_zero_when_untouched() {
+        let m = SimMemory::new();
+        assert_eq!(m.read_u8(0xDEAD_BEEF), 0);
+        assert_eq!(m.read_le(12345, 8), 0);
+    }
+
+    #[test]
+    fn memory_round_trip_across_page_boundary() {
+        let mut m = SimMemory::new();
+        let addr = (PAGE_SIZE - 3) as u64;
+        m.write_le(addr, 0x1122_3344_5566_7788, 8);
+        assert_eq!(m.read_le(addr, 8), 0x1122_3344_5566_7788);
+        assert!(m.resident_pages() >= 2);
+    }
+
+    #[test]
+    fn memory_bytes_round_trip() {
+        let mut m = SimMemory::new();
+        m.write_bytes(100, b"hello world");
+        assert_eq!(m.read_bytes(100, 11), b"hello world");
+    }
+
+    #[test]
+    fn vector_element_round_trip() {
+        let mut s = ArchState::new(QzConfig::QZ_8P);
+        for esize in ElemSize::all() {
+            for i in 0..esize.lanes() {
+                s.set_v_elem(V0, i, esize, (i as u64 * 3) & 0xFF);
+            }
+            for i in 0..esize.lanes() {
+                assert_eq!(s.v_elem(V0, i, esize), (i as u64 * 3) & 0xFF);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xFF, ElemSize::B8), -1);
+        assert_eq!(sign_extend(0x7F, ElemSize::B8), 127);
+        assert_eq!(sign_extend(0xFFFF_FFFF, ElemSize::B32), -1);
+        assert_eq!(sign_extend(u64::MAX, ElemSize::B64), -1);
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(truncate(-1, ElemSize::B8), 0xFF);
+        assert_eq!(truncate(256, ElemSize::B8), 0);
+        assert_eq!(truncate(-1, ElemSize::B64), u64::MAX);
+    }
+
+    #[test]
+    fn predicates_at_element_granularity() {
+        let mut s = ArchState::new(QzConfig::QZ_8P);
+        s.set_p(P0, ArchState::pred_first_n(3, ElemSize::B64));
+        assert!(s.lane_active(P0, 0, ElemSize::B64));
+        assert!(s.lane_active(P0, 2, ElemSize::B64));
+        assert!(!s.lane_active(P0, 3, ElemSize::B64));
+        assert_eq!(s.pred_count(P0, ElemSize::B64), 3);
+    }
+
+    #[test]
+    fn scalar_registers() {
+        let mut s = ArchState::new(QzConfig::QZ_8P);
+        s.set_x(X0, 42);
+        assert_eq!(s.x(X0), 42);
+    }
+}

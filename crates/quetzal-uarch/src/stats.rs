@@ -1,0 +1,228 @@
+//! Execution statistics and stall attribution.
+
+/// Category a stall (or committed-cycle gap) is attributed to. The
+/// categories mirror the paper's execution-time breakdown (Fig. 4),
+/// where "cache accesses" take 32–65 % of vectorized ASM run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCat {
+    /// Useful, width-limited commit (no stall).
+    Base,
+    /// Front-end could not supply instructions (includes branch
+    /// mispredict refill).
+    Frontend,
+    /// Waiting on scalar arithmetic.
+    ScalarCompute,
+    /// Waiting on vector arithmetic.
+    VectorCompute,
+    /// Waiting on the cache hierarchy / memory.
+    Memory,
+    /// Waiting on QUETZAL buffer accesses.
+    Quetzal,
+}
+
+impl StallCat {
+    /// All categories, in reporting order.
+    pub fn all() -> [StallCat; 6] {
+        [
+            StallCat::Base,
+            StallCat::Frontend,
+            StallCat::ScalarCompute,
+            StallCat::VectorCompute,
+            StallCat::Memory,
+            StallCat::Quetzal,
+        ]
+    }
+
+    /// Dense index for accumulation arrays.
+    pub fn index(self) -> usize {
+        match self {
+            StallCat::Base => 0,
+            StallCat::Frontend => 1,
+            StallCat::ScalarCompute => 2,
+            StallCat::VectorCompute => 3,
+            StallCat::Memory => 4,
+            StallCat::Quetzal => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for StallCat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StallCat::Base => "base",
+            StallCat::Frontend => "frontend",
+            StallCat::ScalarCompute => "scalar-compute",
+            StallCat::VectorCompute => "vector-compute",
+            StallCat::Memory => "cache-access",
+            StallCat::Quetzal => "quetzal-access",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Statistics of one simulated run (or several accumulated runs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Committed micro-operations (gather/scatter elements count
+    /// individually).
+    pub uops: u64,
+    /// Requests issued to the cache hierarchy (scalar requests; each
+    /// gather/scatter element counts once — the quantity Fig. 14a plots).
+    pub mem_requests: u64,
+    /// L1D hits.
+    pub l1_hits: u64,
+    /// L1D misses (L2 lookups).
+    pub l1_misses: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Bytes transferred from/to DRAM.
+    pub dram_bytes: u64,
+    /// Lines installed by the prefetcher.
+    pub prefetches: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Gather/scatter instructions executed.
+    pub indexed_ops: u64,
+    /// QUETZAL buffer accesses (reads + writes).
+    pub qz_accesses: u64,
+    /// Cycle attribution by category; sums to `cycles`.
+    pub stall_cycles: [u64; 6],
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles attributed to a category.
+    pub fn stall_fraction(&self, cat: StallCat) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles[cat.index()] as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 hit rate over demand requests.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another run's statistics into this one (cycles add;
+    /// used when a workload is split across several kernel submissions).
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.uops += other.uops;
+        self.mem_requests += other.mem_requests;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_misses += other.l2_misses;
+        self.dram_bytes += other.dram_bytes;
+        self.prefetches += other.prefetches;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.indexed_ops += other.indexed_ops;
+        self.qz_accesses += other.qz_accesses;
+        for i in 0..6 {
+            self.stall_cycles[i] += other.stall_cycles[i];
+        }
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cycles: {}  insts: {}  ipc: {:.2}",
+            self.cycles,
+            self.instructions,
+            self.ipc()
+        )?;
+        writeln!(
+            f,
+            "mem requests: {}  L1 hit rate: {:.1}%  L2 misses: {}  dram: {} B",
+            self.mem_requests,
+            100.0 * self.l1_hit_rate(),
+            self.l2_misses,
+            self.dram_bytes
+        )?;
+        write!(f, "stalls:")?;
+        for cat in StallCat::all() {
+            write!(
+                f,
+                " {}={:.1}%",
+                cat,
+                100.0 * self.stall_fraction(cat)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let mut s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        s.cycles = 100;
+        s.instructions = 250;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        s.l1_hits = 90;
+        s.l1_misses = 10;
+        assert!((s.l1_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_adds_everything() {
+        let mut a = RunStats {
+            cycles: 10,
+            instructions: 20,
+            stall_cycles: [1, 2, 3, 4, 5, 6],
+            ..RunStats::default()
+        };
+        let b = a.clone();
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.instructions, 40);
+        assert_eq!(a.stall_cycles, [2, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn stall_indices_are_dense() {
+        for (i, c) in StallCat::all().into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = RunStats {
+            cycles: 7,
+            instructions: 3,
+            ..RunStats::default()
+        };
+        let out = s.to_string();
+        assert!(out.contains("cycles: 7"));
+        assert!(out.contains("cache-access"));
+    }
+}

@@ -1,0 +1,202 @@
+//! # QUETZAL — vector acceleration framework for genome sequence analysis
+//!
+//! A full-system reproduction of *QUETZAL: Vector Acceleration Framework
+//! for Modern Genome Sequence Analysis Algorithms* (ISCA 2024): the
+//! QUETZAL ISA extension and accelerator micro-architecture, an
+//! A64FX-like out-of-order vector CPU simulator to host it, and the
+//! genomics substrate the paper's evaluation uses.
+//!
+//! This crate is the front door. It re-exports the layered workspace:
+//!
+//! * [`isa`] — the SVE-like vector ISA plus QUETZAL instructions;
+//! * [`uarch`] — the cycle-level out-of-order core and cache hierarchy;
+//! * [`accel`] — QBUFFERs, data encoder, count ALU, area model;
+//! * [`genomics`] — sequences, datasets, distances, CIGAR;
+//!
+//! and provides [`Machine`]: one simulated core with a QUETZAL instance,
+//! a bump allocator for staging inputs in simulated memory, and kernel
+//! submission.
+//!
+//! ```
+//! use quetzal::{Machine, MachineConfig};
+//! use quetzal::isa::*;
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! let buf = m.alloc(64);
+//! m.write_bytes(buf, b"ACGTACGT");
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.mov_imm(X0, buf as i64);
+//! b.load(X1, X0, 0, MemSize::B1);
+//! b.halt();
+//! let stats = m.run(&b.build()?)?;
+//! assert_eq!(m.core().state().x(X1), b'A' as u64);
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use quetzal_accel as accel;
+pub use quetzal_genomics as genomics;
+pub use quetzal_isa as isa;
+pub use quetzal_uarch as uarch;
+
+pub use quetzal_accel::{PortCount, QzConfig};
+pub use quetzal_isa::Program;
+pub use quetzal_uarch::{Core, CoreConfig, RunStats, SimError, StallCat};
+
+/// Configuration of a simulated [`Machine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// The core (and attached QUETZAL) configuration.
+    pub core: CoreConfig,
+}
+
+impl MachineConfig {
+    /// The paper's evaluated system: A64FX-like core with the QZ_8P
+    /// QUETZAL instance (Table I).
+    pub fn a64fx_qz8p() -> MachineConfig {
+        MachineConfig {
+            core: CoreConfig::a64fx_like(),
+        }
+    }
+
+    /// Same core with a chosen QUETZAL port configuration (for the
+    /// Fig. 12 design-space sweep).
+    pub fn with_qz(qz: QzConfig) -> MachineConfig {
+        MachineConfig {
+            core: CoreConfig::a64fx_like().with_qz(qz),
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::a64fx_qz8p()
+    }
+}
+
+/// Base of the simulated heap. Kernels receive addresses above this.
+const HEAP_BASE: u64 = 0x1000_0000;
+
+/// One simulated core with its QUETZAL accelerator, simulated memory and
+/// a bump allocator for staging workload data.
+///
+/// Cache, accelerator and clock state persist across [`run`](Machine::run)
+/// calls, so a driver can submit a workload as a sequence of kernels the
+/// way the paper's algorithm implementations do.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    core: Core,
+    heap: u64,
+}
+
+impl Machine {
+    /// Creates a machine.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            core: Core::new(config.core),
+            heap: HEAP_BASE,
+        }
+    }
+
+    /// Allocates `bytes` of simulated memory (64-byte aligned). The
+    /// memory is zero-initialised.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.heap;
+        self.heap = (self.heap + bytes + 63) & !63;
+        addr
+    }
+
+    /// Writes bytes into simulated memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        self.core.state_mut().mem.write_bytes(addr, bytes);
+    }
+
+    /// Reads bytes from simulated memory.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.core.state().mem.read_bytes(addr, len)
+    }
+
+    /// Writes a little-endian 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.core.state_mut().mem.write_le(addr, value, 8);
+    }
+
+    /// Reads a little-endian 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.core.state().mem.read_le(addr, 8)
+    }
+
+    /// Submits a kernel for timed execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on instruction-budget exhaustion or invalid
+    /// `qzconf`.
+    pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        self.core.run(program)
+    }
+
+    /// The underlying core.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable access to the underlying core.
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new(MachineConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_isa::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = Machine::default();
+        let a = m.alloc(10);
+        let b = m.alloc(100);
+        let c = m.alloc(1);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+        assert!(c >= b + 100);
+    }
+
+    #[test]
+    fn memory_io_round_trip() {
+        let mut m = Machine::default();
+        let a = m.alloc(64);
+        m.write_bytes(a, b"GATTACA");
+        assert_eq!(m.read_bytes(a, 7), b"GATTACA");
+        m.write_u64(a + 8, 0xFEED);
+        assert_eq!(m.read_u64(a + 8), 0xFEED);
+    }
+
+    #[test]
+    fn run_accumulates_machine_time() {
+        let mut m = Machine::default();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 1).halt();
+        let p = b.build().unwrap();
+        let s1 = m.run(&p).unwrap();
+        let s2 = m.run(&p).unwrap();
+        assert!(s1.cycles > 0);
+        assert!(s2.cycles > 0);
+    }
+
+    #[test]
+    fn config_presets() {
+        let m = MachineConfig::with_qz(QzConfig::QZ_1P);
+        assert_eq!(m.core.qz, QzConfig::QZ_1P);
+        assert_eq!(MachineConfig::default().core.qz, QzConfig::QZ_8P);
+    }
+}

@@ -1,0 +1,50 @@
+//! Design-space exploration: how many QBUFFER read ports are worth
+//! their area? (Paper §VI, Fig. 12 + Table III.)
+//!
+//! Sweeps the four port configurations, measuring WFA QUETZAL+C
+//! performance and the modelled 7 nm area/power of each instance.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use quetzal::accel::area::area_report;
+use quetzal::{Machine, MachineConfig, QzConfig};
+use quetzal_algos::wfa_sim::wfa_sim;
+use quetzal_algos::Tier;
+use quetzal_genomics::dataset::DatasetSpec;
+use quetzal_genomics::Alphabet;
+
+fn main() {
+    let pairs = DatasetSpec::d250().generate_n(3, 3);
+    println!("config   read-lat  cycles     vs QZ_1P  area(mm2)  power(uW)");
+    let mut base = 0u64;
+    for qz in [QzConfig::QZ_1P, QzConfig::QZ_2P, QzConfig::QZ_4P, QzConfig::QZ_8P] {
+        let mut machine = Machine::new(MachineConfig::with_qz(qz));
+        let mut cycles = 0u64;
+        for pair in &pairs {
+            cycles += wfa_sim(
+                &mut machine,
+                pair.pattern.as_bytes(),
+                pair.text.as_bytes(),
+                Alphabet::Dna,
+                Tier::QuetzalC,
+            )
+            .expect("simulation succeeds")
+            .stats
+            .cycles;
+        }
+        if base == 0 {
+            base = cycles;
+        }
+        let area = area_report(qz);
+        println!(
+            "{:7}  {:>8}  {:>9}  {:>7.2}x  {:>9.3}  {:>9.0}",
+            qz.ports.to_string(),
+            qz.read_latency(),
+            cycles,
+            base as f64 / cycles as f64,
+            area.area_mm2,
+            area.power_uw,
+        );
+    }
+    println!("\nthe paper picks QZ_8P: best performance at 1.4% SoC area overhead");
+}

@@ -1,0 +1,37 @@
+//! Quickstart: align one read pair on the simulated QUETZAL machine.
+//!
+//! Builds the paper's evaluated system (A64FX-like core + QZ_8P
+//! accelerator), aligns a pair with the QUETZAL+C WFA kernel, validates
+//! the result against the scalar reference, and prints what the
+//! accelerator saved.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use quetzal::{Machine, MachineConfig};
+use quetzal_algos::wfa::wfa_edit_align;
+use quetzal_algos::wfa_sim::wfa_sim;
+use quetzal_algos::Tier;
+use quetzal_genomics::Alphabet;
+
+fn main() {
+    let pattern = b"GATTACAGATTACAGATTACAGATTACAGATTACA";
+    let text = b"GATTACAGATTACATATTACAGATTACAGATTACA"; // one mismatch
+
+    // Scalar reference: optimal score and transcript.
+    let reference = wfa_edit_align(pattern, text);
+    println!("reference: score = {}, cigar = {}", reference.score, reference.cigar);
+
+    // Simulate the same alignment on the QUETZAL machine at two tiers.
+    for tier in [Tier::Vec, Tier::QuetzalC] {
+        let mut machine = Machine::new(MachineConfig::default());
+        let out = wfa_sim(&mut machine, pattern, text, Alphabet::Dna, tier)
+            .expect("simulation succeeds");
+        assert_eq!(out.value, reference.score as i64, "simulated kernel is exact");
+        println!(
+            "{tier:10}: score = {}, cycles = {}, cache requests = {}, QBUFFER accesses = {}",
+            out.value, out.stats.cycles, out.stats.mem_requests, out.stats.qz_accesses
+        );
+    }
+    println!("QUETZAL+C serves the sequence accesses from its scratchpads —");
+    println!("fewer cache requests, fewer cycles, same exact alignment.");
+}

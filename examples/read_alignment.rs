@@ -1,0 +1,45 @@
+//! Batch read alignment: the paper's use case 1 end to end.
+//!
+//! Generates an Illumina-like dataset, aligns every pair with WFA and
+//! BiWFA at the VEC and QUETZAL+C tiers on one warm machine, validates
+//! every score against the scalar references, and reports the speedups.
+//!
+//! Run with: `cargo run --release --example read_alignment`
+
+use quetzal::{Machine, MachineConfig};
+use quetzal_algos::biwfa::biwfa_sim;
+use quetzal_algos::wfa::wfa_edit_align;
+use quetzal_algos::wfa_sim::wfa_sim;
+use quetzal_algos::Tier;
+use quetzal_genomics::dataset::DatasetSpec;
+
+fn main() {
+    let pairs = DatasetSpec::d250().generate_n(7, 4);
+    println!("aligning {} pairs of {}bp reads\n", pairs.len(), 250);
+
+    for (name, biwfa) in [("WFA", false), ("BiWFA", true)] {
+        let mut cycles = Vec::new();
+        for tier in [Tier::Vec, Tier::QuetzalC] {
+            let mut machine = Machine::new(MachineConfig::default());
+            let mut total = 0u64;
+            for pair in &pairs {
+                let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+                let want = wfa_edit_align(p, t).score as i64;
+                let out = if biwfa {
+                    biwfa_sim(&mut machine, p, t, pair.pattern.alphabet(), tier)
+                } else {
+                    wfa_sim(&mut machine, p, t, pair.pattern.alphabet(), tier)
+                }
+                .expect("simulation succeeds");
+                assert_eq!(out.value, want, "every alignment is optimal");
+                total += out.stats.cycles;
+            }
+            println!("{name:6} {tier:10}: {total:>9} cycles total");
+            cycles.push(total);
+        }
+        println!(
+            "{name:6} QUETZAL+C speedup over VEC: {:.2}x\n",
+            cycles[0] as f64 / cycles[1] as f64
+        );
+    }
+}

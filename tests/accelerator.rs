@@ -1,0 +1,157 @@
+//! Accelerator semantics exercised through whole-machine programs:
+//! the QUETZAL ISA extension behaves exactly like its architectural
+//! specification (paper §III-A / §IV).
+
+use quetzal::isa::*;
+use quetzal::{Machine, MachineConfig};
+use quetzal_genomics::distance::common_prefix_len;
+use quetzal_genomics::packed::Packed2;
+use quetzal_genomics::Alphabet;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::default())
+}
+
+/// Stages a DNA pair through qzconf/vload/qzencode instructions.
+fn stage(m: &mut Machine, pattern: &[u8], text: &[u8]) {
+    let pa = m.alloc(pattern.len() as u64 + 64);
+    m.write_bytes(pa, pattern);
+    let ta = m.alloc(text.len() as u64 + 64);
+    m.write_bytes(ta, text);
+    let mut b = ProgramBuilder::new();
+    quetzal_algos::common::emit_qz_stage_pair(&mut b, pa, pattern.len(), ta, text.len(), 0);
+    b.halt();
+    m.run(&b.build().unwrap()).unwrap();
+}
+
+#[test]
+fn qzencode_matches_reference_packing_everywhere() {
+    let mut m = machine();
+    let seq: Vec<u8> = (0..300).map(|i| b"ACGT"[(i * 13 + 1) % 4]).collect();
+    stage(&mut m, &seq, &seq);
+    let packed = Packed2::from_bytes(&seq, Alphabet::Dna);
+    for i in (0..seq.len()).step_by(17) {
+        assert_eq!(
+            m.core().state().qz.buf(0).read_segment(i as u64, EncSize::E2),
+            packed.segment(i),
+            "offset {i}"
+        );
+    }
+}
+
+#[test]
+fn qzmhm_count_equals_common_prefix_of_sequences() {
+    // The hardware count over staged sequences equals the software
+    // common-prefix length at arbitrary (v, h) offsets, clamped to the
+    // 32-base segment the count ALU sees.
+    let pattern: Vec<u8> = (0..200).map(|i| b"ACGT"[(i * 7 + 2) % 4]).collect();
+    let mut text = pattern.clone();
+    text[60] = if text[60] == b'A' { b'C' } else { b'A' };
+    let mut m = machine();
+    stage(&mut m, &pattern, &text);
+
+    for (v, h) in [(0usize, 0usize), (40, 40), (59, 59), (60, 60), (100, 100)] {
+        let mut b = ProgramBuilder::new();
+        b.ptrue(P0, ElemSize::B64);
+        b.mov_imm(X0, v as i64);
+        b.dup(V0, X0, ElemSize::B64);
+        b.mov_imm(X1, h as i64);
+        b.dup(V1, X1, ElemSize::B64);
+        b.qzmhm(QzOp::Count, V2, V0, V1, P0);
+        b.halt();
+        m.run(&b.build().unwrap()).unwrap();
+        let got = m.core().state().qz.mhm(
+            QzOp::Count,
+            &[v as u64; 8],
+            &[h as u64; 8],
+            &[true; 8],
+        );
+        let want = common_prefix_len(&pattern[v..], &text[h..]).min(32) as u64;
+        assert_eq!(m.core().state().v_elem_check(V2), want, "v={v} h={h}");
+        assert_eq!(got.0[0], want);
+    }
+}
+
+trait VElemCheck {
+    fn v_elem_check(&self, r: VReg) -> u64;
+}
+
+impl VElemCheck for quetzal::uarch::ArchState {
+    fn v_elem_check(&self, r: VReg) -> u64 {
+        self.v_elem(r, 0, ElemSize::B64)
+    }
+}
+
+#[test]
+fn qzstore_at_commit_survives_branchy_code() {
+    // qzstore executes at commit (paper §IV-E): interleave stores with
+    // data-dependent branches and verify the final buffer state.
+    let mut m = machine();
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(X0, 64).mov_imm(X1, 64).mov_imm(X2, 2);
+    b.qzconf(X0, X1, X2);
+    b.ptrue(P0, ElemSize::B64);
+    b.mov_imm(X3, 0); // i
+    b.mov_imm(X4, 16); // n
+    let top = b.label();
+    let skip = b.label();
+    let done = b.label();
+    b.bind(top);
+    b.branch(BranchCond::Ge, X3, X4, done);
+    // Store value i at index i, but only for even i.
+    b.alu_ri(SAluOp::And, X5, X3, 1);
+    b.mov_imm(X6, 0);
+    b.branch(BranchCond::Ne, X5, X6, skip);
+    b.dup(V0, X3, ElemSize::B64);
+    b.mov_imm(X7, 1);
+    b.pwhilelt(P1, X7, ElemSize::B64);
+    b.qzstore(V0, V0, QBufSel::Q0, P1);
+    b.bind(skip);
+    b.alu_ri(SAluOp::Add, X3, X3, 1);
+    b.jump(top);
+    b.bind(done);
+    b.halt();
+    m.run(&b.build().unwrap()).unwrap();
+    for i in 0..16u64 {
+        let want = if i % 2 == 0 { i } else { 0 };
+        assert_eq!(
+            m.core().state().qz.buf(0).read_segment(i, EncSize::E64),
+            want,
+            "slot {i}"
+        );
+    }
+}
+
+#[test]
+fn qz_reads_leave_the_cache_hierarchy_untouched() {
+    let mut m = machine();
+    let seq: Vec<u8> = (0..128).map(|i| b"ACGT"[i % 4]).collect();
+    stage(&mut m, &seq, &seq);
+    // A burst of qzload/qzmhm must generate zero cache requests.
+    let mut b = ProgramBuilder::new();
+    b.ptrue(P0, ElemSize::B64);
+    b.mov_imm(X0, 0);
+    b.index(V0, X0, 4, ElemSize::B64);
+    for _ in 0..16 {
+        b.qzload(V1, V0, QBufSel::Q0, P0);
+        b.qzmhm(QzOp::Count, V2, V0, V0, P0);
+    }
+    b.halt();
+    let stats = m.run(&b.build().unwrap()).unwrap();
+    assert_eq!(stats.mem_requests, 0, "QBUFFER traffic bypasses the caches");
+    assert!(stats.qz_accesses >= 32);
+}
+
+#[test]
+fn invalid_qzconf_faults_cleanly() {
+    let mut m = machine();
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(X0, 4).mov_imm(X1, 4).mov_imm(X2, 5);
+    b.qzconf(X0, X1, X2);
+    b.halt();
+    let err = m.run(&b.build().unwrap()).unwrap_err();
+    assert!(matches!(
+        err,
+        quetzal::SimError::InvalidQzConf { esiz: 5, .. }
+    ));
+}

@@ -1,0 +1,81 @@
+//! Reproducibility: every simulation is bit-deterministic — same
+//! inputs, same cycle counts, same statistics — which is what makes the
+//! experiment tables in `quetzal-bench` stable across runs and machines.
+
+use quetzal::{Machine, MachineConfig};
+use quetzal_algos::histogram::histogram_sim;
+use quetzal_algos::sneakysnake::ss_sim;
+use quetzal_algos::wfa_sim::wfa_sim;
+use quetzal_algos::Tier;
+use quetzal_genomics::dataset::DatasetSpec;
+use quetzal_genomics::Alphabet;
+
+#[test]
+fn dataset_generation_is_stable() {
+    let a = DatasetSpec::d250().generate_n(42, 5);
+    let b = DatasetSpec::d250().generate_n(42, 5);
+    assert_eq!(a, b);
+    // And sensitive to the seed.
+    let c = DatasetSpec::d250().generate_n(43, 5);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn wfa_simulation_is_cycle_deterministic() {
+    let pair = &DatasetSpec::d100().generate_n(7, 1)[0];
+    let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+    let mut outs = Vec::new();
+    for _ in 0..2 {
+        let mut m = Machine::new(MachineConfig::default());
+        outs.push(wfa_sim(&mut m, p, t, Alphabet::Dna, Tier::QuetzalC).unwrap());
+    }
+    assert_eq!(outs[0].value, outs[1].value);
+    assert_eq!(outs[0].stats, outs[1].stats, "identical statistics, cycle for cycle");
+}
+
+#[test]
+fn ss_simulation_is_cycle_deterministic() {
+    let pair = &DatasetSpec::d100().generate_n(9, 1)[0];
+    let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+    let run = || {
+        let mut m = Machine::new(MachineConfig::default());
+        ss_sim(&mut m, p, t, Alphabet::Dna, 6, Tier::Vec).unwrap()
+    };
+    assert_eq!(run().stats, run().stats);
+}
+
+#[test]
+fn kernel_order_on_one_machine_is_reproducible() {
+    // A whole batch on a shared machine (warm caches, persistent clock)
+    // reproduces exactly.
+    let pairs = DatasetSpec::d100().generate_n(11, 3);
+    let run = || {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut cycles = Vec::new();
+        for pair in &pairs {
+            let out = wfa_sim(
+                &mut m,
+                pair.pattern.as_bytes(),
+                pair.text.as_bytes(),
+                Alphabet::Dna,
+                Tier::Vec,
+            )
+            .unwrap();
+            cycles.push(out.stats.cycles);
+        }
+        cycles
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn histogram_is_deterministic_including_memory_layout() {
+    let vals: Vec<u8> = (0..500).map(|i| (i * 7 % 64) as u8).collect();
+    let run = || {
+        let mut m = Machine::new(MachineConfig::default());
+        let (out, addr) = histogram_sim(&mut m, &vals, 64, Tier::Quetzal).unwrap();
+        let table: Vec<u64> = (0..64).map(|i| m.read_u64(addr + 8 * i)).collect();
+        (out.stats, table)
+    };
+    assert_eq!(run(), run());
+}

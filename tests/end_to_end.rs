@@ -1,0 +1,130 @@
+//! End-to-end integration: datasets → kernels → validated results,
+//! crossing every crate of the workspace.
+
+use quetzal::{Machine, MachineConfig, QzConfig};
+use quetzal_algos::biwfa::biwfa_sim;
+use quetzal_algos::dp_sim::{dp_sim, LinearCosts};
+use quetzal_algos::pipeline::{mixed_pairs, pipeline_ref, pipeline_sim};
+use quetzal_algos::sneakysnake::{ss_filter, ss_sim};
+use quetzal_algos::wfa_sim::wfa_sim;
+use quetzal_algos::Tier;
+use quetzal_genomics::dataset::DatasetSpec;
+use quetzal_genomics::distance::levenshtein;
+use quetzal_genomics::Alphabet;
+
+#[test]
+fn every_aligner_is_exact_on_every_tier() {
+    let pairs = DatasetSpec::d100().generate_n(1001, 2);
+    for pair in &pairs {
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let d = levenshtein(p, t) as i64;
+        for tier in Tier::all() {
+            let mut m = Machine::new(MachineConfig::default());
+            assert_eq!(wfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap().value, d);
+            let mut m = Machine::new(MachineConfig::default());
+            assert_eq!(biwfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap().value, d);
+            let mut m = Machine::new(MachineConfig::default());
+            assert_eq!(
+                dp_sim(&mut m, p, t, LinearCosts::UNIT, None, tier).unwrap().value,
+                d
+            );
+        }
+    }
+}
+
+#[test]
+fn filter_never_rejects_close_pairs_on_any_tier() {
+    let pairs = DatasetSpec::d100().generate_n(1003, 3);
+    for pair in &pairs {
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let d = levenshtein(p, t);
+        let e = d + 2; // true distance is within the threshold
+        for tier in Tier::all() {
+            let mut m = Machine::new(MachineConfig::default());
+            let bound = ss_sim(&mut m, p, t, Alphabet::Dna, e, tier).unwrap().value;
+            assert!(
+                bound as u32 <= e,
+                "{tier}: filter must accept a pair with distance {d} at threshold {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_agrees_with_reference_on_mixed_batch() {
+    let spec = DatasetSpec::d100();
+    let pairs = mixed_pairs(&spec, 1005, 8, 0.5);
+    let want = pipeline_ref(&pairs, 8);
+    assert!(want.accepted > 0 && want.rejected > 0, "mixed batch");
+    for tier in [Tier::Base, Tier::Vec, Tier::Quetzal, Tier::QuetzalC] {
+        let mut m = Machine::new(MachineConfig::default());
+        let (got, _) = pipeline_sim(&mut m, &pairs, Alphabet::Dna, 8, tier).unwrap();
+        assert_eq!(got, want, "{tier}");
+    }
+}
+
+#[test]
+fn warm_machine_reuses_state_across_many_kernels() {
+    // One machine, many submissions: accelerator + caches persist, every
+    // result still exact.
+    let mut m = Machine::new(MachineConfig::default());
+    for seed in 0..6 {
+        let pair = &DatasetSpec::d100().generate_n(2000 + seed, 1)[0];
+        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+        let out = wfa_sim(&mut m, p, t, Alphabet::Dna, Tier::QuetzalC).unwrap();
+        assert_eq!(out.value, levenshtein(p, t) as i64, "seed {seed}");
+    }
+}
+
+#[test]
+fn port_configurations_do_not_change_results() {
+    let pair = &DatasetSpec::d250().generate_n(1007, 1)[0];
+    let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+    let d = levenshtein(p, t) as i64;
+    let mut cycles = Vec::new();
+    for qz in [QzConfig::QZ_1P, QzConfig::QZ_2P, QzConfig::QZ_4P, QzConfig::QZ_8P] {
+        let mut m = Machine::new(MachineConfig::with_qz(qz));
+        let out = wfa_sim(&mut m, p, t, Alphabet::Dna, Tier::Quetzal).unwrap();
+        assert_eq!(out.value, d, "{qz}");
+        cycles.push(out.stats.cycles);
+    }
+    // More ports never hurt.
+    for w in cycles.windows(2) {
+        assert!(w[1] <= w[0], "cycles must not increase with ports: {cycles:?}");
+    }
+}
+
+#[test]
+fn protein_and_dna_alphabets_agree_with_references() {
+    let pair = &DatasetSpec::protein().generate_n(1009, 1)[0];
+    let p = &pair.pattern.as_bytes()[..80];
+    let t = &pair.text.as_bytes()[..80];
+    let d = levenshtein(p, t) as i64;
+    let mut m = Machine::new(MachineConfig::default());
+    assert_eq!(
+        wfa_sim(&mut m, p, t, Alphabet::Protein, Tier::QuetzalC).unwrap().value,
+        d
+    );
+    let e = d as u32 + 1;
+    let want = ss_filter(p, t, e).bound as i64;
+    let mut m = Machine::new(MachineConfig::default());
+    assert_eq!(
+        ss_sim(&mut m, p, t, Alphabet::Protein, e, Tier::QuetzalC).unwrap().value,
+        want
+    );
+}
+
+#[test]
+fn tier_performance_ordering_holds_end_to_end() {
+    // The paper's headline ordering on a modern algorithm:
+    // QUETZAL+C < QUETZAL < VEC in cycles.
+    let pair = &DatasetSpec::d250().generate_n(1011, 1)[0];
+    let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+    let mut cycles = std::collections::HashMap::new();
+    for tier in Tier::all() {
+        let mut m = Machine::new(MachineConfig::default());
+        cycles.insert(tier, wfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap().stats.cycles);
+    }
+    assert!(cycles[&Tier::QuetzalC] < cycles[&Tier::Quetzal]);
+    assert!(cycles[&Tier::Quetzal] < cycles[&Tier::Vec]);
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use quetzal::accel::qbuffer::QBuffers;
+use quetzal::accel::QzConfig;
+use quetzal::isa::EncSize;
+use quetzal::{Machine, MachineConfig};
+use quetzal_algos::biwfa::biwfa_edit_align;
+use quetzal_algos::nw::nw_align;
+use quetzal_algos::dp_sim::LinearCosts;
+use quetzal_algos::sneakysnake::ss_filter;
+use quetzal_algos::wfa::wfa_edit_align;
+use quetzal_algos::wfa_sim::wfa_sim;
+use quetzal_algos::Tier;
+use quetzal_genomics::cigar::Cigar;
+use quetzal_genomics::distance::{banded_levenshtein, gotoh_score, levenshtein, myers_distance};
+use quetzal_genomics::packed::Packed2;
+use quetzal_genomics::{Alphabet, Seq};
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both exact-distance oracles agree for any input.
+    #[test]
+    fn myers_equals_dp((a, b) in (dna(150), dna(150))) {
+        prop_assert_eq!(myers_distance(&a, &b), levenshtein(&a, &b));
+    }
+
+    /// Banded edit distance is exact whenever the band is wide enough.
+    #[test]
+    fn banded_is_exact_within_threshold((a, b) in (dna(80), dna(80))) {
+        let d = levenshtein(&a, &b);
+        prop_assert_eq!(banded_levenshtein(&a, &b, d + 1), Some(d));
+        if d > 0 {
+            prop_assert_eq!(banded_levenshtein(&a, &b, d - 1), None);
+        }
+    }
+
+    /// WFA is an exact aligner: optimal score, valid optimal transcript.
+    #[test]
+    fn wfa_is_exact((a, b) in (dna(120), dna(120))) {
+        let r = wfa_edit_align(&a, &b);
+        prop_assert_eq!(r.score, levenshtein(&a, &b));
+        prop_assert!(r.cigar.validate(&a, &b).is_ok());
+        prop_assert_eq!(r.cigar.edit_distance(), r.score);
+    }
+
+    /// BiWFA computes the same optimal result in O(s) memory.
+    #[test]
+    fn biwfa_equals_wfa((a, b) in (dna(200), dna(200))) {
+        let r = biwfa_edit_align(&a, &b);
+        prop_assert_eq!(r.score, levenshtein(&a, &b));
+        prop_assert!(r.cigar.validate(&a, &b).is_ok());
+    }
+
+    /// NW with unit costs is the Levenshtein distance; its transcript
+    /// validates and scores itself consistently.
+    #[test]
+    fn nw_is_exact((a, b) in (dna(60), dna(60))) {
+        let r = nw_align(&a, &b, LinearCosts::UNIT);
+        prop_assert_eq!(r.score, levenshtein(&a, &b) as i64);
+        prop_assert!(r.cigar.validate(&a, &b).is_ok());
+    }
+
+    /// Gotoh with zero open cost reduces to linear-gap DP.
+    #[test]
+    fn gotoh_linear_gap_consistency((a, b) in (dna(50), dna(50))) {
+        use quetzal_genomics::cigar::Penalties;
+        let pen = Penalties { mismatch: 1, gap_open: 0, gap_extend: 1 };
+        prop_assert_eq!(gotoh_score(&a, &b, pen), levenshtein(&a, &b));
+    }
+
+    /// SneakySnake's bound is a true lower bound: rejecting at
+    /// threshold E implies the real distance exceeds E.
+    #[test]
+    fn ss_is_a_lower_bound((a, b) in (dna(100), dna(100)), e in 0u32..8) {
+        let v = ss_filter(&a, &b, e);
+        if !v.accepted {
+            prop_assert!(levenshtein(&a, &b) > e);
+        }
+    }
+
+    /// 2-bit packing round-trips and the unaligned segment accessor
+    /// matches per-base reads.
+    #[test]
+    fn packed2_round_trip(bytes in dna(200), start in 0usize..200) {
+        let seq = Seq::dna(bytes.clone()).unwrap();
+        let p = Packed2::from_seq(&seq);
+        prop_assert_eq!(p.decode(), seq);
+        let seg = p.segment(start.min(bytes.len()));
+        for i in 0..32usize {
+            let idx = start.min(bytes.len()) + i;
+            let want = if idx < bytes.len() { p.get(idx) as u64 } else { 0 };
+            prop_assert_eq!((seg >> (2 * i)) & 3, want);
+        }
+    }
+
+    /// QBUFFER element writes followed by segment reads behave like a
+    /// flat array, for every element size.
+    #[test]
+    fn qbuffer_matches_flat_array(values in proptest::collection::vec(0u64..256, 1..64),
+                                  esiz in 0u64..3) {
+        let mut q = QBuffers::new(QzConfig::QZ_8P);
+        q.conf(values.len() as u64, values.len() as u64, esiz);
+        let esize = EncSize::from_field(esiz).unwrap();
+        let mask = match esize {
+            EncSize::E2 => 3,
+            EncSize::E8 => 0xFF,
+            EncSize::E64 => u64::MAX,
+        };
+        for (i, &v) in values.iter().enumerate() {
+            q.buf_mut(0).write_elem(i as u64, v & mask, esize);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let got = q.buf(0).read_segment(i as u64, esize) & mask;
+            prop_assert_eq!(got, v & mask, "element {}", i);
+        }
+    }
+
+    /// CIGAR strings round-trip through their text form.
+    #[test]
+    fn cigar_display_parse_round_trip(ops in proptest::collection::vec(0u8..4, 0..50)) {
+        use quetzal_genomics::cigar::CigarOp;
+        let cigar: Cigar = ops
+            .iter()
+            .map(|&o| [CigarOp::Match, CigarOp::Mismatch, CigarOp::Insertion, CigarOp::Deletion][o as usize])
+            .collect();
+        let parsed: Cigar = cigar.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, cigar);
+    }
+}
+
+proptest! {
+    // Simulated-kernel properties are slower: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full simulated WFA kernel is exact on arbitrary inputs.
+    #[test]
+    fn simulated_wfa_is_exact((a, b) in (dna(60), dna(60))) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let d = levenshtein(&a, &b) as i64;
+        for tier in [Tier::Vec, Tier::QuetzalC] {
+            let mut m = Machine::new(MachineConfig::default());
+            let out = wfa_sim(&mut m, &a, &b, Alphabet::Dna, tier).unwrap();
+            prop_assert_eq!(out.value, d);
+        }
+    }
+}
