@@ -303,7 +303,12 @@ impl QBuffers {
     /// Executes `qzload` for one vector of per-lane element indices.
     /// Inactive lanes (mask bit clear) return 0. Returns `(values,
     /// latency)`.
-    pub fn load(&self, sel: usize, idx: &[u64; LANES_64], mask: &[bool; LANES_64]) -> ([u64; LANES_64], u64) {
+    pub fn load(
+        &self,
+        sel: usize,
+        idx: &[u64; LANES_64],
+        mask: &[bool; LANES_64],
+    ) -> ([u64; LANES_64], u64) {
         let mut out = [0u64; LANES_64];
         for i in 0..LANES_64 {
             if mask[i] {

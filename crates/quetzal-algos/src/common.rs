@@ -187,7 +187,12 @@ mod tests {
         let packed = Packed2::from_bytes(&pattern, Alphabet::Dna);
         for i in [0usize, 17, 63, 99] {
             assert_eq!(
-                m.core().state().qz.buf(0).read_segment(i as u64, EncSize::E2) & 3,
+                m.core()
+                    .state()
+                    .qz
+                    .buf(0)
+                    .read_segment(i as u64, EncSize::E2)
+                    & 3,
                 packed.get(i) as u64,
                 "pattern base {i}"
             );
@@ -214,7 +219,11 @@ mod tests {
         m.run(&b.build().unwrap()).unwrap();
         for (i, &w) in words.iter().enumerate() {
             assert_eq!(
-                m.core().state().qz.buf(1).read_segment(i as u64, EncSize::E64) as i64,
+                m.core()
+                    .state()
+                    .qz
+                    .buf(1)
+                    .read_segment(i as u64, EncSize::E64) as i64,
                 w,
                 "word {i}"
             );

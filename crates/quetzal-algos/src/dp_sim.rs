@@ -37,7 +37,10 @@ pub struct LinearCosts {
 
 impl LinearCosts {
     /// Unit costs — the DP then computes the Levenshtein distance.
-    pub const UNIT: LinearCosts = LinearCosts { mismatch: 1, gap: 1 };
+    pub const UNIT: LinearCosts = LinearCosts {
+        mismatch: 1,
+        gap: 1,
+    };
 }
 
 /// `i64` infinity for DP cells outside the computed region.
@@ -196,7 +199,7 @@ fn build_vec_program(args: &DpArgs) -> Program {
     b.alu_rr(SAluOp::Add, X15, X4, X17);
     b.alu_ri(SAluOp::Add, X15, X15, -8);
     b.vload(V2, X15, P1, ElemSize::B64); // prev2[i-1] -> diagonal
-    // Characters: P[i-1] and T[j-1] = TR[tlen - d + i].
+                                         // Characters: P[i-1] and T[j-1] = TR[tlen - d + i].
     b.alu_rr(SAluOp::Add, X16, X0, X12);
     b.alu_ri(SAluOp::Add, X16, X16, -1);
     b.vload_n(V3, X16, P1, ElemSize::B64, MemSize::B1);
@@ -254,7 +257,12 @@ fn build_qz_program(args: &DpArgs) -> Program {
     b.qzconf(X26, X27, X28);
     // Fill the three diagonal regions with INF (stream the host-staged
     // INF pool); charged to the QUETZAL implementation.
-    crate::common::emit_qz_stage_words(&mut b, QBufSel::Q1, args.inf_addr, 3 * args.region as usize);
+    crate::common::emit_qz_stage_words(
+        &mut b,
+        QBufSel::Q1,
+        args.inf_addr,
+        3 * args.region as usize,
+    );
     // Seed D[0][0] = 0 at prev1 slot 1 (region 1, element 1).
     b.ptrue(P0, ElemSize::B64);
     b.mov_imm(X23, 1);
@@ -332,7 +340,7 @@ fn build_qz_program(args: &DpArgs) -> Program {
     b.index(V22, X13, 1, ElemSize::B64); // prev2[i-1]
     b.alu_rr(SAluOp::Add, X13, X6, X12);
     b.index(V23, X13, 1, ElemSize::B64); // cur[i]
-    // Character pointers, advanced by 8 per iteration.
+                                         // Character pointers, advanced by 8 per iteration.
     b.alu_rr(SAluOp::Add, X16, X0, X12);
     b.alu_ri(SAluOp::Add, X16, X16, -1);
     b.alu_rr(SAluOp::Sub, X17, X3, X7);
@@ -528,7 +536,12 @@ pub fn dp_sim(
     let region = entries as i64;
     let mut inf_addr = 0;
     if tier.uses_quetzal() {
-        let cap = machine.core().state().qz.buf(1).capacity_elems(quetzal::isa::EncSize::E64);
+        let cap = machine
+            .core()
+            .state()
+            .qz
+            .buf(1)
+            .capacity_elems(quetzal::isa::EncSize::E64);
         assert!(
             (3 * region) as u64 <= cap,
             "diagonals exceed QBUFFER capacity; window the DP (see docs)"
@@ -550,7 +563,10 @@ pub fn dp_sim(
         let program = build_qz_program(&args);
         let stats = machine.run(&program)?;
         let score = machine.read_u64(result) as i64;
-        return Ok(SimOutcome { value: score, stats });
+        return Ok(SimOutcome {
+            value: score,
+            stats,
+        });
     }
 
     let args = DpArgs {
@@ -571,7 +587,10 @@ pub fn dp_sim(
     };
     let stats = machine.run(&program)?;
     let score = machine.read_u64(result) as i64;
-    Ok(SimOutcome { value: score, stats })
+    Ok(SimOutcome {
+        value: score,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -632,7 +651,10 @@ mod tests {
 
     #[test]
     fn sim_respects_custom_costs() {
-        let costs = LinearCosts { mismatch: 3, gap: 2 };
+        let costs = LinearCosts {
+            mismatch: 3,
+            gap: 2,
+        };
         let p = b"ACGTAC";
         let t = b"AGGTACG";
         let want = banded_linear_score(p, t, costs, 100).unwrap();

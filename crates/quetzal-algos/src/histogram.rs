@@ -75,7 +75,7 @@ fn build_vec(in_addr: u64, n: usize, table8: u64, bins: usize, out_addr: u64) ->
     b.pwhilelt(P1, X13, ElemSize::B64);
     b.alu_rr(SAluOp::Add, X13, X0, X4);
     b.vload_n(V0, X13, P1, ElemSize::B64, MemSize::B1); // bins
-    // Private-copy slot: bin*8 + lane (conflict-free within a vector).
+                                                        // Private-copy slot: bin*8 + lane (conflict-free within a vector).
     b.valu_vi(VAluOp::Shl, V1, V0, 3, P1, ElemSize::B64);
     b.valu_vv(VAluOp::Add, V1, V1, V2, P1, ElemSize::B64);
     b.vgather(V3, X2, V1, P1, ElemSize::B64, MemSize::B8, 8);
@@ -128,7 +128,7 @@ fn build_qz(in_addr: u64, n: usize, zeros: u64, bins: usize, out_addr: u64) -> P
     b.pwhilelt(P1, X13, ElemSize::B64);
     b.alu_rr(SAluOp::Add, X13, X0, X4);
     b.vload_n(V0, X13, P1, ElemSize::B64, MemSize::B1); // bins
-    // Update the table directly in the QBUFFER (Fig. 8).
+                                                        // Update the table directly in the QBUFFER (Fig. 8).
     b.qzupdate(QzOp::Add, V1, V0, QBufSel::Q0, P1);
     b.alu_ri(SAluOp::Add, X4, X4, 8);
     b.jump(top);

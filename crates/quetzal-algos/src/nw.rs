@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn custom_costs_match_gotoh_linear() {
         // Linear gaps are affine gaps with zero open cost.
-        let costs = LinearCosts { mismatch: 3, gap: 2 };
+        let costs = LinearCosts {
+            mismatch: 3,
+            gap: 2,
+        };
         let pen = Penalties {
             mismatch: 3,
             gap_open: 0,

@@ -13,7 +13,7 @@ use crate::sneakysnake::{ss_filter, ss_sim};
 use crate::wfa::wfa_edit_align;
 use crate::wfa_sim::{wfa_sim, WfaSimError};
 use quetzal::uarch::RunStats;
-use quetzal::Machine;
+use quetzal::{BatchRunner, Machine, MachineConfig};
 use quetzal_genomics::dataset::SeqPair;
 use quetzal_genomics::Alphabet;
 
@@ -39,7 +39,8 @@ pub fn pipeline_ref(pairs: &[SeqPair], threshold: u32) -> PipelineResult {
         let v = ss_filter(pair.pattern.as_bytes(), pair.text.as_bytes(), threshold);
         if v.accepted {
             out.accepted += 1;
-            out.score_sum += wfa_edit_align(pair.pattern.as_bytes(), pair.text.as_bytes()).score as u64;
+            out.score_sum +=
+                wfa_edit_align(pair.pattern.as_bytes(), pair.text.as_bytes()).score as u64;
         } else {
             out.rejected += 1;
         }
@@ -78,6 +79,70 @@ pub fn pipeline_sim(
             result.score_sum += wfa.value as u64;
         } else {
             result.rejected += 1;
+        }
+    }
+    Ok((result, stats))
+}
+
+/// The filter+align pipeline over independent pairs, sharded across
+/// `runner`'s worker threads: each pair is one work item on its own
+/// fresh machine, where the SS kernel decides accept/reject and — on
+/// the *same* machine, with warm caches and QBUFFERs across the two
+/// stages (the paper's flexibility claim) — accepted pairs run the WFA
+/// kernel. Per-pair results and statistics merge in pair order, so the
+/// outcome is bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Returns [`WfaSimError`] if any kernel fails (the error of the
+/// lowest-numbered failing pair, deterministically).
+///
+/// # Panics
+///
+/// Panics if a worker shard panics.
+pub fn pipeline_batch(
+    runner: &BatchRunner,
+    config: &MachineConfig,
+    pairs: &[SeqPair],
+    alphabet: Alphabet,
+    threshold: u32,
+    tier: Tier,
+) -> Result<(PipelineResult, RunStats), WfaSimError> {
+    let per_pair = runner
+        .run_machines(
+            config,
+            pairs,
+            |machine, _i, pair| -> Result<(Option<u64>, RunStats), WfaSimError> {
+                let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+                let ss =
+                    ss_sim(machine, p, t, alphabet, threshold, tier).map_err(WfaSimError::Sim)?;
+                let mut stats = ss.stats;
+                if ss.value as u32 <= threshold {
+                    let wfa = wfa_sim(machine, p, t, alphabet, tier)?;
+                    stats.merge(&wfa.stats);
+                    Ok((Some(wfa.value as u64), stats))
+                } else {
+                    Ok((None, stats))
+                }
+            },
+        )
+        .expect("pipeline shard panicked");
+
+    let mut stats = RunStats::default();
+    let mut result = PipelineResult {
+        accepted: 0,
+        rejected: 0,
+        score_sum: 0,
+    };
+    for outcome in per_pair {
+        let (score, pair_stats) = outcome?;
+        stats.merge(&pair_stats);
+        match score {
+            Some(s) => {
+                result.accepted += 1;
+                result.score_sum += s;
+            }
+            None => result.rejected += 1,
         }
     }
     Ok((result, stats))
@@ -142,6 +207,39 @@ mod tests {
             let (got, stats) = pipeline_sim(&mut m, &pairs, Alphabet::Dna, e, tier).unwrap();
             assert_eq!(got, want, "{tier}");
             assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn batch_matches_reference_and_is_thread_invariant() {
+        let spec = DatasetSpec::d100();
+        let pairs = mixed_pairs(&spec, 77, 8, 0.5);
+        let e = threshold_for(&spec);
+        let want = pipeline_ref(&pairs, e);
+        let cfg = MachineConfig::default();
+        let (r1, s1) = pipeline_batch(
+            &BatchRunner::new(1),
+            &cfg,
+            &pairs,
+            Alphabet::Dna,
+            e,
+            Tier::QuetzalC,
+        )
+        .unwrap();
+        assert_eq!(r1, want);
+        assert!(s1.cycles > 0);
+        for threads in [2, 4] {
+            let (rn, sn) = pipeline_batch(
+                &BatchRunner::new(threads),
+                &cfg,
+                &pairs,
+                Alphabet::Dna,
+                e,
+                Tier::QuetzalC,
+            )
+            .unwrap();
+            assert_eq!(rn, r1, "threads={threads}");
+            assert_eq!(sn, s1, "threads={threads}");
         }
     }
 

@@ -129,7 +129,14 @@ fn build_vector_program(tier: Tier, args: &SsArgs) -> Program {
     let mut b = ProgramBuilder::new();
     b.name(format!("ss-{tier}"));
     if tier.uses_quetzal() {
-        emit_qz_stage_pair(&mut b, args.pa, args.plen, args.ta, args.tlen, args.enc.esiz_field);
+        emit_qz_stage_pair(
+            &mut b,
+            args.pa,
+            args.plen,
+            args.ta,
+            args.tlen,
+            args.enc.esiz_field,
+        );
     }
     // x0 PA, x1 TA, x2 PLEN, x3 n, x4 E, x5 col, x6 edits, x7 best,
     // x8 k, x10 result, x13 tmp, x21 zero.

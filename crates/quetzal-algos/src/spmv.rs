@@ -213,7 +213,10 @@ pub fn spmv_sim(
             .qz
             .buf(0)
             .capacity_elems(quetzal::isa::EncSize::E64);
-        assert!(a.cols as u64 <= cap, "dense vector exceeds QBUFFER capacity");
+        assert!(
+            a.cols as u64 <= cap,
+            "dense vector exceeds QBUFFER capacity"
+        );
     }
     let addrs = SpmvAddrs {
         row_ptr: stage_words(machine, &a.row_ptr),
@@ -244,7 +247,9 @@ mod tests {
 
     fn dense_x(cols: usize, seed: u64) -> Vec<i64> {
         let mut rng = SplitMix64::new(seed);
-        (0..cols).map(|_| rng.below(1 << 12) as i64 - (1 << 11)).collect()
+        (0..cols)
+            .map(|_| rng.below(1 << 12) as i64 - (1 << 11))
+            .collect()
     }
 
     #[test]
@@ -255,7 +260,9 @@ mod tests {
         for tier in Tier::all() {
             let mut m = Machine::new(MachineConfig::default());
             let (_, y) = spmv_sim(&mut m, &a, &x, tier).unwrap();
-            let got: Vec<i64> = (0..a.rows).map(|r| m.read_u64(y + 8 * r as u64) as i64).collect();
+            let got: Vec<i64> = (0..a.rows)
+                .map(|r| m.read_u64(y + 8 * r as u64) as i64)
+                .collect();
             assert_eq!(got, want, "{tier}");
         }
     }

@@ -29,12 +29,7 @@ const INF: i64 = 1 << 40;
 /// let score = banded_swg_score(b"ACGT", b"ACGT", Penalties::AFFINE_DEFAULT, 8);
 /// assert_eq!(score, Some(0));
 /// ```
-pub fn banded_swg_score(
-    pattern: &[u8],
-    text: &[u8],
-    p: Penalties,
-    band: i64,
-) -> Option<i64> {
+pub fn banded_swg_score(pattern: &[u8], text: &[u8], p: Penalties, band: i64) -> Option<i64> {
     let m = pattern.len() as i64;
     let n = text.len() as i64;
     if (m - n).abs() > band {

@@ -93,7 +93,11 @@ pub fn wfa_affine_score(pattern: &[u8], text: &[u8], p: Penalties) -> u32 {
     let plen = pattern.len() as i64;
     let tlen = text.len() as i64;
     if plen == 0 {
-        return if tlen == 0 { 0 } else { p.gap_open + tlen as u32 * p.gap_extend };
+        return if tlen == 0 {
+            0
+        } else {
+            p.gap_open + tlen as u32 * p.gap_extend
+        };
     }
     if tlen == 0 {
         return p.gap_open + plen as u32 * p.gap_extend;
@@ -167,14 +171,26 @@ pub fn wfa_affine_score(pattern: &[u8], text: &[u8], p: Penalties) -> u32 {
             let m_open_i = src(oe).map_or(NONE, |f| f.m_at(k + 1));
             let i_ext = src(e).map_or(NONE, |f| f.i_at(k + 1));
             let i_src = m_open_i.max(i_ext);
-            let i_new = if i_src <= NONE / 2 { NONE } else { valid(k, i_src) };
+            let i_new = if i_src <= NONE / 2 {
+                NONE
+            } else {
+                valid(k, i_src)
+            };
             let m_sub = src(x).map_or(NONE, |f| f.m_at(k));
-            let m_sub = if m_sub <= NONE / 2 { NONE } else { valid(k, m_sub + 1) };
+            let m_sub = if m_sub <= NONE / 2 {
+                NONE
+            } else {
+                valid(k, m_sub + 1)
+            };
             let best = m_sub.max(i_new).max(d_new);
             let idx = (k - lo) as usize;
             front.d[idx] = if d_new <= NONE / 2 { NONE } else { d_new };
             front.i[idx] = i_new;
-            front.m[idx] = if best <= NONE / 2 { NONE } else { extend(k, best) };
+            front.m[idx] = if best <= NONE / 2 {
+                NONE
+            } else {
+                extend(k, best)
+            };
         }
         let done = front.m_at(k_final) >= tlen;
         fronts.push(front);

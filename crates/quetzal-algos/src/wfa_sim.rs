@@ -145,7 +145,14 @@ fn build_vector_program(tier: Tier, args: &WfaArgs) -> Program {
     b.name(format!("wfa-{tier}"));
 
     if tier.uses_quetzal() {
-        emit_qz_stage_pair(&mut b, args.pa, args.plen, args.ta, args.tlen, args.enc.esiz_field);
+        emit_qz_stage_pair(
+            &mut b,
+            args.pa,
+            args.plen,
+            args.ta,
+            args.tlen,
+            args.enc.esiz_field,
+        );
     }
 
     // x0 PA, x1 TA, x2 PLEN, x3 TLEN, x4 WA_mid, x5 WB_mid, x6 s,
@@ -520,7 +527,14 @@ pub fn wfa_sim_bounded(
     tier: Tier,
     bound: i64,
 ) -> Result<SimOutcome, WfaSimError> {
-    wfa_sim_with_mode(machine, pattern, text, alphabet, tier, KernelMode::Bounded(bound))
+    wfa_sim_with_mode(
+        machine,
+        pattern,
+        text,
+        alphabet,
+        tier,
+        KernelMode::Bounded(bound),
+    )
 }
 
 fn wfa_sim_with_mode(
@@ -622,7 +636,12 @@ mod tests {
         for tier in Tier::all() {
             let mut m = Machine::new(MachineConfig::default());
             let out = wfa_sim(&mut m, pattern, text, alphabet, tier).unwrap();
-            assert_eq!(out.value, want, "{tier} on {:?}", &pattern[..pattern.len().min(12)]);
+            assert_eq!(
+                out.value,
+                want,
+                "{tier} on {:?}",
+                &pattern[..pattern.len().min(12)]
+            );
             assert!(out.stats.cycles > 0);
         }
     }

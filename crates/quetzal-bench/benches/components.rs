@@ -1,68 +1,73 @@
-//! Criterion micro-benchmarks of the building blocks: accelerator
-//! functional models and the host-side genomics algorithms.
+//! Micro-benchmarks of the building blocks: accelerator functional
+//! models and the host-side genomics algorithms. Runs under the
+//! in-tree timing harness (`quetzal_bench::timing`) — no external
+//! benchmarking framework, per the offline build policy.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use quetzal::accel::count_alu::qzcount_segment;
 use quetzal::accel::encoder::encode_vector;
 use quetzal::accel::{QBuffers, QzConfig};
 use quetzal::isa::EncSize;
+use quetzal_bench::timing::bench;
 use quetzal_genomics::dataset::DatasetSpec;
 use quetzal_genomics::distance::{levenshtein, myers_distance};
 use quetzal_genomics::packed::Packed2;
 use quetzal_genomics::Alphabet;
 
-fn bench_count_alu(c: &mut Criterion) {
-    c.bench_function("count_alu/qzcount_segment_2bit", |b| {
-        b.iter(|| qzcount_segment(black_box(0x0123_4567_89AB_CDEF), black_box(0x0123_4567_89AB_CDEE), EncSize::E2))
+fn bench_count_alu() {
+    bench("count_alu/qzcount_segment_2bit", || {
+        qzcount_segment(
+            black_box(0x0123_4567_89AB_CDEF),
+            black_box(0x0123_4567_89AB_CDEE),
+            EncSize::E2,
+        )
     });
 }
 
-fn bench_encoder(c: &mut Criterion) {
+fn bench_encoder() {
     let chars = [b'G'; 64];
-    c.bench_function("encoder/encode_vector_64_chars", |b| {
-        b.iter(|| encode_vector(black_box(&chars)))
+    bench("encoder/encode_vector_64_chars", || {
+        encode_vector(black_box(&chars))
     });
 }
 
-fn bench_qbuffer(c: &mut Criterion) {
+fn bench_qbuffer() {
     let mut q = QBuffers::new(QzConfig::QZ_8P);
     q.conf(4096, 4096, 0);
     let seq: Vec<u8> = (0..4096).map(|i| b"ACGT"[i % 4]).collect();
     let packed = Packed2::from_bytes(&seq, Alphabet::Dna);
     q.load_image(0, &packed.to_le_bytes());
-    c.bench_function("qbuffer/read_segment_unaligned", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 13) % 4000;
-            q.buf(0).read_segment(black_box(i), EncSize::E2)
-        })
+    let mut i = 0u64;
+    bench("qbuffer/read_segment_unaligned", || {
+        i = (i + 13) % 4000;
+        q.buf(0).read_segment(black_box(i), EncSize::E2)
     });
 }
 
-fn bench_distances(c: &mut Criterion) {
+fn bench_distances() {
     let pair = &DatasetSpec::d250().generate_n(5, 1)[0];
     let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
-    c.bench_function("distance/levenshtein_250bp", |b| {
-        b.iter(|| levenshtein(black_box(p), black_box(t)))
+    bench("distance/levenshtein_250bp", || {
+        levenshtein(black_box(p), black_box(t))
     });
-    c.bench_function("distance/myers_250bp", |b| {
-        b.iter(|| myers_distance(black_box(p), black_box(t)))
+    bench("distance/myers_250bp", || {
+        myers_distance(black_box(p), black_box(t))
     });
 }
 
-fn bench_packing(c: &mut Criterion) {
+fn bench_packing() {
     let seq: Vec<u8> = (0..10_000).map(|i| b"ACGT"[i % 4]).collect();
-    c.bench_function("packed2/pack_10kbp", |b| {
-        b.iter(|| Packed2::from_bytes(black_box(&seq), Alphabet::Dna))
+    bench("packed2/pack_10kbp", || {
+        Packed2::from_bytes(black_box(&seq), Alphabet::Dna)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_count_alu,
-    bench_encoder,
-    bench_qbuffer,
-    bench_distances,
-    bench_packing
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes --bench (and filter args); ignore them.
+    bench_count_alu();
+    bench_encoder();
+    bench_qbuffer();
+    bench_distances();
+    bench_packing();
+}

@@ -1,43 +1,39 @@
-//! Criterion benchmarks of the simulated kernels themselves (host time
-//! to simulate one pair per tier — the simulator's own performance).
+//! Benchmarks of the simulated kernels themselves (host time to
+//! simulate one pair per tier — the simulator's own performance).
+//! Runs under the in-tree timing harness (`quetzal_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use quetzal::{Machine, MachineConfig};
 use quetzal_algos::sneakysnake::ss_sim;
 use quetzal_algos::wfa_sim::wfa_sim;
 use quetzal_algos::Tier;
+use quetzal_bench::timing::bench;
 use quetzal_genomics::dataset::DatasetSpec;
 use quetzal_genomics::Alphabet;
 
-fn bench_wfa_tiers(c: &mut Criterion) {
+fn bench_wfa_tiers() {
     let pair = &DatasetSpec::d100().generate_n(3, 1)[0];
     let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
-    let mut g = c.benchmark_group("sim/wfa_100bp");
     for tier in Tier::all() {
-        g.bench_function(tier.to_string(), |b| {
-            b.iter(|| {
-                let mut m = Machine::new(MachineConfig::default());
-                wfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap()
-            })
+        bench(&format!("sim/wfa_100bp/{tier}"), || {
+            let mut m = Machine::new(MachineConfig::default());
+            wfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_ss_tiers(c: &mut Criterion) {
+fn bench_ss_tiers() {
     let pair = &DatasetSpec::d100().generate_n(5, 1)[0];
     let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
-    let mut g = c.benchmark_group("sim/ss_100bp");
     for tier in [Tier::Vec, Tier::QuetzalC] {
-        g.bench_function(tier.to_string(), |b| {
-            b.iter(|| {
-                let mut m = Machine::new(MachineConfig::default());
-                ss_sim(&mut m, p, t, Alphabet::Dna, 8, tier).unwrap()
-            })
+        bench(&format!("sim/ss_100bp/{tier}"), || {
+            let mut m = Machine::new(MachineConfig::default());
+            ss_sim(&mut m, p, t, Alphabet::Dna, 8, tier).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_wfa_tiers, bench_ss_tiers);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes --bench (and filter args); ignore them.
+    bench_wfa_tiers();
+    bench_ss_tiers();
+}

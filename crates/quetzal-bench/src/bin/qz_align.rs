@@ -51,7 +51,10 @@ fn main() {
                 }
             }
             "--threshold" => {
-                threshold = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--protein" => alphabet = Alphabet::Protein,
             _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
@@ -83,7 +86,11 @@ fn main() {
         total_cycles += out.stats.cycles;
         total_requests += out.stats.mem_requests;
         if algo == "ss" {
-            let verdict = if out.value as u32 <= threshold { "accept" } else { "reject" };
+            let verdict = if out.value as u32 <= threshold {
+                "accept"
+            } else {
+                "reject"
+            };
             println!("pair {i}: bound {} -> {verdict}", out.value);
         } else {
             println!("pair {i}: score {}", out.value);

@@ -13,7 +13,7 @@
 //!    of Fig. 12 at the instruction level, isolated on one kernel.
 
 use crate::report::{ratio, Table};
-use crate::workloads::{run_algo, table2_workloads, Algo};
+use crate::workloads::{prefetch, run_algo, table2_workloads, Algo, AlgoJob};
 use quetzal::uarch::CoreConfig;
 use quetzal::MachineConfig;
 use quetzal_algos::Tier;
@@ -23,12 +23,51 @@ pub fn run(scale: f64) -> Table {
     let mut t = Table::new(
         "Ablations",
         "sensitivity of the headline comparison to model calibration",
-        &["knob", "setting", "VEC cycles", "QZ+C cycles", "QZ+C speedup"],
+        &[
+            "knob",
+            "setting",
+            "VEC cycles",
+            "QZ+C cycles",
+            "QZ+C speedup",
+        ],
     );
     let wl = table2_workloads(scale)
         .into_iter()
         .find(|w| w.spec.name == "250bp_1")
         .expect("250bp workload exists");
+
+    // Every (knob setting, algorithm, tier) cell below is independent;
+    // collect the owned configurations up front and prefetch the lot,
+    // so the table loops read the memoised results.
+    let mut combos: Vec<(MachineConfig, Algo, [Tier; 2])> = Vec::new();
+    for overhead in [0u64, 6, 12, 18] {
+        let mut core = CoreConfig::a64fx_like();
+        core.gather_crack_overhead = overhead;
+        combos.push((
+            MachineConfig { core },
+            Algo::Wfa,
+            [Tier::Vec, Tier::QuetzalC],
+        ));
+    }
+    for degree in [0usize, 4] {
+        let mut core = CoreConfig::a64fx_like();
+        core.prefetch_degree = degree;
+        combos.push((
+            MachineConfig { core },
+            Algo::Wfa,
+            [Tier::Vec, Tier::QuetzalC],
+        ));
+    }
+    for penalty in [0u64, 10] {
+        let mut core = CoreConfig::a64fx_like();
+        core.store_fwd_penalty = penalty;
+        combos.push((MachineConfig { core }, Algo::Nw, [Tier::Vec, Tier::Quetzal]));
+    }
+    let jobs: Vec<AlgoJob<'_>> = combos
+        .iter()
+        .flat_map(|(cfg, algo, tiers)| tiers.map(|tier| (cfg, *algo, &wl, tier)))
+        .collect();
+    prefetch(&jobs);
 
     // 1. Gather crack overhead sweep.
     for overhead in [0u64, 6, 12, 18] {
@@ -55,7 +94,11 @@ pub fn run(scale: f64) -> Table {
         let qzc = run_algo(&cfg, Algo::Wfa, &wl, Tier::QuetzalC);
         t.row(&[
             "stride prefetcher".into(),
-            if degree == 0 { "off".into() } else { format!("degree {degree}") },
+            if degree == 0 {
+                "off".into()
+            } else {
+                format!("degree {degree}")
+            },
             vec.cycles.to_string(),
             qzc.cycles.to_string(),
             ratio(vec.cycles as f64, qzc.cycles as f64),
@@ -78,6 +121,8 @@ pub fn run(scale: f64) -> Table {
         ]);
     }
 
-    t.note("the QZ+C advantage persists across every calibration setting; only its magnitude moves");
+    t.note(
+        "the QZ+C advantage persists across every calibration setting; only its magnitude moves",
+    );
     t
 }

@@ -3,7 +3,7 @@
 //! reads. The paper reports 1.3× (short) and 2.5× (long) on average.
 
 use crate::report::{ratio, Table};
-use crate::workloads::{run_algo, table2_workloads, Algo};
+use crate::workloads::{prefetch, run_algo, table2_workloads, Algo, AlgoJob};
 use quetzal::MachineConfig;
 use quetzal_algos::Tier;
 
@@ -12,12 +12,28 @@ pub fn run(scale: f64) -> Table {
     let mut t = Table::new(
         "Fig. 3",
         "speedup of hand-vectorised (VEC) over the baseline",
-        &["dataset", "algorithm", "base cycles", "vec cycles", "speedup"],
+        &[
+            "dataset",
+            "algorithm",
+            "base cycles",
+            "vec cycles",
+            "speedup",
+        ],
     );
     let cfg = MachineConfig::default();
+    let workloads = table2_workloads(scale);
+    let mut jobs: Vec<AlgoJob<'_>> = Vec::new();
+    for wl in &workloads {
+        for algo in [Algo::Wfa, Algo::Ss] {
+            for tier in [Tier::Base, Tier::Vec] {
+                jobs.push((&cfg, algo, wl, tier));
+            }
+        }
+    }
+    prefetch(&jobs);
     let mut short = Vec::new();
     let mut long = Vec::new();
-    for wl in table2_workloads(scale) {
+    for wl in workloads {
         for algo in [Algo::Wfa, Algo::Ss] {
             let base = run_algo(&cfg, algo, &wl, Tier::Base);
             let vec = run_algo(&cfg, algo, &wl, Tier::Vec);

@@ -3,7 +3,7 @@
 //! run time of vectorised WFA, BiWFA and SS.
 
 use crate::report::{pct, Table};
-use crate::workloads::{run_algo, table2_workloads, Algo};
+use crate::workloads::{prefetch, run_algo, table2_workloads, Algo, AlgoJob};
 use quetzal::{MachineConfig, StallCat};
 use quetzal_algos::Tier;
 
@@ -25,9 +25,16 @@ pub fn run(scale: f64) -> Table {
     let cfg = MachineConfig::default();
     let workloads = table2_workloads(scale);
     // The paper plots one short and one long dataset per algorithm.
-    for wl in workloads.iter().filter(|w| {
-        w.spec.name == "100bp_1" || w.spec.name == "10Kbp"
-    }) {
+    let plotted: Vec<_> = workloads
+        .iter()
+        .filter(|w| w.spec.name == "100bp_1" || w.spec.name == "10Kbp")
+        .collect();
+    let jobs: Vec<AlgoJob<'_>> = plotted
+        .iter()
+        .flat_map(|wl| Algo::modern().map(|algo| (&cfg, algo, *wl, Tier::Vec)))
+        .collect();
+    prefetch(&jobs);
+    for wl in plotted {
         for algo in Algo::modern() {
             let s = run_algo(&cfg, algo, wl, Tier::Vec);
             t.row(&[

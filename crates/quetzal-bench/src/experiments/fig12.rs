@@ -3,7 +3,7 @@
 //! (Paper §VI: more ports cut QBUFFER read latency from 9 to 2 cycles.)
 
 use crate::report::{ratio, Table};
-use crate::workloads::{run_algo, table2_workloads, Algo};
+use crate::workloads::{prefetch, run_algo, table2_workloads, Algo, AlgoJob};
 use quetzal::{MachineConfig, QzConfig};
 use quetzal_algos::Tier;
 
@@ -20,16 +20,28 @@ pub fn run(scale: f64) -> Table {
         QzConfig::QZ_4P,
         QzConfig::QZ_8P,
     ];
-    for wl in table2_workloads(scale)
+    let machine_cfgs: Vec<MachineConfig> = configs
+        .iter()
+        .map(|&qz| MachineConfig::with_qz(qz))
+        .collect();
+    let workloads: Vec<_> = table2_workloads(scale)
         .into_iter()
         .filter(|w| w.spec.name == "100bp_1" || w.spec.name == "10Kbp")
-    {
+        .collect();
+    let mut jobs: Vec<AlgoJob<'_>> = Vec::new();
+    for wl in &workloads {
         for algo in [Algo::Wfa, Algo::Ss] {
-            let cycles: Vec<u64> = configs
+            for cfg in &machine_cfgs {
+                jobs.push((cfg, algo, wl, Tier::Quetzal));
+            }
+        }
+    }
+    prefetch(&jobs);
+    for wl in workloads {
+        for algo in [Algo::Wfa, Algo::Ss] {
+            let cycles: Vec<u64> = machine_cfgs
                 .iter()
-                .map(|&qz| {
-                    run_algo(&MachineConfig::with_qz(qz), algo, &wl, Tier::Quetzal).cycles
-                })
+                .map(|cfg| run_algo(cfg, algo, &wl, Tier::Quetzal).cycles)
                 .collect();
             let base = cycles[0] as f64;
             let mut row = vec![wl.spec.name.to_string(), algo.to_string()];

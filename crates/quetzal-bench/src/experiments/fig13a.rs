@@ -8,9 +8,14 @@
 //! 6.0×/6.6×.
 
 use crate::report::{ratio, Table};
-use crate::workloads::{protein_workload, run_algo, table2_workloads, Algo, Workload};
+use crate::workloads::{
+    prefetch, protein_workload, run_algo, table2_workloads, Algo, AlgoJob, Workload,
+};
 use quetzal::MachineConfig;
 use quetzal_algos::Tier;
+
+/// Every tier compared in the figure.
+const TIERS: [Tier; 4] = [Tier::Base, Tier::Vec, Tier::Quetzal, Tier::QuetzalC];
 
 fn run_workload(t: &mut Table, cfg: &MachineConfig, wl: &Workload, algos: &[Algo]) {
     for &algo in algos {
@@ -46,12 +51,27 @@ pub fn run(scale: f64) -> Table {
         ],
     );
     let cfg = MachineConfig::default();
-    for wl in table2_workloads(scale) {
-        run_workload(&mut t, &cfg, &wl, &Algo::all());
-    }
+    let workloads = table2_workloads(scale);
     // Use case 4: protein alignment (modern algorithms only, as in the
     // paper).
     let protein = protein_workload(scale);
+    let mut jobs: Vec<AlgoJob<'_>> = Vec::new();
+    for wl in &workloads {
+        for algo in Algo::all() {
+            for tier in TIERS {
+                jobs.push((&cfg, algo, wl, tier));
+            }
+        }
+    }
+    for algo in Algo::modern() {
+        for tier in TIERS {
+            jobs.push((&cfg, algo, &protein, tier));
+        }
+    }
+    prefetch(&jobs);
+    for wl in &workloads {
+        run_workload(&mut t, &cfg, wl, &Algo::all());
+    }
     run_workload(&mut t, &cfg, &protein, &Algo::modern());
     t.note("paper: QZ/VEC and QZ+C/VEC are 1.5x/2.1x (short), 5.1x/5.5x (long); classical DP 1.3-1.4x; protein 6.0x/6.6x");
     t.note("NW/SW run on windowed long reads (paper SVI prescribes windowing/tiling for long sequences)");

@@ -9,11 +9,17 @@
 use crate::report::{num, Table};
 use crate::workloads::{Workload, SEED};
 use quetzal::uarch::CoreConfig;
-use quetzal::{Machine, MachineConfig};
+use quetzal::{BatchRunner, Machine, MachineConfig};
 use quetzal_algos::wfa_sim::wfa_sim;
 use quetzal_algos::Tier;
 use quetzal_genomics::dataset::DatasetSpec;
 
+/// Core counts on the figure's x-axis.
+const CORES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One surrogate core's cycles for the whole workload: one machine
+/// (warm caches across pairs, like a real per-core run) with 1/n of
+/// the shared resources.
 fn per_core_cycles(cfg: CoreConfig, wl: &Workload) -> u64 {
     let mut machine = Machine::new(MachineConfig { core: cfg });
     let mut total = 0;
@@ -39,17 +45,38 @@ pub fn run(scale: f64) -> Table {
         &["dataset", "1", "2", "4", "8", "16"],
     );
     // A fixed per-core workload; memory pressure per core grows with n.
-    for spec in [DatasetSpec::d100(), DatasetSpec::d30k()] {
-        let n_pairs = if spec.is_long() { 1 } else { 4 };
-        let n_pairs = ((n_pairs as f64 * scale).round() as usize).max(1);
-        let wl = Workload {
-            pairs: spec.generate_n(SEED, n_pairs),
-            spec,
-        };
-        let t1 = per_core_cycles(CoreConfig::a64fx_like(), &wl);
+    let workloads: Vec<Workload> = [DatasetSpec::d100(), DatasetSpec::d30k()]
+        .into_iter()
+        .map(|spec| {
+            let n_pairs = if spec.is_long() { 1 } else { 4 };
+            let n_pairs = ((n_pairs as f64 * scale).round() as usize).max(1);
+            Workload {
+                pairs: spec.generate_n(SEED, n_pairs),
+                spec,
+            }
+        })
+        .collect();
+    // Every (dataset, core-count) cell is an independent simulation —
+    // batch all of them.
+    let mut items: Vec<(usize, usize)> = Vec::new();
+    for w in 0..workloads.len() {
+        for n in CORES {
+            items.push((w, n));
+        }
+    }
+    let cycles = BatchRunner::from_env()
+        .run(
+            &items,
+            || (),
+            |(), _i, &(w, n)| per_core_cycles(CoreConfig::a64fx_like().share_of(n), &workloads[w]),
+        )
+        .expect("fig13b simulation panicked");
+    for (w, wl) in workloads.iter().enumerate() {
+        // share_of(1) is the unshared core, so the first cell is T(1).
+        let t1 = cycles[w * CORES.len()];
         let mut row = vec![wl.spec.name.to_string()];
-        for n in [1usize, 2, 4, 8, 16] {
-            let tn = per_core_cycles(CoreConfig::a64fx_like().share_of(n), &wl);
+        for (j, n) in CORES.into_iter().enumerate() {
+            let tn = cycles[w * CORES.len() + j];
             let speedup = n as f64 * t1 as f64 / tn as f64;
             row.push(num(speedup));
         }

@@ -4,7 +4,7 @@
 //! wavefront/DP traffic remains.
 
 use crate::report::{ratio, Table};
-use crate::workloads::{run_algo, table2_workloads, Algo};
+use crate::workloads::{prefetch, run_algo, table2_workloads, Algo, AlgoJob};
 use quetzal::MachineConfig;
 use quetzal_algos::Tier;
 
@@ -13,10 +13,26 @@ pub fn run(scale: f64) -> Table {
     let mut t = Table::new(
         "Fig. 14a",
         "cache-hierarchy memory requests: VEC vs QUETZAL+C",
-        &["dataset", "algorithm", "VEC requests", "QZ+C requests", "reduction"],
+        &[
+            "dataset",
+            "algorithm",
+            "VEC requests",
+            "QZ+C requests",
+            "reduction",
+        ],
     );
     let cfg = MachineConfig::default();
-    for wl in table2_workloads(scale) {
+    let workloads = table2_workloads(scale);
+    let mut jobs: Vec<AlgoJob<'_>> = Vec::new();
+    for wl in &workloads {
+        for algo in Algo::modern() {
+            for tier in [Tier::Vec, Tier::QuetzalC] {
+                jobs.push((&cfg, algo, wl, tier));
+            }
+        }
+    }
+    prefetch(&jobs);
+    for wl in workloads {
         for algo in Algo::modern() {
             let vec = run_algo(&cfg, algo, &wl, Tier::Vec);
             let qzc = run_algo(&cfg, algo, &wl, Tier::QuetzalC);

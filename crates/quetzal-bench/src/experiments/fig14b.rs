@@ -4,14 +4,19 @@
 
 use crate::report::{ratio, Table};
 use crate::workloads::{table2_workloads, Workload, SEED};
-use quetzal::{Machine, MachineConfig};
-use quetzal_algos::pipeline::{mixed_pairs, pipeline_sim};
+use quetzal::{BatchRunner, MachineConfig};
+use quetzal_algos::pipeline::{mixed_pairs, pipeline_batch};
 use quetzal_algos::Tier;
 
-fn pipeline_cycles(wl: &Workload, pairs: &[quetzal_genomics::dataset::SeqPair], tier: Tier) -> u64 {
-    let mut machine = Machine::new(MachineConfig::default());
-    let (_, stats) = pipeline_sim(
-        &mut machine,
+fn pipeline_cycles(
+    runner: &BatchRunner,
+    wl: &Workload,
+    pairs: &[quetzal_genomics::dataset::SeqPair],
+    tier: Tier,
+) -> u64 {
+    let (_, stats) = pipeline_batch(
+        runner,
+        &MachineConfig::default(),
         pairs,
         wl.spec.alphabet,
         wl.ss_threshold(),
@@ -28,11 +33,12 @@ pub fn run(scale: f64) -> Table {
         "SS+WFA pipeline speedup: QUETZAL+C over VEC (50% dissimilar pairs)",
         &["dataset", "pairs", "VEC cycles", "QZ+C cycles", "speedup"],
     );
+    let runner = BatchRunner::from_env();
     for wl in table2_workloads(scale) {
         let n = wl.pairs.len().max(2);
         let pairs = mixed_pairs(&wl.spec, SEED, n, 0.5);
-        let vec = pipeline_cycles(&wl, &pairs, Tier::Vec);
-        let qzc = pipeline_cycles(&wl, &pairs, Tier::QuetzalC);
+        let vec = pipeline_cycles(&runner, &wl, &pairs, Tier::Vec);
+        let qzc = pipeline_cycles(&runner, &wl, &pairs, Tier::QuetzalC);
         t.row(&[
             wl.spec.name.to_string(),
             pairs.len().to_string(),

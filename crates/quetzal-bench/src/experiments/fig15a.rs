@@ -6,10 +6,10 @@
 //! WFA-GPU by 2.7× on long reads; (4) the A40 spends >10× the area.
 
 use crate::report::{num, Table};
-use crate::workloads::{run_algo, table2_workloads, Algo, Workload, SW_WINDOW};
-use quetzal_algos::swg::default_band;
+use crate::workloads::{prefetch, run_algo, table2_workloads, Algo, AlgoJob, Workload, SW_WINDOW};
 use quetzal::uarch::CoreConfig;
 use quetzal::MachineConfig;
+use quetzal_algos::swg::default_band;
 use quetzal_algos::Tier;
 use quetzal_genomics::distance::myers_distance;
 use quetzal_gpu::{throughput_pairs_per_sec, GpuAligner, GpuModel};
@@ -17,12 +17,18 @@ use quetzal_gpu::{throughput_pairs_per_sec, GpuAligner, GpuModel};
 const CORES: usize = 16;
 const CLOCK_HZ: f64 = 2.0e9;
 
+/// The surrogate 16-core configuration: one core with 1/16 of the
+/// shared resources.
+fn shared_cfg() -> MachineConfig {
+    MachineConfig {
+        core: CoreConfig::a64fx_like().share_of(CORES),
+    }
+}
+
 /// Simulated 16-core CPU throughput in pairs/second: surrogate core
 /// with 1/16 of the shared resources, times 16.
 fn cpu_throughput(wl: &Workload, algo: Algo, tier: Tier) -> f64 {
-    let cfg = MachineConfig {
-        core: CoreConfig::a64fx_like().share_of(CORES),
-    };
+    let cfg = shared_cfg();
     let stats = run_algo(&cfg, algo, wl, tier);
     // Banded SW simulates a window of long reads; scale its cost to the
     // full-length alignment (cells grow as len x band) so the pairs/s
@@ -42,17 +48,22 @@ pub fn run(scale: f64) -> Table {
         "Fig. 15a",
         "alignment throughput (pairs/s): 16-core CPU vs NVIDIA A40 model",
         &[
-            "dataset",
-            "WFA VEC",
-            "WFA QZ+C",
-            "WFA-GPU",
-            "SW VEC",
-            "SW QZ+C",
-            "GASAL2",
+            "dataset", "WFA VEC", "WFA QZ+C", "WFA-GPU", "SW VEC", "SW QZ+C", "GASAL2",
         ],
     );
     let gpu = GpuModel::a40();
-    for wl in table2_workloads(scale) {
+    let cfg = shared_cfg();
+    let workloads = table2_workloads(scale);
+    let mut jobs: Vec<AlgoJob<'_>> = Vec::new();
+    for wl in &workloads {
+        for algo in [Algo::Wfa, Algo::Sw] {
+            for tier in [Tier::Vec, Tier::QuetzalC] {
+                jobs.push((&cfg, algo, wl, tier));
+            }
+        }
+    }
+    prefetch(&jobs);
+    for wl in workloads {
         let d = wl
             .pairs
             .iter()

@@ -2,7 +2,7 @@
 //! over their vectorised implementations (paper: 1.94× and 3.02×).
 
 use crate::report::{ratio, Table};
-use quetzal::{Machine, MachineConfig};
+use quetzal::{BatchRunner, MachineConfig};
 use quetzal_algos::histogram::histogram_sim;
 use quetzal_algos::spmv::{spmv_sim, CsrMatrix};
 use quetzal_algos::Tier;
@@ -21,17 +21,6 @@ pub fn run(scale: f64) -> Table {
     let a = CsrMatrix::random(rows, 512, 160, 23);
     let mut rng = SplitMix64::new(24);
     let x: Vec<i64> = (0..512).map(|_| rng.below(1 << 12) as i64).collect();
-    let mut mv = Machine::new(MachineConfig::default());
-    let (vec_out, _) = spmv_sim(&mut mv, &a, &x, Tier::Vec).expect("spmv vec");
-    let mut mq = Machine::new(MachineConfig::default());
-    let (qz_out, _) = spmv_sim(&mut mq, &a, &x, Tier::Quetzal).expect("spmv qz");
-    t.row(&[
-        "SpMV".into(),
-        format!("{} nnz", a.nnz()),
-        vec_out.stats.cycles.to_string(),
-        qz_out.stats.cycles.to_string(),
-        ratio(vec_out.stats.cycles as f64, qz_out.stats.cycles as f64),
-    ]);
 
     // Histogram.
     let n = ((4000.0 * scale) as usize).max(1000);
@@ -40,16 +29,44 @@ pub fn run(scale: f64) -> Table {
         let mut rng = SplitMix64::new(31);
         (0..n).map(|_| rng.below(bins as u64) as u8).collect()
     };
-    let mut mv = Machine::new(MachineConfig::default());
-    let (vec_out, _) = histogram_sim(&mut mv, &vals, bins, Tier::Vec).expect("hist vec");
-    let mut mq = Machine::new(MachineConfig::default());
-    let (qz_out, _) = histogram_sim(&mut mq, &vals, bins, Tier::Quetzal).expect("hist qz");
+
+    // The four kernel/tier simulations are independent — batch them.
+    let items = [
+        ("spmv", Tier::Vec),
+        ("spmv", Tier::Quetzal),
+        ("hist", Tier::Vec),
+        ("hist", Tier::Quetzal),
+    ];
+    let cycles = BatchRunner::from_env()
+        .run_machines(
+            &MachineConfig::default(),
+            &items,
+            |m, _i, &(kernel, tier)| match kernel {
+                "spmv" => spmv_sim(m, &a, &x, tier).expect("spmv sim").0.stats.cycles,
+                _ => {
+                    histogram_sim(m, &vals, bins, tier)
+                        .expect("hist sim")
+                        .0
+                        .stats
+                        .cycles
+                }
+            },
+        )
+        .expect("fig15b simulation panicked");
+
+    t.row(&[
+        "SpMV".into(),
+        format!("{} nnz", a.nnz()),
+        cycles[0].to_string(),
+        cycles[1].to_string(),
+        ratio(cycles[0] as f64, cycles[1] as f64),
+    ]);
     t.row(&[
         "histogram".into(),
         format!("{n} elems / {bins} bins"),
-        vec_out.stats.cycles.to_string(),
-        qz_out.stats.cycles.to_string(),
-        ratio(vec_out.stats.cycles as f64, qz_out.stats.cycles as f64),
+        cycles[2].to_string(),
+        cycles[3].to_string(),
+        ratio(cycles[2] as f64, cycles[3] as f64),
     ]);
 
     t.note("paper: SpMV 1.94x, histogram 3.02x");

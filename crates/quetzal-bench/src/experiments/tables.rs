@@ -66,7 +66,13 @@ pub fn table02(scale: f64) -> Table {
     let mut t = Table::new(
         "Table II",
         "input dataset characteristics",
-        &["dataset", "read length", "pairs (nominal)", "pairs (simulated)", "mean edit distance"],
+        &[
+            "dataset",
+            "read length",
+            "pairs (nominal)",
+            "pairs (simulated)",
+            "mean edit distance",
+        ],
     );
     for wl in table2_workloads(scale) {
         let d: f64 = wl
@@ -106,7 +112,13 @@ pub fn table03() -> Table {
     let mut t = Table::new(
         "Table III",
         "area and power of the QUETZAL configurations (7 nm model)",
-        &["config", "area (mm²)", "power (µW)", "% of A64FX core", "% of SoC"],
+        &[
+            "config",
+            "area (mm²)",
+            "power (µW)",
+            "% of A64FX core",
+            "% of SoC",
+        ],
     );
     for r in table3() {
         t.row(&[
@@ -117,7 +129,9 @@ pub fn table03() -> Table {
             format!("{:.2}%", r.soc_overhead_pct),
         ]);
     }
-    t.note("published anchors: 0.013 / 0.026 / 0.048 / 0.097 mm²; QZ_8P = 746 µW and 1.41% of the SoC");
+    t.note(
+        "published anchors: 0.013 / 0.026 / 0.048 / 0.097 mm²; QZ_8P = 746 µW and 1.41% of the SoC",
+    );
     t
 }
 

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 pub mod workloads;
 
 /// Reads the workload scale factor from `QUETZAL_SCALE` (default 1.0).

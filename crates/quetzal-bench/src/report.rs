@@ -71,7 +71,11 @@ impl std::fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", line(&self.headers, &w))?;
-        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1))
+        )?;
         for r in &self.rows {
             writeln!(f, "{}", line(r, &w))?;
         }

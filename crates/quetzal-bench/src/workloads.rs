@@ -1,8 +1,16 @@
 //! Shared workload construction and algorithm runners for the
 //! experiment harness.
+//!
+//! Simulation here is **deterministically parallel**: every pair of a
+//! workload is an independent work item submitted through
+//! [`BatchRunner`], and experiment modules batch their independent
+//! algorithm/dataset/tier combinations through [`prefetch`]. Both
+//! levels inherit the runner's guarantee that results are bit-identical
+//! for every `QUETZAL_THREADS` value, so the printed tables never
+//! depend on the host's core count.
 
 use quetzal::uarch::RunStats;
-use quetzal::{Machine, MachineConfig};
+use quetzal::{BatchRunner, Machine, MachineConfig};
 use quetzal_algos::biwfa::biwfa_sim;
 use quetzal_algos::dp_sim::LinearCosts;
 use quetzal_algos::nw::nw_sim;
@@ -135,81 +143,162 @@ fn windowed<'a>(seq: &'a [u8], window: usize) -> &'a [u8] {
     &seq[..seq.len().min(window)]
 }
 
-/// Runs `algo` at `tier` over every pair of the workload on a fresh
-/// machine with the given configuration, returning accumulated
-/// statistics. Caches stay warm across pairs, as in a real batch run.
+/// An algorithm/workload/tier combination to simulate on a machine
+/// configuration — the coarse work unit experiments batch through
+/// [`prefetch`].
+pub type AlgoJob<'a> = (&'a MachineConfig, Algo, &'a Workload, Tier);
+
+fn memo() -> &'static std::sync::Mutex<std::collections::HashMap<String, RunStats>> {
+    // Experiments share workloads (Fig. 3/4/13a/14a all run the same
+    // algorithm/dataset/tier combinations); memoise by configuration so
+    // `run_all` simulates each combination once.
+    static MEMO: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::HashMap<String, RunStats>>,
+    > = std::sync::OnceLock::new();
+    MEMO.get_or_init(Default::default)
+}
+
+fn memo_key(cfg: &MachineConfig, algo: Algo, wl: &Workload, tier: Tier) -> String {
+    format!(
+        "{cfg:?}|{algo}|{}|{}|{}|{tier}",
+        wl.spec.name,
+        wl.pairs.len(),
+        wl.ss_threshold()
+    )
+}
+
+/// Simulates every not-yet-memoised combination, in parallel across
+/// combinations *and* across each combination's pairs. Experiment
+/// modules call this once with all the combinations they are about to
+/// read, then read them through [`run_algo`] (which hits the memo) —
+/// so the table-building code stays a simple serial loop while the
+/// simulation wall-clock scales with `QUETZAL_THREADS`.
+pub fn prefetch(jobs: &[AlgoJob<'_>]) {
+    let mut todo: Vec<(String, AlgoJob<'_>)> = Vec::new();
+    {
+        let cache = memo().lock().expect("memo lock");
+        for &job in jobs {
+            let key = memo_key(job.0, job.1, job.2, job.3);
+            if !cache.contains_key(&key) && !todo.iter().any(|(k, _)| *k == key) {
+                todo.push((key, job));
+            }
+        }
+    }
+    if todo.is_empty() {
+        return;
+    }
+    let runner = BatchRunner::from_env();
+    let stats = runner
+        .run(
+            &todo,
+            || (),
+            |(), _i, (_key, (cfg, algo, wl, tier))| run_algo_uncached(cfg, *algo, wl, *tier),
+        )
+        .expect("experiment simulation panicked");
+    let mut cache = memo().lock().expect("memo lock");
+    for ((key, _), s) in todo.into_iter().zip(stats) {
+        cache.insert(key, s);
+    }
+}
+
+/// Runs `algo` at `tier` over every pair of the workload, returning
+/// merged statistics. Pairs are independent work items sharded across
+/// `QUETZAL_THREADS` worker threads (each shard on its own fresh
+/// machine); the result is bit-identical for every thread count.
 ///
 /// # Panics
 ///
 /// Panics if a simulation fails (experiment harness context).
 pub fn run_algo(cfg: &MachineConfig, algo: Algo, wl: &Workload, tier: Tier) -> RunStats {
-    // Experiments share workloads (Fig. 3/4/13a/14a all run the same
-    // algorithm/dataset/tier combinations); memoise by configuration so
-    // `run_all` simulates each combination once.
-    use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
-    static MEMO: OnceLock<Mutex<HashMap<String, RunStats>>> = OnceLock::new();
-    let key = format!(
-        "{cfg:?}|{algo}|{}|{}|{}|{tier}",
-        wl.spec.name,
-        wl.pairs.len(),
-        wl.ss_threshold()
-    );
-    if let Some(hit) = MEMO
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("memo lock")
-        .get(&key)
-    {
+    let key = memo_key(cfg, algo, wl, tier);
+    if let Some(hit) = memo().lock().expect("memo lock").get(&key) {
         return hit.clone();
     }
     let stats = run_algo_uncached(cfg, algo, wl, tier);
-    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("memo lock")
-        .insert(key, stats.clone());
+    memo().lock().expect("memo lock").insert(key, stats.clone());
     stats
 }
 
 fn run_algo_uncached(cfg: &MachineConfig, algo: Algo, wl: &Workload, tier: Tier) -> RunStats {
-    let mut machine = Machine::new(cfg.clone());
+    RunStats::merged(&run_algo_pairs(
+        &BatchRunner::from_env(),
+        cfg,
+        algo,
+        wl,
+        tier,
+    ))
+}
+
+/// Per-pair statistics of `algo` at `tier` over the workload, simulated
+/// through `runner`: one shard per pair, one fresh machine per shard,
+/// results in pair order. This is the quantity `tests/parallel.rs`
+/// asserts is thread-count-invariant.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (experiment harness context).
+pub fn run_algo_pairs(
+    runner: &BatchRunner,
+    cfg: &MachineConfig,
+    algo: Algo,
+    wl: &Workload,
+    tier: Tier,
+) -> Vec<RunStats> {
+    let threshold = wl.ss_threshold();
     let alphabet = wl.spec.alphabet;
-    let mut total = RunStats::default();
-    for pair in &wl.pairs {
-        let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
-        let stats = match algo {
-            Algo::Wfa => wfa_sim(&mut machine, p, t, alphabet, tier)
+    runner
+        .run_machines(cfg, &wl.pairs, |machine, _i, pair| {
+            simulate_pair(machine, algo, alphabet, threshold, pair, tier)
+        })
+        .expect("simulation shard panicked")
+}
+
+/// Simulates one pair (the per-shard work item of [`run_algo_pairs`]).
+fn simulate_pair(
+    machine: &mut Machine,
+    algo: Algo,
+    alphabet: quetzal_genomics::Alphabet,
+    ss_threshold: u32,
+    pair: &SeqPair,
+    tier: Tier,
+) -> RunStats {
+    let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
+    match algo {
+        Algo::Wfa => {
+            wfa_sim(machine, p, t, alphabet, tier)
                 .expect("wfa sim")
-                .stats,
-            Algo::BiWfa => biwfa_sim(&mut machine, p, t, alphabet, tier)
-                .expect("biwfa sim")
-                .stats,
-            Algo::Ss => ss_sim(&mut machine, p, t, alphabet, wl.ss_threshold(), tier)
-                .expect("ss sim")
-                .stats,
-            Algo::Sw => {
-                let (pw, tw) = (windowed(p, SW_WINDOW), windowed(t, SW_WINDOW));
-                swg_sim(
-                    &mut machine,
-                    pw,
-                    tw,
-                    LinearCosts::UNIT,
-                    default_band(pw.len()),
-                    tier,
-                )
-                .expect("sw sim")
                 .stats
-            }
-            Algo::Nw => {
-                let (pw, tw) = (windowed(p, NW_WINDOW), windowed(t, NW_WINDOW));
-                nw_sim(&mut machine, pw, tw, LinearCosts::UNIT, tier)
-                    .expect("nw sim")
-                    .stats
-            }
-        };
-        total.accumulate(&stats);
+        }
+        Algo::BiWfa => {
+            biwfa_sim(machine, p, t, alphabet, tier)
+                .expect("biwfa sim")
+                .stats
+        }
+        Algo::Ss => {
+            ss_sim(machine, p, t, alphabet, ss_threshold, tier)
+                .expect("ss sim")
+                .stats
+        }
+        Algo::Sw => {
+            let (pw, tw) = (windowed(p, SW_WINDOW), windowed(t, SW_WINDOW));
+            swg_sim(
+                machine,
+                pw,
+                tw,
+                LinearCosts::UNIT,
+                default_band(pw.len()),
+                tier,
+            )
+            .expect("sw sim")
+            .stats
+        }
+        Algo::Nw => {
+            let (pw, tw) = (windowed(p, NW_WINDOW), windowed(t, NW_WINDOW));
+            nw_sim(machine, pw, tw, LinearCosts::UNIT, tier)
+                .expect("nw sim")
+                .stats
+        }
     }
-    total
 }
 
 /// Base pairs processed by one run of `algo` over `wl` (for throughput
@@ -261,6 +350,46 @@ mod tests {
             let s = run_algo(&cfg, algo, &wl, Tier::QuetzalC);
             assert!(s.cycles > 0, "{algo}");
         }
+    }
+
+    #[test]
+    fn pair_batching_is_thread_invariant() {
+        let wl = Workload {
+            spec: DatasetSpec::d100(),
+            pairs: DatasetSpec::d100().generate_n(SEED, 3),
+        };
+        let cfg = MachineConfig::default();
+        let serial = run_algo_pairs(&BatchRunner::new(1), &cfg, Algo::Wfa, &wl, Tier::Vec);
+        let parallel = run_algo_pairs(&BatchRunner::new(4), &cfg, Algo::Wfa, &wl, Tier::Vec);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 3);
+        assert_eq!(
+            RunStats::merged(&serial),
+            RunStats::merged(&parallel),
+            "merged totals must match too"
+        );
+    }
+
+    #[test]
+    fn prefetch_then_read_matches_direct_run() {
+        let wl = Workload {
+            spec: DatasetSpec::d100(),
+            pairs: DatasetSpec::d100().generate_n(SEED, 2),
+        };
+        let cfg = MachineConfig::default();
+        prefetch(&[
+            (&cfg, Algo::Ss, &wl, Tier::Vec),
+            (&cfg, Algo::Ss, &wl, Tier::Vec),
+        ]);
+        let memoised = run_algo(&cfg, Algo::Ss, &wl, Tier::Vec);
+        let direct = RunStats::merged(&run_algo_pairs(
+            &BatchRunner::new(2),
+            &cfg,
+            Algo::Ss,
+            &wl,
+            Tier::Vec,
+        ));
+        assert_eq!(memoised, direct);
     }
 
     #[test]

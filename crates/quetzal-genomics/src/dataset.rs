@@ -11,6 +11,10 @@
 use crate::alphabet::Alphabet;
 use crate::sequence::Seq;
 
+// Re-exported for compatibility: the PRNG grew into its own module when
+// the workspace went zero-external-dependency.
+pub use crate::rng::SplitMix64;
+
 /// A pattern/text pair to be aligned or filtered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeqPair {
@@ -228,51 +232,6 @@ pub fn mutate(rng: &mut SplitMix64, pattern: &Seq, edit_rate: f64, profile: Erro
     Seq::new(out, pattern.alphabet()).expect("mutated symbols are always valid")
 }
 
-/// A tiny, high-quality, self-contained PRNG (SplitMix64) so the crate
-/// needs no external randomness dependency and datasets are bit-stable
-/// across platforms.
-#[derive(Debug, Clone)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Creates a generator from a seed.
-    pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next 64 uniformly random bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform integer in `[0, bound)` (unbiased by rejection).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bound == 0`.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bound must be positive");
-        let zone = u64::MAX - (u64::MAX % bound);
-        loop {
-            let v = self.next_u64();
-            if v < zone {
-                return v % bound;
-            }
-        }
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub fn f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
-
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -351,28 +310,5 @@ mod tests {
         let s = random_seq(&mut rng, 200, Alphabet::Dna);
         let t = mutate(&mut rng, &s, 0.0, ErrorProfile::ILLUMINA);
         assert_eq!(s, t);
-    }
-
-    #[test]
-    fn splitmix_below_is_in_range() {
-        let mut rng = SplitMix64::new(99);
-        for _ in 0..1000 {
-            assert!(rng.below(7) < 7);
-        }
-    }
-
-    #[test]
-    fn splitmix_f64_is_in_unit_interval() {
-        let mut rng = SplitMix64::new(1);
-        for _ in 0..1000 {
-            let v = rng.f64();
-            assert!((0.0..1.0).contains(&v));
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "bound must be positive")]
-    fn below_zero_bound_panics() {
-        SplitMix64::new(0).below(0);
     }
 }

@@ -75,7 +75,10 @@ impl From<io::Error> for FastaError {
 ///
 /// Returns [`FastaError`] on I/O failure, on sequence data appearing
 /// before the first header, or on symbols outside `alphabet`.
-pub fn read_fasta<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<FastaRecord>, FastaError> {
+pub fn read_fasta<R: BufRead>(
+    reader: R,
+    alphabet: Alphabet,
+) -> Result<Vec<FastaRecord>, FastaError> {
     let mut records = Vec::new();
     let mut current: Option<(String, Vec<u8>, usize)> = None;
     for (i, line) in reader.lines().enumerate() {
@@ -88,8 +91,10 @@ pub fn read_fasta<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<Fasta
             if let Some((id, bytes, start)) = current.take() {
                 records.push(FastaRecord {
                     id,
-                    seq: Seq::new(bytes, alphabet)
-                        .map_err(|source| FastaError::Seq { line: start, source })?,
+                    seq: Seq::new(bytes, alphabet).map_err(|source| FastaError::Seq {
+                        line: start,
+                        source,
+                    })?,
                 });
             }
             current = Some((id.trim().to_string(), Vec::new(), i + 1));
@@ -108,8 +113,10 @@ pub fn read_fasta<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<Fasta
     if let Some((id, bytes, start)) = current {
         records.push(FastaRecord {
             id,
-            seq: Seq::new(bytes, alphabet)
-                .map_err(|source| FastaError::Seq { line: start, source })?,
+            seq: Seq::new(bytes, alphabet).map_err(|source| FastaError::Seq {
+                line: start,
+                source,
+            })?,
         });
     }
     Ok(records)
@@ -156,10 +163,15 @@ pub fn read_pairs<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<SeqPa
                 })
             }
         };
-        let pattern = Seq::new(p.as_bytes().to_vec(), alphabet)
-            .map_err(|source| FastaError::Seq { line: i + 1, source })?;
-        let text = Seq::new(t.as_bytes().to_vec(), alphabet)
-            .map_err(|source| FastaError::Seq { line: i + 1, source })?;
+        let pattern =
+            Seq::new(p.as_bytes().to_vec(), alphabet).map_err(|source| FastaError::Seq {
+                line: i + 1,
+                source,
+            })?;
+        let text = Seq::new(t.as_bytes().to_vec(), alphabet).map_err(|source| FastaError::Seq {
+            line: i + 1,
+            source,
+        })?;
         pairs.push(SeqPair { pattern, text });
     }
     Ok(pairs)

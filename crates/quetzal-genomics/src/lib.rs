@@ -16,6 +16,9 @@
 //! * [`dataset`] — deterministic read-pair generators reproducing the
 //!   paper's Table II datasets (100 bp, 250 bp, 10 Kbp, 30 Kbp) and a
 //!   BAliBASE-like protein set.
+//! * [`rng`] — seeded, bit-stable in-tree PRNGs (SplitMix64,
+//!   xoshiro256**) so nothing in the workspace needs an external
+//!   randomness crate.
 //! * [`fasta`] — minimal FASTA and pair-file I/O so real data can be used
 //!   in place of the generators.
 //!
@@ -37,6 +40,7 @@ pub mod dataset;
 pub mod distance;
 pub mod fasta;
 pub mod packed;
+pub mod rng;
 pub mod sequence;
 
 pub use alphabet::Alphabet;

@@ -707,10 +707,18 @@ impl Instruction {
             VStore { .. } => InstClass::VectorStore,
             VGather { .. } => InstClass::Gather,
             VScatter { .. } => InstClass::Scatter,
-            VReduce { .. } | VExtract { .. } | VInsert { .. } | VSlideDown { .. }
+            VReduce { .. }
+            | VExtract { .. }
+            | VInsert { .. }
+            | VSlideDown { .. }
             | VSlide1Up { .. } => InstClass::VectorHorizontal,
-            PTrue { .. } | PWhileLt { .. } | PFalse { .. } | PAnd { .. } | POr { .. }
-            | PBic { .. } | PCount { .. } => InstClass::Predicate,
+            PTrue { .. }
+            | PWhileLt { .. }
+            | PFalse { .. }
+            | PAnd { .. }
+            | POr { .. }
+            | PBic { .. }
+            | PCount { .. } => InstClass::Predicate,
             QzConf { .. } => InstClass::QzConfig,
             QzEncode { .. } | QzStore { .. } | QzUpdate { .. } => InstClass::QzWrite,
             QzLoad { .. } | QzMhm { .. } | QzMm { .. } => InstClass::QzRead,
@@ -779,7 +787,9 @@ impl Instruction {
                 f(idx.into());
                 f(pg.into());
             }
-            VScatter { vs, rn, idx, pg, .. } => {
+            VScatter {
+                vs, rn, idx, pg, ..
+            } => {
                 f(vs.into());
                 f(rn.into());
                 f(idx.into());
@@ -863,8 +873,12 @@ impl Instruction {
             VStore { .. } | VScatter { .. } => {}
             VCmpVV { pd, .. } | VCmpVI { pd, .. } => f(pd.into()),
             VReduce { rd, .. } | VExtract { rd, .. } | PCount { rd, .. } => f(rd.into()),
-            PTrue { pd, .. } | PWhileLt { pd, .. } | PFalse { pd } | PAnd { pd, .. }
-            | POr { pd, .. } | PBic { pd, .. } => f(pd.into()),
+            PTrue { pd, .. }
+            | PWhileLt { pd, .. }
+            | PFalse { pd }
+            | PAnd { pd, .. }
+            | POr { pd, .. }
+            | PBic { pd, .. } => f(pd.into()),
             QzConf { .. } | QzEncode { .. } | QzStore { .. } | QzUpdate { .. } => {}
             QzLoad { vd, .. } | QzMhm { vd, .. } | QzMm { vd, .. } | QzCount { vd, .. } => {
                 f(vd.into())
@@ -900,58 +914,163 @@ impl std::fmt::Display for Instruction {
             MovImm { rd, imm } => write!(f, "mov {rd}, #{imm}"),
             AluRR { op, rd, rn, rm } => write!(f, "{op:?} {rd}, {rn}, {rm}"),
             AluRI { op, rd, rn, imm } => write!(f, "{op:?} {rd}, {rn}, #{imm}"),
-            Load { rd, rn, offset, size } => {
+            Load {
+                rd,
+                rn,
+                offset,
+                size,
+            } => {
                 write!(f, "ldr{} {rd}, [{rn}, #{offset}]", size.bytes())
             }
-            Store { rs, rn, offset, size } => {
+            Store {
+                rs,
+                rn,
+                offset,
+                size,
+            } => {
                 write!(f, "str{} {rs}, [{rn}, #{offset}]", size.bytes())
             }
-            Branch { cond, rn, rm, target } => {
+            Branch {
+                cond,
+                rn,
+                rm,
+                target,
+            } => {
                 write!(f, "b.{} {rn}, {rm}, @{target}", cond.mnemonic())
             }
             Jump { target } => write!(f, "b @{target}"),
             Halt => write!(f, "halt"),
             Dup { vd, rn, esize } => write!(f, "dup {vd}.{esize}, {rn}"),
             DupImm { vd, imm, esize } => write!(f, "dup {vd}.{esize}, #{imm}"),
-            Index { vd, rn, step, esize } => write!(f, "index {vd}.{esize}, {rn}, #{step}"),
-            VAluVV { op, vd, vn, vm, pg, esize } => {
+            Index {
+                vd,
+                rn,
+                step,
+                esize,
+            } => write!(f, "index {vd}.{esize}, {rn}, #{step}"),
+            VAluVV {
+                op,
+                vd,
+                vn,
+                vm,
+                pg,
+                esize,
+            } => {
                 write!(f, "{op:?} {vd}.{esize}, {pg}/m, {vn}, {vm}")
             }
-            VAluVI { op, vd, vn, imm, pg, esize } => {
+            VAluVI {
+                op,
+                vd,
+                vn,
+                imm,
+                pg,
+                esize,
+            } => {
                 write!(f, "{op:?} {vd}.{esize}, {pg}/m, {vn}, #{imm}")
             }
-            VCmpVV { cond, pd, vn, vm, pg, esize } => {
-                write!(f, "cmp.{} {pd}.{esize}, {pg}/z, {vn}, {vm}", cond.mnemonic())
+            VCmpVV {
+                cond,
+                pd,
+                vn,
+                vm,
+                pg,
+                esize,
+            } => {
+                write!(
+                    f,
+                    "cmp.{} {pd}.{esize}, {pg}/z, {vn}, {vm}",
+                    cond.mnemonic()
+                )
             }
-            VCmpVI { cond, pd, vn, imm, pg, esize } => {
-                write!(f, "cmp.{} {pd}.{esize}, {pg}/z, {vn}, #{imm}", cond.mnemonic())
+            VCmpVI {
+                cond,
+                pd,
+                vn,
+                imm,
+                pg,
+                esize,
+            } => {
+                write!(
+                    f,
+                    "cmp.{} {pd}.{esize}, {pg}/z, {vn}, #{imm}",
+                    cond.mnemonic()
+                )
             }
-            VSel { vd, pg, vn, vm, esize } => write!(f, "sel {vd}.{esize}, {pg}, {vn}, {vm}"),
+            VSel {
+                vd,
+                pg,
+                vn,
+                vm,
+                esize,
+            } => write!(f, "sel {vd}.{esize}, {pg}, {vn}, {vm}"),
             VLoad { vd, rn, pg, esize } => write!(f, "ld1 {vd}.{esize}, {pg}/z, [{rn}]"),
-            VLoadN { vd, rn, pg, esize, msize } => {
+            VLoadN {
+                vd,
+                rn,
+                pg,
+                esize,
+                msize,
+            } => {
                 write!(f, "ld1n{} {vd}.{esize}, {pg}/z, [{rn}]", msize.bytes())
             }
             VStore { vs, rn, pg, esize } => write!(f, "st1 {vs}.{esize}, {pg}, [{rn}]"),
-            VGather { vd, rn, idx, pg, esize, msize, scale } => {
+            VGather {
+                vd,
+                rn,
+                idx,
+                pg,
+                esize,
+                msize,
+                scale,
+            } => {
                 write!(
                     f,
                     "ld1b{} {vd}.{esize}, {pg}/z, [{rn}, {idx}, lsl #{scale}]",
                     msize.bytes()
                 )
             }
-            VScatter { vs, rn, idx, pg, esize, msize, scale } => {
+            VScatter {
+                vs,
+                rn,
+                idx,
+                pg,
+                esize,
+                msize,
+                scale,
+            } => {
                 write!(
                     f,
                     "st1b{} {vs}.{esize}, {pg}, [{rn}, {idx}, lsl #{scale}]",
                     msize.bytes()
                 )
             }
-            VReduce { op, rd, vn, pg, esize } => {
+            VReduce {
+                op,
+                rd,
+                vn,
+                pg,
+                esize,
+            } => {
                 write!(f, "{op:?}v {rd}, {pg}, {vn}.{esize}")
             }
-            VExtract { rd, vn, lane, esize } => write!(f, "umov {rd}, {vn}.{esize}[{lane}]"),
-            VInsert { vd, rn, lane, esize } => write!(f, "ins {vd}.{esize}[{lane}], {rn}"),
-            VSlideDown { vd, vn, amount, esize } => {
+            VExtract {
+                rd,
+                vn,
+                lane,
+                esize,
+            } => write!(f, "umov {rd}, {vn}.{esize}[{lane}]"),
+            VInsert {
+                vd,
+                rn,
+                lane,
+                esize,
+            } => write!(f, "ins {vd}.{esize}[{lane}], {rn}"),
+            VSlideDown {
+                vd,
+                vn,
+                amount,
+                esize,
+            } => {
                 write!(f, "slidedown {vd}.{esize}, {vn}, #{amount}")
             }
             VSlide1Up { vd, vn, rn, esize } => write!(f, "slide1up {vd}.{esize}, {vn}, {rn}"),
@@ -966,14 +1085,33 @@ impl std::fmt::Display for Instruction {
             QzEncode { sel, val, idx } => write!(f, "qzencode {sel}, {val}, {idx}"),
             QzStore { val, idx, sel, pg } => write!(f, "qzstore {val}, {idx}, {sel}, {pg}"),
             QzLoad { vd, idx, sel, pg } => write!(f, "qzload {vd}, {idx}, {sel}, {pg}"),
-            QzMhm { op, vd, idx0, idx1, pg } => {
+            QzMhm {
+                op,
+                vd,
+                idx0,
+                idx1,
+                pg,
+            } => {
                 write!(f, "qzmhm<{}> {vd}, {idx0}, {idx1}, {pg}", op.mnemonic())
             }
-            QzMm { op, vd, val, idx, sel, pg } => {
+            QzMm {
+                op,
+                vd,
+                val,
+                idx,
+                sel,
+                pg,
+            } => {
                 write!(f, "qzmm<{}> {vd}, {val}, {idx}, {sel}, {pg}", op.mnemonic())
             }
             QzCount { vd, vn, vm } => write!(f, "qzcount {vd}, {vn}, {vm}"),
-            QzUpdate { op, val, idx, sel, pg } => {
+            QzUpdate {
+                op,
+                val,
+                idx,
+                sel,
+                pg,
+            } => {
                 write!(f, "qzupdate<{}> {val}, {idx}, {sel}, {pg}", op.mnemonic())
             }
         }
@@ -1008,7 +1146,12 @@ mod tests {
             scale: 1,
         };
         assert_eq!(gather.class(), InstClass::Gather);
-        let qzst = Instruction::QzStore { val: V0, idx: V1, sel: QBufSel::Q0, pg: P0 };
+        let qzst = Instruction::QzStore {
+            val: V0,
+            idx: V1,
+            sel: QBufSel::Q0,
+            pg: P0,
+        };
         assert_eq!(qzst.class(), InstClass::QzWrite);
         assert!(qzst.executes_at_commit());
         assert!(!gather.executes_at_commit());
@@ -1055,16 +1198,42 @@ mod tests {
     fn disassembly_is_nonempty_for_all_shapes() {
         let samples = [
             Instruction::MovImm { rd: X1, imm: -3 },
-            Instruction::Branch { cond: BranchCond::Lt, rn: X0, rm: X1, target: 7 },
-            Instruction::QzMhm { op: QzOp::Count, vd: V3, idx0: V1, idx1: V2, pg: P0 },
-            Instruction::QzConf { eb0: X1, eb1: X2, esiz: X3 },
-            Instruction::PWhileLt { pd: P1, rn: X4, esize: ElemSize::B64 },
+            Instruction::Branch {
+                cond: BranchCond::Lt,
+                rn: X0,
+                rm: X1,
+                target: 7,
+            },
+            Instruction::QzMhm {
+                op: QzOp::Count,
+                vd: V3,
+                idx0: V1,
+                idx1: V2,
+                pg: P0,
+            },
+            Instruction::QzConf {
+                eb0: X1,
+                eb1: X2,
+                esiz: X3,
+            },
+            Instruction::PWhileLt {
+                pd: P1,
+                rn: X4,
+                esize: ElemSize::B64,
+            },
         ];
         for s in &samples {
             assert!(!s.to_string().is_empty());
         }
         assert_eq!(
-            Instruction::QzMhm { op: QzOp::Count, vd: V3, idx0: V1, idx1: V2, pg: P0 }.to_string(),
+            Instruction::QzMhm {
+                op: QzOp::Count,
+                vd: V3,
+                idx0: V1,
+                idx1: V2,
+                pg: P0
+            }
+            .to_string(),
             "qzmhm<qzcount> z3, z1, z2, p0"
         );
     }

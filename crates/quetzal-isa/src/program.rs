@@ -171,18 +171,33 @@ impl ProgramBuilder {
 
     /// Scalar load.
     pub fn load(&mut self, rd: XReg, rn: XReg, offset: i64, size: MemSize) -> &mut Self {
-        self.inst(Instruction::Load { rd, rn, offset, size })
+        self.inst(Instruction::Load {
+            rd,
+            rn,
+            offset,
+            size,
+        })
     }
 
     /// Scalar store.
     pub fn store(&mut self, rs: XReg, rn: XReg, offset: i64, size: MemSize) -> &mut Self {
-        self.inst(Instruction::Store { rs, rn, offset, size })
+        self.inst(Instruction::Store {
+            rs,
+            rn,
+            offset,
+            size,
+        })
     }
 
     /// Conditional branch to `label`.
     pub fn branch(&mut self, cond: BranchCond, rn: XReg, rm: XReg, label: Label) -> &mut Self {
         self.fixups.push((self.insts.len(), label));
-        self.inst(Instruction::Branch { cond, rn, rm, target: usize::MAX })
+        self.inst(Instruction::Branch {
+            cond,
+            rn,
+            rm,
+            target: usize::MAX,
+        })
     }
 
     /// Unconditional jump to `label`.
@@ -210,7 +225,12 @@ impl ProgramBuilder {
 
     /// Lane index vector.
     pub fn index(&mut self, vd: VReg, rn: XReg, step: i64, esize: ElemSize) -> &mut Self {
-        self.inst(Instruction::Index { vd, rn, step, esize })
+        self.inst(Instruction::Index {
+            vd,
+            rn,
+            step,
+            esize,
+        })
     }
 
     /// Predicated vector-vector ALU op.
@@ -223,7 +243,14 @@ impl ProgramBuilder {
         pg: PReg,
         esize: ElemSize,
     ) -> &mut Self {
-        self.inst(Instruction::VAluVV { op, vd, vn, vm, pg, esize })
+        self.inst(Instruction::VAluVV {
+            op,
+            vd,
+            vn,
+            vm,
+            pg,
+            esize,
+        })
     }
 
     /// Predicated vector-immediate ALU op.
@@ -236,7 +263,14 @@ impl ProgramBuilder {
         pg: PReg,
         esize: ElemSize,
     ) -> &mut Self {
-        self.inst(Instruction::VAluVI { op, vd, vn, imm, pg, esize })
+        self.inst(Instruction::VAluVI {
+            op,
+            vd,
+            vn,
+            imm,
+            pg,
+            esize,
+        })
     }
 
     /// Vector compare into predicate.
@@ -249,7 +283,14 @@ impl ProgramBuilder {
         pg: PReg,
         esize: ElemSize,
     ) -> &mut Self {
-        self.inst(Instruction::VCmpVV { cond, pd, vn, vm, pg, esize })
+        self.inst(Instruction::VCmpVV {
+            cond,
+            pd,
+            vn,
+            vm,
+            pg,
+            esize,
+        })
     }
 
     /// Vector-immediate compare into predicate.
@@ -262,12 +303,25 @@ impl ProgramBuilder {
         pg: PReg,
         esize: ElemSize,
     ) -> &mut Self {
-        self.inst(Instruction::VCmpVI { cond, pd, vn, imm, pg, esize })
+        self.inst(Instruction::VCmpVI {
+            cond,
+            pd,
+            vn,
+            imm,
+            pg,
+            esize,
+        })
     }
 
     /// Lane select.
     pub fn vsel(&mut self, vd: VReg, pg: PReg, vn: VReg, vm: VReg, esize: ElemSize) -> &mut Self {
-        self.inst(Instruction::VSel { vd, pg, vn, vm, esize })
+        self.inst(Instruction::VSel {
+            vd,
+            pg,
+            vn,
+            vm,
+            esize,
+        })
     }
 
     /// Unit-stride load.
@@ -284,7 +338,13 @@ impl ProgramBuilder {
         esize: ElemSize,
         msize: MemSize,
     ) -> &mut Self {
-        self.inst(Instruction::VLoadN { vd, rn, pg, esize, msize })
+        self.inst(Instruction::VLoadN {
+            vd,
+            rn,
+            pg,
+            esize,
+            msize,
+        })
     }
 
     /// Unit-stride store.
@@ -303,7 +363,15 @@ impl ProgramBuilder {
         msize: MemSize,
         scale: u8,
     ) -> &mut Self {
-        self.inst(Instruction::VGather { vd, rn, idx, pg, esize, msize, scale })
+        self.inst(Instruction::VGather {
+            vd,
+            rn,
+            idx,
+            pg,
+            esize,
+            msize,
+            scale,
+        })
     }
 
     /// Scatter store (lane size `esize`, `msize` bytes written per lane).
@@ -317,7 +385,15 @@ impl ProgramBuilder {
         msize: MemSize,
         scale: u8,
     ) -> &mut Self {
-        self.inst(Instruction::VScatter { vs, rn, idx, pg, esize, msize, scale })
+        self.inst(Instruction::VScatter {
+            vs,
+            rn,
+            idx,
+            pg,
+            esize,
+            msize,
+            scale,
+        })
     }
 
     /// Horizontal reduction.
@@ -329,22 +405,43 @@ impl ProgramBuilder {
         pg: PReg,
         esize: ElemSize,
     ) -> &mut Self {
-        self.inst(Instruction::VReduce { op, rd, vn, pg, esize })
+        self.inst(Instruction::VReduce {
+            op,
+            rd,
+            vn,
+            pg,
+            esize,
+        })
     }
 
     /// Extract lane to scalar.
     pub fn vextract(&mut self, rd: XReg, vn: VReg, lane: u8, esize: ElemSize) -> &mut Self {
-        self.inst(Instruction::VExtract { rd, vn, lane, esize })
+        self.inst(Instruction::VExtract {
+            rd,
+            vn,
+            lane,
+            esize,
+        })
     }
 
     /// Insert scalar into lane.
     pub fn vinsert(&mut self, vd: VReg, rn: XReg, lane: u8, esize: ElemSize) -> &mut Self {
-        self.inst(Instruction::VInsert { vd, rn, lane, esize })
+        self.inst(Instruction::VInsert {
+            vd,
+            rn,
+            lane,
+            esize,
+        })
     }
 
     /// Slide lanes toward lane 0.
     pub fn vslidedown(&mut self, vd: VReg, vn: VReg, amount: u8, esize: ElemSize) -> &mut Self {
-        self.inst(Instruction::VSlideDown { vd, vn, amount, esize })
+        self.inst(Instruction::VSlideDown {
+            vd,
+            vn,
+            amount,
+            esize,
+        })
     }
 
     /// Slide lanes up by one, inserting scalar at lane 0.
@@ -413,7 +510,13 @@ impl ProgramBuilder {
 
     /// `qzmhm<op>`.
     pub fn qzmhm(&mut self, op: QzOp, vd: VReg, idx0: VReg, idx1: VReg, pg: PReg) -> &mut Self {
-        self.inst(Instruction::QzMhm { op, vd, idx0, idx1, pg })
+        self.inst(Instruction::QzMhm {
+            op,
+            vd,
+            idx0,
+            idx1,
+            pg,
+        })
     }
 
     /// `qzmm<op>`.
@@ -426,7 +529,14 @@ impl ProgramBuilder {
         sel: QBufSel,
         pg: PReg,
     ) -> &mut Self {
-        self.inst(Instruction::QzMm { op, vd, val, idx, sel, pg })
+        self.inst(Instruction::QzMm {
+            op,
+            vd,
+            val,
+            idx,
+            sel,
+            pg,
+        })
     }
 
     /// Standalone `qzcount`.
@@ -435,8 +545,21 @@ impl ProgramBuilder {
     }
 
     /// Read-modify-write `qzupdate<op>` (histogram extension).
-    pub fn qzupdate(&mut self, op: QzOp, val: VReg, idx: VReg, sel: QBufSel, pg: PReg) -> &mut Self {
-        self.inst(Instruction::QzUpdate { op, val, idx, sel, pg })
+    pub fn qzupdate(
+        &mut self,
+        op: QzOp,
+        val: VReg,
+        idx: VReg,
+        sel: QBufSel,
+        pg: PReg,
+    ) -> &mut Self {
+        self.inst(Instruction::QzUpdate {
+            op,
+            val,
+            idx,
+            sel,
+            pg,
+        })
     }
 
     /// Resolves labels and finalises the program.

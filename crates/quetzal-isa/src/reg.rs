@@ -117,20 +117,93 @@ pub mod aliases {
     }
 
     alias!(
-        XReg, X0 = 0, X1 = 1, X2 = 2, X3 = 3, X4 = 4, X5 = 5, X6 = 6, X7 = 7, X8 = 8, X9 = 9,
-        X10 = 10, X11 = 11, X12 = 12, X13 = 13, X14 = 14, X15 = 15, X16 = 16, X17 = 17, X18 = 18,
-        X19 = 19, X20 = 20, X21 = 21, X22 = 22, X23 = 23, X24 = 24, X25 = 25, X26 = 26, X27 = 27,
-        X28 = 28, X29 = 29, X30 = 30, X31 = 31,
+        XReg,
+        X0 = 0,
+        X1 = 1,
+        X2 = 2,
+        X3 = 3,
+        X4 = 4,
+        X5 = 5,
+        X6 = 6,
+        X7 = 7,
+        X8 = 8,
+        X9 = 9,
+        X10 = 10,
+        X11 = 11,
+        X12 = 12,
+        X13 = 13,
+        X14 = 14,
+        X15 = 15,
+        X16 = 16,
+        X17 = 17,
+        X18 = 18,
+        X19 = 19,
+        X20 = 20,
+        X21 = 21,
+        X22 = 22,
+        X23 = 23,
+        X24 = 24,
+        X25 = 25,
+        X26 = 26,
+        X27 = 27,
+        X28 = 28,
+        X29 = 29,
+        X30 = 30,
+        X31 = 31,
     );
     alias!(
-        VReg, V0 = 0, V1 = 1, V2 = 2, V3 = 3, V4 = 4, V5 = 5, V6 = 6, V7 = 7, V8 = 8, V9 = 9,
-        V10 = 10, V11 = 11, V12 = 12, V13 = 13, V14 = 14, V15 = 15, V16 = 16, V17 = 17, V18 = 18,
-        V19 = 19, V20 = 20, V21 = 21, V22 = 22, V23 = 23, V24 = 24, V25 = 25, V26 = 26, V27 = 27,
-        V28 = 28, V29 = 29, V30 = 30, V31 = 31,
+        VReg,
+        V0 = 0,
+        V1 = 1,
+        V2 = 2,
+        V3 = 3,
+        V4 = 4,
+        V5 = 5,
+        V6 = 6,
+        V7 = 7,
+        V8 = 8,
+        V9 = 9,
+        V10 = 10,
+        V11 = 11,
+        V12 = 12,
+        V13 = 13,
+        V14 = 14,
+        V15 = 15,
+        V16 = 16,
+        V17 = 17,
+        V18 = 18,
+        V19 = 19,
+        V20 = 20,
+        V21 = 21,
+        V22 = 22,
+        V23 = 23,
+        V24 = 24,
+        V25 = 25,
+        V26 = 26,
+        V27 = 27,
+        V28 = 28,
+        V29 = 29,
+        V30 = 30,
+        V31 = 31,
     );
     alias!(
-        PReg, P0 = 0, P1 = 1, P2 = 2, P3 = 3, P4 = 4, P5 = 5, P6 = 6, P7 = 7, P8 = 8, P9 = 9,
-        P10 = 10, P11 = 11, P12 = 12, P13 = 13, P14 = 14, P15 = 15,
+        PReg,
+        P0 = 0,
+        P1 = 1,
+        P2 = 2,
+        P3 = 3,
+        P4 = 4,
+        P5 = 5,
+        P6 = 6,
+        P7 = 7,
+        P8 = 8,
+        P9 = 9,
+        P10 = 10,
+        P11 = 11,
+        P12 = 12,
+        P13 = 13,
+        P14 = 14,
+        P15 = 15,
     );
 }
 

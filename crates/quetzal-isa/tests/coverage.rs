@@ -8,46 +8,240 @@ fn all_instructions() -> Vec<Instruction> {
     use Instruction::*;
     vec![
         MovImm { rd: X1, imm: -7 },
-        AluRR { op: SAluOp::Add, rd: X1, rn: X2, rm: X3 },
-        AluRI { op: SAluOp::Mul, rd: X1, rn: X2, imm: 3 },
-        Load { rd: X1, rn: X2, offset: -8, size: MemSize::B8 },
-        Store { rs: X1, rn: X2, offset: 16, size: MemSize::B1 },
-        Branch { cond: BranchCond::Le, rn: X1, rm: X2, target: 5 },
+        AluRR {
+            op: SAluOp::Add,
+            rd: X1,
+            rn: X2,
+            rm: X3,
+        },
+        AluRI {
+            op: SAluOp::Mul,
+            rd: X1,
+            rn: X2,
+            imm: 3,
+        },
+        Load {
+            rd: X1,
+            rn: X2,
+            offset: -8,
+            size: MemSize::B8,
+        },
+        Store {
+            rs: X1,
+            rn: X2,
+            offset: 16,
+            size: MemSize::B1,
+        },
+        Branch {
+            cond: BranchCond::Le,
+            rn: X1,
+            rm: X2,
+            target: 5,
+        },
         Jump { target: 9 },
         Halt,
-        Dup { vd: V1, rn: X2, esize: ElemSize::B32 },
-        DupImm { vd: V1, imm: 4, esize: ElemSize::B8 },
-        Index { vd: V1, rn: X2, step: 2, esize: ElemSize::B64 },
-        VAluVV { op: VAluOp::Smin, vd: V1, vn: V2, vm: V3, pg: P1, esize: ElemSize::B64 },
-        VAluVI { op: VAluOp::Shl, vd: V1, vn: V2, imm: 3, pg: P1, esize: ElemSize::B16 },
-        VCmpVV { cond: BranchCond::Gt, pd: P1, vn: V2, vm: V3, pg: P0, esize: ElemSize::B64 },
-        VCmpVI { cond: BranchCond::Eq, pd: P1, vn: V2, imm: 0, pg: P0, esize: ElemSize::B64 },
-        VSel { vd: V1, pg: P1, vn: V2, vm: V3, esize: ElemSize::B64 },
-        VLoad { vd: V1, rn: X2, pg: P1, esize: ElemSize::B64 },
-        VLoadN { vd: V1, rn: X2, pg: P1, esize: ElemSize::B64, msize: MemSize::B1 },
-        VStore { vs: V1, rn: X2, pg: P1, esize: ElemSize::B64 },
-        VGather { vd: V1, rn: X2, idx: V3, pg: P1, esize: ElemSize::B64, msize: MemSize::B1, scale: 1 },
-        VScatter { vs: V1, rn: X2, idx: V3, pg: P1, esize: ElemSize::B64, msize: MemSize::B8, scale: 8 },
-        VReduce { op: RedOp::Max, rd: X1, vn: V2, pg: P1, esize: ElemSize::B64 },
-        VExtract { rd: X1, vn: V2, lane: 3, esize: ElemSize::B64 },
-        VInsert { vd: V1, rn: X2, lane: 0, esize: ElemSize::B64 },
-        VSlideDown { vd: V1, vn: V2, amount: 2, esize: ElemSize::B64 },
-        VSlide1Up { vd: V1, vn: V2, rn: X3, esize: ElemSize::B64 },
-        PTrue { pd: P1, esize: ElemSize::B64 },
-        PWhileLt { pd: P1, rn: X2, esize: ElemSize::B64 },
+        Dup {
+            vd: V1,
+            rn: X2,
+            esize: ElemSize::B32,
+        },
+        DupImm {
+            vd: V1,
+            imm: 4,
+            esize: ElemSize::B8,
+        },
+        Index {
+            vd: V1,
+            rn: X2,
+            step: 2,
+            esize: ElemSize::B64,
+        },
+        VAluVV {
+            op: VAluOp::Smin,
+            vd: V1,
+            vn: V2,
+            vm: V3,
+            pg: P1,
+            esize: ElemSize::B64,
+        },
+        VAluVI {
+            op: VAluOp::Shl,
+            vd: V1,
+            vn: V2,
+            imm: 3,
+            pg: P1,
+            esize: ElemSize::B16,
+        },
+        VCmpVV {
+            cond: BranchCond::Gt,
+            pd: P1,
+            vn: V2,
+            vm: V3,
+            pg: P0,
+            esize: ElemSize::B64,
+        },
+        VCmpVI {
+            cond: BranchCond::Eq,
+            pd: P1,
+            vn: V2,
+            imm: 0,
+            pg: P0,
+            esize: ElemSize::B64,
+        },
+        VSel {
+            vd: V1,
+            pg: P1,
+            vn: V2,
+            vm: V3,
+            esize: ElemSize::B64,
+        },
+        VLoad {
+            vd: V1,
+            rn: X2,
+            pg: P1,
+            esize: ElemSize::B64,
+        },
+        VLoadN {
+            vd: V1,
+            rn: X2,
+            pg: P1,
+            esize: ElemSize::B64,
+            msize: MemSize::B1,
+        },
+        VStore {
+            vs: V1,
+            rn: X2,
+            pg: P1,
+            esize: ElemSize::B64,
+        },
+        VGather {
+            vd: V1,
+            rn: X2,
+            idx: V3,
+            pg: P1,
+            esize: ElemSize::B64,
+            msize: MemSize::B1,
+            scale: 1,
+        },
+        VScatter {
+            vs: V1,
+            rn: X2,
+            idx: V3,
+            pg: P1,
+            esize: ElemSize::B64,
+            msize: MemSize::B8,
+            scale: 8,
+        },
+        VReduce {
+            op: RedOp::Max,
+            rd: X1,
+            vn: V2,
+            pg: P1,
+            esize: ElemSize::B64,
+        },
+        VExtract {
+            rd: X1,
+            vn: V2,
+            lane: 3,
+            esize: ElemSize::B64,
+        },
+        VInsert {
+            vd: V1,
+            rn: X2,
+            lane: 0,
+            esize: ElemSize::B64,
+        },
+        VSlideDown {
+            vd: V1,
+            vn: V2,
+            amount: 2,
+            esize: ElemSize::B64,
+        },
+        VSlide1Up {
+            vd: V1,
+            vn: V2,
+            rn: X3,
+            esize: ElemSize::B64,
+        },
+        PTrue {
+            pd: P1,
+            esize: ElemSize::B64,
+        },
+        PWhileLt {
+            pd: P1,
+            rn: X2,
+            esize: ElemSize::B64,
+        },
         PFalse { pd: P1 },
-        PAnd { pd: P1, pn: P2, pm: P3 },
-        POr { pd: P1, pn: P2, pm: P3 },
-        PBic { pd: P1, pn: P2, pm: P3 },
-        PCount { rd: X1, pn: P2, esize: ElemSize::B64 },
-        QzConf { eb0: X1, eb1: X2, esiz: X3 },
-        QzEncode { sel: QBufSel::Q0, val: V1, idx: X2 },
-        QzStore { val: V1, idx: V2, sel: QBufSel::Q1, pg: P1 },
-        QzLoad { vd: V1, idx: V2, sel: QBufSel::Q0, pg: P1 },
-        QzMhm { op: QzOp::Count, vd: V1, idx0: V2, idx1: V3, pg: P1 },
-        QzMm { op: QzOp::Mul, vd: V1, val: V2, idx: V3, sel: QBufSel::Q0, pg: P1 },
-        QzCount { vd: V1, vn: V2, vm: V3 },
-        QzUpdate { op: QzOp::Add, val: V1, idx: V2, sel: QBufSel::Q0, pg: P1 },
+        PAnd {
+            pd: P1,
+            pn: P2,
+            pm: P3,
+        },
+        POr {
+            pd: P1,
+            pn: P2,
+            pm: P3,
+        },
+        PBic {
+            pd: P1,
+            pn: P2,
+            pm: P3,
+        },
+        PCount {
+            rd: X1,
+            pn: P2,
+            esize: ElemSize::B64,
+        },
+        QzConf {
+            eb0: X1,
+            eb1: X2,
+            esiz: X3,
+        },
+        QzEncode {
+            sel: QBufSel::Q0,
+            val: V1,
+            idx: X2,
+        },
+        QzStore {
+            val: V1,
+            idx: V2,
+            sel: QBufSel::Q1,
+            pg: P1,
+        },
+        QzLoad {
+            vd: V1,
+            idx: V2,
+            sel: QBufSel::Q0,
+            pg: P1,
+        },
+        QzMhm {
+            op: QzOp::Count,
+            vd: V1,
+            idx0: V2,
+            idx1: V3,
+            pg: P1,
+        },
+        QzMm {
+            op: QzOp::Mul,
+            vd: V1,
+            val: V2,
+            idx: V3,
+            sel: QBufSel::Q0,
+            pg: P1,
+        },
+        QzCount {
+            vd: V1,
+            vn: V2,
+            vm: V3,
+        },
+        QzUpdate {
+            op: QzOp::Add,
+            val: V1,
+            idx: V2,
+            sel: QBufSel::Q0,
+            pg: P1,
+        },
     ]
 }
 
@@ -89,10 +283,7 @@ fn defs_and_uses_are_disjoint_from_nonsense() {
 #[test]
 fn commit_time_execution_is_exactly_the_qz_writes() {
     for inst in all_instructions() {
-        let expect = matches!(
-            inst.class(),
-            InstClass::QzWrite | InstClass::QzConfig
-        );
+        let expect = matches!(inst.class(), InstClass::QzWrite | InstClass::QzConfig);
         assert_eq!(inst.executes_at_commit(), expect, "{inst}");
     }
 }

@@ -231,7 +231,10 @@ mod tests {
     use crate::config::CoreConfig;
 
     fn sys() -> (MemSystem, RunStats) {
-        (MemSystem::new(&CoreConfig::a64fx_like()), RunStats::default())
+        (
+            MemSystem::new(&CoreConfig::a64fx_like()),
+            RunStats::default(),
+        )
     }
 
     #[test]
@@ -307,7 +310,10 @@ mod tests {
         // Two simultaneous cold misses: the second queues behind the first.
         let t1 = m.access(0, 0, 8, false, 0, &mut s);
         let t2 = m.access(1, 1 << 20, 8, false, 0, &mut s);
-        assert!(t2 >= t1 + 63, "second line waits for the channel: {t1} {t2}");
+        assert!(
+            t2 >= t1 + 63,
+            "second line waits for the channel: {t1} {t2}"
+        );
     }
 
     #[test]

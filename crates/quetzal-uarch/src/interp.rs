@@ -13,9 +13,7 @@ use crate::ooo::{DynInst, ExecSink, NullSink, OooTiming};
 use crate::state::{truncate, ArchState};
 use crate::stats::RunStats;
 use quetzal_accel::count_alu::{qzcount_vector, COUNT_ALU_LATENCY};
-use quetzal_isa::{
-    ElemSize, Instruction, Program, RedOp, SAluOp, VAluOp, LANES_64, VLEN_BYTES,
-};
+use quetzal_isa::{ElemSize, Instruction, Program, RedOp, SAluOp, VAluOp, LANES_64, VLEN_BYTES};
 
 /// Errors raised during simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,18 +125,33 @@ pub fn execute(
                 let v = scalar_alu(op, state.x(rn), imm as u64);
                 state.set_x(rd, v);
             }
-            Instruction::Load { rd, rn, offset, size } => {
+            Instruction::Load {
+                rd,
+                rn,
+                offset,
+                size,
+            } => {
                 let addr = state.x(rn).wrapping_add_signed(offset);
                 let v = state.mem.read_le(addr, size.bytes());
                 state.set_x(rd, v);
                 d.mem.push((addr, size.bytes() as u32));
             }
-            Instruction::Store { rs, rn, offset, size } => {
+            Instruction::Store {
+                rs,
+                rn,
+                offset,
+                size,
+            } => {
                 let addr = state.x(rn).wrapping_add_signed(offset);
                 state.mem.write_le(addr, state.x(rs), size.bytes());
                 d.mem.push((addr, size.bytes() as u32));
             }
-            Instruction::Branch { cond, rn, rm, target } => {
+            Instruction::Branch {
+                cond,
+                rn,
+                rm,
+                target,
+            } => {
                 let taken = cond.eval(state.x(rn) as i64, state.x(rm) as i64);
                 d.taken = taken;
                 if taken {
@@ -165,13 +178,25 @@ pub fn execute(
                     state.set_v_elem(vd, i, esize, imm as u64);
                 }
             }
-            Instruction::Index { vd, rn, step, esize } => {
+            Instruction::Index {
+                vd,
+                rn,
+                step,
+                esize,
+            } => {
                 let start = state.x(rn) as i64;
                 for i in 0..esize.lanes() {
                     state.set_v_elem(vd, i, esize, truncate(start + step * i as i64, esize));
                 }
             }
-            Instruction::VAluVV { op, vd, vn, vm, pg, esize } => {
+            Instruction::VAluVV {
+                op,
+                vd,
+                vn,
+                vm,
+                pg,
+                esize,
+            } => {
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
                         let a = state.v_elem_i64(vn, i, esize);
@@ -180,7 +205,14 @@ pub fn execute(
                     }
                 }
             }
-            Instruction::VAluVI { op, vd, vn, imm, pg, esize } => {
+            Instruction::VAluVI {
+                op,
+                vd,
+                vn,
+                imm,
+                pg,
+                esize,
+            } => {
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
                         let a = state.v_elem_i64(vn, i, esize);
@@ -188,7 +220,14 @@ pub fn execute(
                     }
                 }
             }
-            Instruction::VCmpVV { cond, pd, vn, vm, pg, esize } => {
+            Instruction::VCmpVV {
+                cond,
+                pd,
+                vn,
+                vm,
+                pg,
+                esize,
+            } => {
                 let mut p = 0u64;
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
@@ -201,7 +240,14 @@ pub fn execute(
                 }
                 state.set_p(pd, p);
             }
-            Instruction::VCmpVI { cond, pd, vn, imm, pg, esize } => {
+            Instruction::VCmpVI {
+                cond,
+                pd,
+                vn,
+                imm,
+                pg,
+                esize,
+            } => {
                 let mut p = 0u64;
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
@@ -213,7 +259,13 @@ pub fn execute(
                 }
                 state.set_p(pd, p);
             }
-            Instruction::VSel { vd, pg, vn, vm, esize } => {
+            Instruction::VSel {
+                vd,
+                pg,
+                vn,
+                vm,
+                esize,
+            } => {
                 for i in 0..esize.lanes() {
                     let v = if state.lane_active(pg, i, esize) {
                         state.v_elem(vn, i, esize)
@@ -227,7 +279,9 @@ pub fn execute(
                 let base = state.x(rn);
                 for i in 0..esize.lanes() {
                     let v = if state.lane_active(pg, i, esize) {
-                        state.mem.read_le(base + (i * esize.bytes()) as u64, esize.bytes())
+                        state
+                            .mem
+                            .read_le(base + (i * esize.bytes()) as u64, esize.bytes())
                     } else {
                         0
                     };
@@ -235,11 +289,19 @@ pub fn execute(
                 }
                 d.mem.push((base, VLEN_BYTES as u32));
             }
-            Instruction::VLoadN { vd, rn, pg, esize, msize } => {
+            Instruction::VLoadN {
+                vd,
+                rn,
+                pg,
+                esize,
+                msize,
+            } => {
                 let base = state.x(rn);
                 for i in 0..esize.lanes() {
                     let v = if state.lane_active(pg, i, esize) {
-                        state.mem.read_le(base + (i * msize.bytes()) as u64, msize.bytes())
+                        state
+                            .mem
+                            .read_le(base + (i * msize.bytes()) as u64, msize.bytes())
                     } else {
                         0
                     };
@@ -252,12 +314,22 @@ pub fn execute(
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
                         let v = state.v_elem(vs, i, esize);
-                        state.mem.write_le(base + (i * esize.bytes()) as u64, v, esize.bytes());
+                        state
+                            .mem
+                            .write_le(base + (i * esize.bytes()) as u64, v, esize.bytes());
                     }
                 }
                 d.mem.push((base, VLEN_BYTES as u32));
             }
-            Instruction::VGather { vd, rn, idx, pg, esize, msize, scale } => {
+            Instruction::VGather {
+                vd,
+                rn,
+                idx,
+                pg,
+                esize,
+                msize,
+                scale,
+            } => {
                 let base = state.x(rn);
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
@@ -271,18 +343,34 @@ pub fn execute(
                     }
                 }
             }
-            Instruction::VScatter { vs, rn, idx, pg, esize, msize, scale } => {
+            Instruction::VScatter {
+                vs,
+                rn,
+                idx,
+                pg,
+                esize,
+                msize,
+                scale,
+            } => {
                 let base = state.x(rn);
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
                         let off = state.v_elem_i64(idx, i, esize);
                         let addr = base.wrapping_add_signed(off.wrapping_mul(scale as i64));
-                        state.mem.write_le(addr, state.v_elem(vs, i, esize), msize.bytes());
+                        state
+                            .mem
+                            .write_le(addr, state.v_elem(vs, i, esize), msize.bytes());
                         d.mem.push((addr, msize.bytes() as u32));
                     }
                 }
             }
-            Instruction::VReduce { op, rd, vn, pg, esize } => {
+            Instruction::VReduce {
+                op,
+                rd,
+                vn,
+                pg,
+                esize,
+            } => {
                 let mut acc: Option<i64> = None;
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
@@ -302,20 +390,39 @@ pub fn execute(
                 };
                 state.set_x(rd, acc.unwrap_or(empty) as u64);
             }
-            Instruction::VExtract { rd, vn, lane, esize } => {
+            Instruction::VExtract {
+                rd,
+                vn,
+                lane,
+                esize,
+            } => {
                 let v = state.v_elem(vn, lane as usize, esize);
                 state.set_x(rd, v);
             }
-            Instruction::VInsert { vd, rn, lane, esize } => {
+            Instruction::VInsert {
+                vd,
+                rn,
+                lane,
+                esize,
+            } => {
                 let v = state.x(rn);
                 state.set_v_elem(vd, lane as usize, esize, v);
             }
-            Instruction::VSlideDown { vd, vn, amount, esize } => {
+            Instruction::VSlideDown {
+                vd,
+                vn,
+                amount,
+                esize,
+            } => {
                 let lanes = esize.lanes();
                 let mut tmp = vec![0u64; lanes];
                 for (i, item) in tmp.iter_mut().enumerate() {
                     let src = i + amount as usize;
-                    *item = if src < lanes { state.v_elem(vn, src, esize) } else { 0 };
+                    *item = if src < lanes {
+                        state.v_elem(vn, src, esize)
+                    } else {
+                        0
+                    };
                 }
                 for (i, &v) in tmp.iter().enumerate() {
                     state.set_v_elem(vd, i, esize, v);
@@ -372,7 +479,13 @@ pub fn execute(
                     .collect();
                 d.qz_latency = state.qz.store(sel.index(), &lanes);
             }
-            Instruction::QzUpdate { op, val, idx, sel, pg } => {
+            Instruction::QzUpdate {
+                op,
+                val,
+                idx,
+                sel,
+                pg,
+            } => {
                 let mask = state.mask64(pg);
                 let idxs = state.v_lanes64(idx);
                 let vals = state.v_lanes64(val);
@@ -391,7 +504,13 @@ pub fn execute(
                 }
                 d.qz_latency = lat;
             }
-            Instruction::QzMhm { op, vd, idx0, idx1, pg } => {
+            Instruction::QzMhm {
+                op,
+                vd,
+                idx0,
+                idx1,
+                pg,
+            } => {
                 let mask = state.mask64(pg);
                 let i0 = state.v_lanes64(idx0);
                 let i1 = state.v_lanes64(idx1);
@@ -401,7 +520,14 @@ pub fn execute(
                 }
                 d.qz_latency = lat;
             }
-            Instruction::QzMm { op, vd, val, idx, sel, pg } => {
+            Instruction::QzMm {
+                op,
+                vd,
+                val,
+                idx,
+                sel,
+                pg,
+            } => {
                 let mask = state.mask64(pg);
                 let vv = state.v_lanes64(val);
                 let ii = state.v_lanes64(idx);
@@ -549,7 +675,11 @@ mod tests {
         let (c, _) = run(&mut b);
         assert_eq!(c.state().v_elem(V1, 0, ElemSize::B64), 14);
         assert_eq!(c.state().v_elem(V1, 4, ElemSize::B64), 14);
-        assert_eq!(c.state().v_elem(V1, 5, ElemSize::B64), 0, "inactive lane merged");
+        assert_eq!(
+            c.state().v_elem(V1, 5, ElemSize::B64),
+            0,
+            "inactive lane merged"
+        );
     }
 
     #[test]
@@ -732,7 +862,10 @@ mod tests {
         b.halt();
         let mut c = core();
         let p = b.build().unwrap();
-        assert!(matches!(c.run(&p), Err(SimError::InvalidQzConf { esiz: 7, .. })));
+        assert!(matches!(
+            c.run(&p),
+            Err(SimError::InvalidQzConf { esiz: 7, .. })
+        ));
     }
 
     #[test]
@@ -745,7 +878,10 @@ mod tests {
         let mut c = core();
         c.set_budget(10_000);
         let p = b.build().unwrap();
-        assert!(matches!(c.run(&p), Err(SimError::InstLimit { budget: 10_000 })));
+        assert!(matches!(
+            c.run(&p),
+            Err(SimError::InstLimit { budget: 10_000 })
+        ));
     }
 
     #[test]
@@ -758,8 +894,14 @@ mod tests {
         b.valu_vv(VAluOp::Smin, V3, V0, V1, P0, ElemSize::B32);
         b.halt();
         let (c, _) = run(&mut b);
-        assert_eq!(sign_extend(c.state().v_elem(V2, 0, ElemSize::B32), ElemSize::B32), 2);
-        assert_eq!(sign_extend(c.state().v_elem(V3, 0, ElemSize::B32), ElemSize::B32), -3);
+        assert_eq!(
+            sign_extend(c.state().v_elem(V2, 0, ElemSize::B32), ElemSize::B32),
+            2
+        );
+        assert_eq!(
+            sign_extend(c.state().v_elem(V3, 0, ElemSize::B32), ElemSize::B32),
+            -3
+        );
     }
 
     #[test]
@@ -787,10 +929,11 @@ mod tests {
 mod proptests {
     //! Differential testing: random straight-line scalar programs are
     //! executed by the simulator and by a direct Rust evaluator; the
-    //! final register files must agree exactly.
+    //! final register files must agree exactly. Case generation is
+    //! seeded (in-tree PRNG), so failures reproduce exactly.
 
     use super::*;
-    use proptest::prelude::*;
+    use quetzal_genomics::rng::SplitMix64;
     use quetzal_isa::{ProgramBuilder, SAluOp, XReg};
 
     #[derive(Debug, Clone)]
@@ -802,31 +945,40 @@ mod proptests {
         Load(u8, u64),
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        let alu = proptest::sample::select(vec![
-            SAluOp::Add,
-            SAluOp::Sub,
-            SAluOp::Mul,
-            SAluOp::And,
-            SAluOp::Or,
-            SAluOp::Xor,
-            SAluOp::Shl,
-            SAluOp::Shr,
-            SAluOp::Sar,
-            SAluOp::Min,
-            SAluOp::Max,
-            SAluOp::SetLt,
-            SAluOp::SetEq,
-        ]);
-        prop_oneof![
-            (0u8..24, any::<i64>()).prop_map(|(r, v)| Op::MovImm(r, v)),
-            (alu.clone(), 0u8..24, 0u8..24, 0u8..24)
-                .prop_map(|(op, d, a, b)| Op::AluRR(op, d, a, b)),
-            (alu, 0u8..24, 0u8..24, -1000i64..1000)
-                .prop_map(|(op, d, a, v)| Op::AluRI(op, d, a, v)),
-            (0u8..24, 0u64..64).prop_map(|(r, s)| Op::Store(r, 0x4000 + 8 * s)),
-            (0u8..24, 0u64..64).prop_map(|(r, s)| Op::Load(r, 0x4000 + 8 * s)),
-        ]
+    const ALU_OPS: [SAluOp; 13] = [
+        SAluOp::Add,
+        SAluOp::Sub,
+        SAluOp::Mul,
+        SAluOp::And,
+        SAluOp::Or,
+        SAluOp::Xor,
+        SAluOp::Shl,
+        SAluOp::Shr,
+        SAluOp::Sar,
+        SAluOp::Min,
+        SAluOp::Max,
+        SAluOp::SetLt,
+        SAluOp::SetEq,
+    ];
+
+    fn random_op(rng: &mut SplitMix64) -> Op {
+        match rng.below(5) {
+            0 => Op::MovImm(rng.below(24) as u8, rng.next_u64() as i64),
+            1 => Op::AluRR(
+                *rng.pick(&ALU_OPS),
+                rng.below(24) as u8,
+                rng.below(24) as u8,
+                rng.below(24) as u8,
+            ),
+            2 => Op::AluRI(
+                *rng.pick(&ALU_OPS),
+                rng.below(24) as u8,
+                rng.below(24) as u8,
+                rng.i64_in(-1000, 1000),
+            ),
+            3 => Op::Store(rng.below(24) as u8, 0x4000 + 8 * rng.below(64)),
+            _ => Op::Load(rng.below(24) as u8, 0x4000 + 8 * rng.below(64)),
+        }
     }
 
     fn oracle_alu(op: SAluOp, a: u64, b: u64) -> u64 {
@@ -848,65 +1000,95 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn interpreter_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
-            // Build the simulated program.
-            let mut b = ProgramBuilder::new();
-            for op in &ops {
-                match *op {
-                    Op::MovImm(r, v) => {
-                        b.mov_imm(XReg::new(r), v);
-                    }
-                    Op::AluRR(o, d, x, y) => {
-                        b.alu_rr(o, XReg::new(d), XReg::new(x), XReg::new(y));
-                    }
-                    Op::AluRI(o, d, x, v) => {
-                        b.alu_ri(o, XReg::new(d), XReg::new(x), v);
-                    }
-                    Op::Store(r, addr) => {
-                        b.mov_imm(XReg::new(25), addr as i64);
-                        b.store(XReg::new(r), XReg::new(25), 0, quetzal_isa::MemSize::B8);
-                    }
-                    Op::Load(r, addr) => {
-                        b.mov_imm(XReg::new(25), addr as i64);
-                        b.load(XReg::new(r), XReg::new(25), 0, quetzal_isa::MemSize::B8);
-                    }
+    fn check_program(case: usize, ops: &[Op]) {
+        // Build the simulated program.
+        let mut b = ProgramBuilder::new();
+        for op in ops {
+            match *op {
+                Op::MovImm(r, v) => {
+                    b.mov_imm(XReg::new(r), v);
+                }
+                Op::AluRR(o, d, x, y) => {
+                    b.alu_rr(o, XReg::new(d), XReg::new(x), XReg::new(y));
+                }
+                Op::AluRI(o, d, x, v) => {
+                    b.alu_ri(o, XReg::new(d), XReg::new(x), v);
+                }
+                Op::Store(r, addr) => {
+                    b.mov_imm(XReg::new(25), addr as i64);
+                    b.store(XReg::new(r), XReg::new(25), 0, quetzal_isa::MemSize::B8);
+                }
+                Op::Load(r, addr) => {
+                    b.mov_imm(XReg::new(25), addr as i64);
+                    b.load(XReg::new(r), XReg::new(25), 0, quetzal_isa::MemSize::B8);
                 }
             }
-            b.halt();
-            let mut core = Core::new(CoreConfig::a64fx_like());
-            core.run(&b.build().unwrap()).unwrap();
+        }
+        b.halt();
+        let mut core = Core::new(CoreConfig::a64fx_like());
+        core.run(&b.build().unwrap()).unwrap();
 
-            // Evaluate with the direct oracle.
-            let mut regs = [0u64; 26];
-            let mut mem = std::collections::HashMap::<u64, u64>::new();
-            for op in &ops {
-                match *op {
-                    Op::MovImm(r, v) => regs[r as usize] = v as u64,
-                    Op::AluRR(o, d, x, y) => {
-                        regs[d as usize] = oracle_alu(o, regs[x as usize], regs[y as usize])
-                    }
-                    Op::AluRI(o, d, x, v) => {
-                        regs[d as usize] = oracle_alu(o, regs[x as usize], v as u64)
-                    }
-                    Op::Store(r, addr) => {
-                        regs[25] = addr;
-                        mem.insert(addr, regs[r as usize]);
-                    }
-                    Op::Load(r, addr) => {
-                        regs[25] = addr;
-                        regs[r as usize] = mem.get(&addr).copied().unwrap_or(0);
-                    }
+        // Evaluate with the direct oracle.
+        let mut regs = [0u64; 26];
+        let mut mem = std::collections::HashMap::<u64, u64>::new();
+        for op in ops {
+            match *op {
+                Op::MovImm(r, v) => regs[r as usize] = v as u64,
+                Op::AluRR(o, d, x, y) => {
+                    regs[d as usize] = oracle_alu(o, regs[x as usize], regs[y as usize])
+                }
+                Op::AluRI(o, d, x, v) => {
+                    regs[d as usize] = oracle_alu(o, regs[x as usize], v as u64)
+                }
+                Op::Store(r, addr) => {
+                    regs[25] = addr;
+                    mem.insert(addr, regs[r as usize]);
+                }
+                Op::Load(r, addr) => {
+                    regs[25] = addr;
+                    regs[r as usize] = mem.get(&addr).copied().unwrap_or(0);
                 }
             }
-            for (r, &want) in regs.iter().enumerate() {
-                prop_assert_eq!(core.state().x(XReg::new(r as u8)), want, "x{}", r);
-            }
-            for (&addr, &want) in &mem {
-                prop_assert_eq!(core.state().mem.read_le(addr, 8), want, "mem {:#x}", addr);
+        }
+        for (r, &want) in regs.iter().enumerate() {
+            assert_eq!(
+                core.state().x(XReg::new(r as u8)),
+                want,
+                "case {case}: x{r} ({ops:?})"
+            );
+        }
+        for (&addr, &want) in &mem {
+            assert_eq!(
+                core.state().mem.read_le(addr, 8),
+                want,
+                "case {case}: mem {addr:#x} ({ops:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        let mut rng = SplitMix64::new(0x1A7E_5EED);
+        for case in 0..48 {
+            let len = rng.i64_in(1, 60) as usize;
+            let ops: Vec<Op> = (0..len).map(|_| random_op(&mut rng)).collect();
+            check_program(case, &ops);
+        }
+    }
+
+    /// Every ALU op is exercised against the oracle on targeted operand
+    /// classes (zero, one, all-ones, extremes), not just random draws.
+    #[test]
+    fn interpreter_matches_oracle_on_edge_operands() {
+        const EDGES: [i64; 7] = [0, 1, -1, 63, 64, i64::MIN, i64::MAX];
+        let mut case = 0;
+        for op in ALU_OPS {
+            for &a in &EDGES {
+                for &b in &EDGES {
+                    let ops = [Op::MovImm(0, a), Op::MovImm(1, b), Op::AluRR(op, 2, 0, 1)];
+                    check_program(case, &ops);
+                    case += 1;
+                }
             }
         }
     }

@@ -621,10 +621,7 @@ mod tests {
         t.retire(&load, &d);
         // 1000 independent single-cycle instructions.
         for pc in 1..=1000 {
-            t.retire(
-                &Instruction::MovImm { rd: X2, imm: 0 },
-                &dyn_at(pc),
-            );
+            t.retire(&Instruction::MovImm { rd: X2, imm: 0 }, &dyn_at(pc));
         }
         let s = t.end_run();
         // Ideal would be 1000/4 = 250 cycles; the cold miss (≥120) must

@@ -127,6 +127,17 @@ impl RunStats {
     /// Accumulates another run's statistics into this one (cycles add;
     /// used when a workload is split across several kernel submissions).
     pub fn accumulate(&mut self, other: &RunStats) {
+        self.merge(other);
+    }
+
+    /// Merges the statistics of an independently simulated piece of
+    /// work (another kernel submission, or another shard of a parallel
+    /// batch) into this one. Every event counter and every
+    /// stall-attribution bucket sums, so merged stalls still account
+    /// for merged `cycles` exactly, and — addition being commutative
+    /// and associative over disjoint shards — the merged total is
+    /// independent of how the batch was sharded or scheduled.
+    pub fn merge(&mut self, other: &RunStats) {
         self.cycles += other.cycles;
         self.instructions += other.instructions;
         self.uops += other.uops;
@@ -143,6 +154,16 @@ impl RunStats {
         for i in 0..6 {
             self.stall_cycles[i] += other.stall_cycles[i];
         }
+    }
+
+    /// Merges an ordered sequence of per-shard statistics (see
+    /// [`merge`](Self::merge)) into one total.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a RunStats>) -> RunStats {
+        let mut total = RunStats::default();
+        for p in parts {
+            total.merge(p);
+        }
+        total
     }
 }
 
@@ -165,12 +186,7 @@ impl std::fmt::Display for RunStats {
         )?;
         write!(f, "stalls:")?;
         for cat in StallCat::all() {
-            write!(
-                f,
-                " {}={:.1}%",
-                cat,
-                100.0 * self.stall_fraction(cat)
-            )?;
+            write!(f, " {}={:.1}%", cat, 100.0 * self.stall_fraction(cat))?;
         }
         Ok(())
     }
@@ -205,6 +221,37 @@ mod tests {
         assert_eq!(a.cycles, 20);
         assert_eq!(a.instructions, 40);
         assert_eq!(a.stall_cycles, [2, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_stall_buckets() {
+        let a = RunStats {
+            cycles: 10,
+            instructions: 20,
+            mem_requests: 5,
+            qz_accesses: 7,
+            stall_cycles: [1, 2, 3, 4, 0, 0],
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            cycles: 100,
+            instructions: 200,
+            mem_requests: 50,
+            qz_accesses: 70,
+            stall_cycles: [10, 20, 30, 40, 0, 0],
+            ..RunStats::default()
+        };
+        // Merge order must not matter.
+        let ab = RunStats::merged([&a, &b]);
+        let ba = RunStats::merged([&b, &a]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.cycles, 110);
+        assert_eq!(ab.instructions, 220);
+        assert_eq!(ab.mem_requests, 55);
+        assert_eq!(ab.qz_accesses, 77);
+        assert_eq!(ab.stall_cycles, [11, 22, 33, 44, 0, 0]);
+        // Stall buckets still account for every cycle.
+        assert_eq!(ab.stall_cycles.iter().sum::<u64>(), ab.cycles);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Deterministic parallel batch simulation.
+//!
+//! The paper's evaluation simulates thousands of *independent*
+//! alignment pairs per experiment — embarrassing parallelism that the
+//! accelerator exploits in hardware and that the host-side experiment
+//! harness exploits here. [`BatchRunner`] shards a slice of independent
+//! work items across `QUETZAL_THREADS` worker threads, each shard
+//! simulated on its own fresh [`Machine`] (core + caches + QBUFFERs).
+//!
+//! # Determinism guarantee
+//!
+//! The output is **bit-identical for every thread count**, including 1.
+//! This holds by construction:
+//!
+//! 1. items are split into shards as a pure function of the item count
+//!    and the configured shard size — never of the thread count;
+//! 2. every shard starts from a fresh, identically configured context
+//!    (for simulations: a cold [`Machine`]), so a shard's results do
+//!    not depend on which worker ran it or on what ran before it;
+//! 3. per-item results are written into pre-assigned slots and merged
+//!    in shard order, never in completion order;
+//! 4. a panicking shard poisons only itself (panic isolation); the
+//!    runner reports the failure of the *lowest-numbered* failing
+//!    shard, which again does not depend on scheduling.
+//!
+//! Thread-count invariance is enforced by `tests/parallel.rs`, and the
+//! experiment harness (`quetzal-bench`) relies on it: speedup tables
+//! must be byte-identical between `QUETZAL_THREADS=1` and `=N` runs.
+//!
+//! ```
+//! use quetzal::{BatchRunner, Machine, MachineConfig};
+//!
+//! let runner = BatchRunner::new(4);
+//! let items = [3u64, 1, 4, 1, 5, 9, 2, 6];
+//! let doubled = runner
+//!     .run(&items, || (), |(), _idx, &x| 2 * x)
+//!     .unwrap();
+//! assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
+//! ```
+
+use crate::{Machine, MachineConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable selecting the worker-thread count
+/// (`QUETZAL_THREADS`). Unset or invalid values fall back to the host's
+/// available parallelism.
+pub const THREADS_ENV: &str = "QUETZAL_THREADS";
+
+/// A shard of the batch panicked. The work closure of every other shard
+/// still ran to completion (panic isolation); the runner reports the
+/// lowest-numbered failing shard so the error, too, is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index of the failing shard.
+    pub shard: usize,
+    /// Range of item indices the shard covered.
+    pub items: (usize, usize),
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch shard {} (items {}..{}) panicked: {}",
+            self.shard, self.items.0, self.items.1, self.message
+        )
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Deterministic parallel executor for slices of independent work items.
+///
+/// See the [module docs](self) for the determinism guarantee.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    threads: usize,
+    shard_size: usize,
+}
+
+impl BatchRunner {
+    /// Creates a runner with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> BatchRunner {
+        assert!(threads > 0, "at least one worker thread");
+        BatchRunner {
+            threads,
+            shard_size: 1,
+        }
+    }
+
+    /// Creates a runner with the thread count from `QUETZAL_THREADS`,
+    /// falling back to the host's available parallelism (then 1).
+    pub fn from_env() -> BatchRunner {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        BatchRunner::new(threads)
+    }
+
+    /// Sets how many consecutive items share one shard (and therefore
+    /// one fresh context / machine). Larger shards amortise context
+    /// setup and keep simulated caches warm across a shard's items;
+    /// the default of 1 maximises parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_shard_size(mut self, n: usize) -> BatchRunner {
+        assert!(n > 0, "shard size must be positive");
+        self.shard_size = n;
+        self
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `work` over every item, in parallel across shards.
+    ///
+    /// `init` builds one fresh per-shard context (typically a
+    /// [`Machine`]); `work(ctx, index, item)` processes item `index`.
+    /// Items of one shard are processed in index order on the same
+    /// context. Results come back in item order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] if any shard panicked.
+    pub fn run<C, T, R>(
+        &self,
+        items: &[T],
+        init: impl Fn() -> C + Sync,
+        work: impl Fn(&mut C, usize, &T) -> R + Sync,
+    ) -> Result<Vec<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let shard_count = items.len().div_ceil(self.shard_size);
+        let mut slots: Vec<Mutex<Option<Result<Vec<R>, String>>>> = Vec::new();
+        slots.resize_with(shard_count, || Mutex::new(None));
+        let next = AtomicUsize::new(0);
+
+        let run_shard = |shard: usize| -> Result<Vec<R>, String> {
+            let lo = shard * self.shard_size;
+            let hi = (lo + self.shard_size).min(items.len());
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = init();
+                (lo..hi)
+                    .map(|i| work(&mut ctx, i, &items[i]))
+                    .collect::<Vec<R>>()
+            }))
+            .map_err(|payload| {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                }
+            })
+        };
+
+        let workers = self.threads.min(shard_count.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let shard = next.fetch_add(1, Ordering::Relaxed);
+                    if shard >= shard_count {
+                        break;
+                    }
+                    let outcome = run_shard(shard);
+                    *slots[shard].lock().expect("result slot") = Some(outcome);
+                });
+            }
+        });
+
+        // Deterministic merge: shard order, first failure wins.
+        let mut out = Vec::with_capacity(items.len());
+        for (shard, slot) in slots.into_iter().enumerate() {
+            let outcome = slot
+                .into_inner()
+                .expect("result slot")
+                .expect("every shard was claimed by a worker");
+            match outcome {
+                Ok(rs) => out.extend(rs),
+                Err(message) => {
+                    let lo = shard * self.shard_size;
+                    let hi = (lo + self.shard_size).min(items.len());
+                    return Err(BatchError {
+                        shard,
+                        items: (lo, hi),
+                        message,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`run`](Self::run) specialised to simulation work: every shard
+    /// owns a fresh [`Machine`] built from `config`, so simulated
+    /// caches and QBUFFERs are warm across the items *within* a shard
+    /// and cold at every shard boundary — independent of thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] if any shard panicked.
+    pub fn run_machines<T, R>(
+        &self,
+        config: &MachineConfig,
+        items: &[T],
+        work: impl Fn(&mut Machine, usize, &T) -> R + Sync,
+    ) -> Result<Vec<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.run(items, || Machine::new(config.clone()), work)
+    }
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_isa::*;
+
+    fn square_batch(runner: &BatchRunner, n: usize) -> Vec<u64> {
+        let items: Vec<u64> = (0..n as u64).collect();
+        runner
+            .run(
+                &items,
+                || 0u64,
+                |acc, _i, &x| {
+                    *acc += x;
+                    *acc + x * x
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn results_are_in_item_order() {
+        let runner = BatchRunner::new(3);
+        let items: Vec<usize> = (0..17).collect();
+        let got = runner.run(&items, || (), |(), i, &x| (i, x)).unwrap();
+        assert_eq!(got, items.iter().map(|&x| (x, x)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        // Shard-local state (the accumulator) makes scheduling-dependent
+        // sharding observable; with shard size fixed, it must not be.
+        for shard in [1, 4] {
+            let want = square_batch(&BatchRunner::new(1).with_shard_size(shard), 23);
+            for threads in [2, 3, 8] {
+                let got = square_batch(&BatchRunner::new(threads).with_shard_size(shard), 23);
+                assert_eq!(want, got, "threads={threads} shard={shard}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let runner = BatchRunner::new(4);
+        let got: Vec<u64> = runner.run(&[] as &[u64], || (), |(), _, &x| x).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn machines_run_real_kernels_per_shard() {
+        let runner = BatchRunner::new(2);
+        let items = [1i64, 2, 3, 4, 5];
+        let got = runner
+            .run_machines(&MachineConfig::default(), &items, |m, _i, &x| {
+                let mut b = ProgramBuilder::new();
+                b.mov_imm(X0, x);
+                b.alu_ri(SAluOp::Mul, X0, X0, 10);
+                b.halt();
+                m.run(&b.build().unwrap()).unwrap();
+                m.core().state().x(X0)
+            })
+            .unwrap();
+        assert_eq!(got, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_reported_deterministically() {
+        let items: Vec<usize> = (0..10).collect();
+        for threads in [1, 4] {
+            let err = BatchRunner::new(threads)
+                .run(
+                    &items,
+                    || (),
+                    |(), i, _| {
+                        if i == 3 || i == 7 {
+                            panic!("boom at {i}");
+                        }
+                        i
+                    },
+                )
+                .unwrap_err();
+            // Lowest failing shard wins regardless of scheduling.
+            assert_eq!(err.shard, 3, "threads={threads}");
+            assert_eq!(err.items, (3, 4));
+            assert!(err.message.contains("boom at 3"), "{}", err.message);
+            assert!(err.to_string().contains("shard 3"));
+        }
+    }
+
+    #[test]
+    fn shard_size_groups_items_on_one_context() {
+        let runner = BatchRunner::new(4).with_shard_size(3);
+        let items: Vec<u64> = (0..9).collect();
+        // Context counts how many items it has seen; with shard size 3
+        // the per-item counter pattern must be 1,2,3,1,2,3,1,2,3.
+        let got = runner
+            .run(
+                &items,
+                || 0u64,
+                |seen, _i, _x| {
+                    *seen += 1;
+                    *seen
+                },
+            )
+            .unwrap();
+        assert_eq!(got, vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_panics() {
+        let _ = BatchRunner::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be positive")]
+    fn zero_shard_size_panics() {
+        let _ = BatchRunner::new(1).with_shard_size(0);
+    }
+}

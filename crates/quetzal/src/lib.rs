@@ -15,7 +15,10 @@
 //!
 //! and provides [`Machine`]: one simulated core with a QUETZAL instance,
 //! a bump allocator for staging inputs in simulated memory, and kernel
-//! submission.
+//! submission — plus [`BatchRunner`], the deterministic parallel
+//! engine that shards independent work items (alignment pairs,
+//! windows) across `QUETZAL_THREADS` host threads with bit-identical
+//! output for every thread count.
 //!
 //! ```
 //! use quetzal::{Machine, MachineConfig};
@@ -40,6 +43,9 @@ pub use quetzal_genomics as genomics;
 pub use quetzal_isa as isa;
 pub use quetzal_uarch as uarch;
 
+pub mod batch;
+
+pub use batch::{BatchError, BatchRunner};
 pub use quetzal_accel::{PortCount, QzConfig};
 pub use quetzal_isa::Program;
 pub use quetzal_uarch::{Core, CoreConfig, RunStats, SimError, StallCat};

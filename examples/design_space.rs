@@ -17,7 +17,12 @@ fn main() {
     let pairs = DatasetSpec::d250().generate_n(3, 3);
     println!("config   read-lat  cycles     vs QZ_1P  area(mm2)  power(uW)");
     let mut base = 0u64;
-    for qz in [QzConfig::QZ_1P, QzConfig::QZ_2P, QzConfig::QZ_4P, QzConfig::QZ_8P] {
+    for qz in [
+        QzConfig::QZ_1P,
+        QzConfig::QZ_2P,
+        QzConfig::QZ_4P,
+        QzConfig::QZ_8P,
+    ] {
         let mut machine = Machine::new(MachineConfig::with_qz(qz));
         let mut cycles = 0u64;
         for pair in &pairs {

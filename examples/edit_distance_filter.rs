@@ -28,10 +28,12 @@ fn main() {
     let mut cycles = Vec::new();
     for tier in [Tier::Vec, Tier::QuetzalC] {
         let mut machine = Machine::new(MachineConfig::default());
-        let (result, stats) =
-            pipeline_sim(&mut machine, &pairs, Alphabet::Dna, threshold, tier)
-                .expect("pipeline succeeds");
-        assert_eq!(result, reference, "simulated pipeline matches the reference");
+        let (result, stats) = pipeline_sim(&mut machine, &pairs, Alphabet::Dna, threshold, tier)
+            .expect("pipeline succeeds");
+        assert_eq!(
+            result, reference,
+            "simulated pipeline matches the reference"
+        );
         println!(
             "{tier:10}: {} cycles, {} filter+align kernels share one accelerator",
             stats.cycles,

@@ -19,14 +19,20 @@ fn main() {
 
     // Scalar reference: optimal score and transcript.
     let reference = wfa_edit_align(pattern, text);
-    println!("reference: score = {}, cigar = {}", reference.score, reference.cigar);
+    println!(
+        "reference: score = {}, cigar = {}",
+        reference.score, reference.cigar
+    );
 
     // Simulate the same alignment on the QUETZAL machine at two tiers.
     for tier in [Tier::Vec, Tier::QuetzalC] {
         let mut machine = Machine::new(MachineConfig::default());
-        let out = wfa_sim(&mut machine, pattern, text, Alphabet::Dna, tier)
-            .expect("simulation succeeds");
-        assert_eq!(out.value, reference.score as i64, "simulated kernel is exact");
+        let out =
+            wfa_sim(&mut machine, pattern, text, Alphabet::Dna, tier).expect("simulation succeeds");
+        assert_eq!(
+            out.value, reference.score as i64,
+            "simulated kernel is exact"
+        );
         println!(
             "{tier:10}: score = {}, cycles = {}, cache requests = {}, QBUFFER accesses = {}",
             out.value, out.stats.cycles, out.stats.mem_requests, out.stats.qz_accesses

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The repository's CI pipeline, runnable locally: formatting, offline
+# release build, full test suite, and a smoke run of the experiment
+# harness. Everything runs with --offline — the workspace has zero
+# external dependencies, so a clean checkout plus a Rust toolchain is
+# all CI needs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> smoke: run_all at reduced scale, 1 vs N threads byte-identical"
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+QUETZAL_SCALE=0.25 QUETZAL_THREADS=1 \
+    cargo run -q --release --offline -p quetzal-bench --bin run_all \
+    > "$out_dir/t1.txt"
+QUETZAL_SCALE=0.25 QUETZAL_THREADS=4 \
+    cargo run -q --release --offline -p quetzal-bench --bin run_all \
+    > "$out_dir/t4.txt"
+cmp "$out_dir/t1.txt" "$out_dir/t4.txt" \
+    || { echo "FAIL: run_all output depends on QUETZAL_THREADS"; exit 1; }
+
+echo "CI OK"

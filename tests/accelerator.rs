@@ -32,7 +32,11 @@ fn qzencode_matches_reference_packing_everywhere() {
     let packed = Packed2::from_bytes(&seq, Alphabet::Dna);
     for i in (0..seq.len()).step_by(17) {
         assert_eq!(
-            m.core().state().qz.buf(0).read_segment(i as u64, EncSize::E2),
+            m.core()
+                .state()
+                .qz
+                .buf(0)
+                .read_segment(i as u64, EncSize::E2),
             packed.segment(i),
             "offset {i}"
         );
@@ -60,12 +64,11 @@ fn qzmhm_count_equals_common_prefix_of_sequences() {
         b.qzmhm(QzOp::Count, V2, V0, V1, P0);
         b.halt();
         m.run(&b.build().unwrap()).unwrap();
-        let got = m.core().state().qz.mhm(
-            QzOp::Count,
-            &[v as u64; 8],
-            &[h as u64; 8],
-            &[true; 8],
-        );
+        let got = m
+            .core()
+            .state()
+            .qz
+            .mhm(QzOp::Count, &[v as u64; 8], &[h as u64; 8], &[true; 8]);
         let want = common_prefix_len(&pattern[v..], &text[h..]).min(32) as u64;
         assert_eq!(m.core().state().v_elem_check(V2), want, "v={v} h={h}");
         assert_eq!(got.0[0], want);

@@ -30,7 +30,10 @@ fn wfa_simulation_is_cycle_deterministic() {
         outs.push(wfa_sim(&mut m, p, t, Alphabet::Dna, Tier::QuetzalC).unwrap());
     }
     assert_eq!(outs[0].value, outs[1].value);
-    assert_eq!(outs[0].stats, outs[1].stats, "identical statistics, cycle for cycle");
+    assert_eq!(
+        outs[0].stats, outs[1].stats,
+        "identical statistics, cycle for cycle"
+    );
 }
 
 #[test]

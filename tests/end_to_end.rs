@@ -22,10 +22,15 @@ fn every_aligner_is_exact_on_every_tier() {
             let mut m = Machine::new(MachineConfig::default());
             assert_eq!(wfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap().value, d);
             let mut m = Machine::new(MachineConfig::default());
-            assert_eq!(biwfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap().value, d);
+            assert_eq!(
+                biwfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap().value,
+                d
+            );
             let mut m = Machine::new(MachineConfig::default());
             assert_eq!(
-                dp_sim(&mut m, p, t, LinearCosts::UNIT, None, tier).unwrap().value,
+                dp_sim(&mut m, p, t, LinearCosts::UNIT, None, tier)
+                    .unwrap()
+                    .value,
                 d
             );
         }
@@ -82,7 +87,12 @@ fn port_configurations_do_not_change_results() {
     let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
     let d = levenshtein(p, t) as i64;
     let mut cycles = Vec::new();
-    for qz in [QzConfig::QZ_1P, QzConfig::QZ_2P, QzConfig::QZ_4P, QzConfig::QZ_8P] {
+    for qz in [
+        QzConfig::QZ_1P,
+        QzConfig::QZ_2P,
+        QzConfig::QZ_4P,
+        QzConfig::QZ_8P,
+    ] {
         let mut m = Machine::new(MachineConfig::with_qz(qz));
         let out = wfa_sim(&mut m, p, t, Alphabet::Dna, Tier::Quetzal).unwrap();
         assert_eq!(out.value, d, "{qz}");
@@ -90,7 +100,10 @@ fn port_configurations_do_not_change_results() {
     }
     // More ports never hurt.
     for w in cycles.windows(2) {
-        assert!(w[1] <= w[0], "cycles must not increase with ports: {cycles:?}");
+        assert!(
+            w[1] <= w[0],
+            "cycles must not increase with ports: {cycles:?}"
+        );
     }
 }
 
@@ -102,14 +115,18 @@ fn protein_and_dna_alphabets_agree_with_references() {
     let d = levenshtein(p, t) as i64;
     let mut m = Machine::new(MachineConfig::default());
     assert_eq!(
-        wfa_sim(&mut m, p, t, Alphabet::Protein, Tier::QuetzalC).unwrap().value,
+        wfa_sim(&mut m, p, t, Alphabet::Protein, Tier::QuetzalC)
+            .unwrap()
+            .value,
         d
     );
     let e = d as u32 + 1;
     let want = ss_filter(p, t, e).bound as i64;
     let mut m = Machine::new(MachineConfig::default());
     assert_eq!(
-        ss_sim(&mut m, p, t, Alphabet::Protein, e, Tier::QuetzalC).unwrap().value,
+        ss_sim(&mut m, p, t, Alphabet::Protein, e, Tier::QuetzalC)
+            .unwrap()
+            .value,
         want
     );
 }
@@ -123,7 +140,13 @@ fn tier_performance_ordering_holds_end_to_end() {
     let mut cycles = std::collections::HashMap::new();
     for tier in Tier::all() {
         let mut m = Machine::new(MachineConfig::default());
-        cycles.insert(tier, wfa_sim(&mut m, p, t, Alphabet::Dna, tier).unwrap().stats.cycles);
+        cycles.insert(
+            tier,
+            wfa_sim(&mut m, p, t, Alphabet::Dna, tier)
+                .unwrap()
+                .stats
+                .cycles,
+        );
     }
     assert!(cycles[&Tier::QuetzalC] < cycles[&Tier::Quetzal]);
     assert!(cycles[&Tier::Quetzal] < cycles[&Tier::Vec]);

@@ -1,0 +1,126 @@
+//! Thread-count invariance of the deterministic batch engine, end to
+//! end: the per-pair results and merged statistics an experiment
+//! observes must be bit-identical between `QUETZAL_THREADS=1` and any
+//! other thread count. A golden snapshot of one canonical kernel's
+//! statistics additionally pins the simulator against silent drift.
+
+use quetzal::uarch::RunStats;
+use quetzal::{BatchRunner, MachineConfig};
+use quetzal_algos::pipeline::{mixed_pairs, pipeline_batch};
+use quetzal_algos::Tier;
+use quetzal_bench::workloads::{run_algo_pairs, Algo, Workload, SEED};
+use quetzal_genomics::dataset::DatasetSpec;
+use quetzal_genomics::Alphabet;
+
+fn workload(pairs: usize) -> Workload {
+    Workload {
+        spec: DatasetSpec::d100(),
+        pairs: DatasetSpec::d100().generate_n(SEED, pairs),
+    }
+}
+
+/// Per-pair results and the merged total are bit-identical between a
+/// 1-thread and a 4-thread run, for both a compute-bound aligner (WFA)
+/// and the filtering kernel (SneakySnake), at every tier the
+/// experiments compare.
+#[test]
+fn wfa_and_ss_are_thread_invariant() {
+    let wl = workload(6);
+    let cfg = MachineConfig::default();
+    for algo in [Algo::Wfa, Algo::Ss] {
+        for tier in [Tier::Vec, Tier::QuetzalC] {
+            let serial = run_algo_pairs(&BatchRunner::new(1), &cfg, algo, &wl, tier);
+            let parallel = run_algo_pairs(&BatchRunner::new(4), &cfg, algo, &wl, tier);
+            assert_eq!(serial.len(), 6);
+            assert_eq!(serial, parallel, "{algo} {tier}: per-pair results diverge");
+            assert_eq!(
+                RunStats::merged(&serial),
+                RunStats::merged(&parallel),
+                "{algo} {tier}: merged totals diverge"
+            );
+        }
+    }
+}
+
+/// Shard size must not interact with thread count: grouping pairs
+/// four-per-machine still yields identical results for 1 vs 4 threads.
+#[test]
+fn shard_size_is_thread_invariant() {
+    let wl = workload(9);
+    let cfg = MachineConfig::default();
+    let serial = run_algo_pairs(
+        &BatchRunner::new(1).with_shard_size(4),
+        &cfg,
+        Algo::Wfa,
+        &wl,
+        Tier::QuetzalC,
+    );
+    let parallel = run_algo_pairs(
+        &BatchRunner::new(4).with_shard_size(4),
+        &cfg,
+        Algo::Wfa,
+        &wl,
+        Tier::QuetzalC,
+    );
+    assert_eq!(serial, parallel);
+}
+
+/// The two-stage SS→WFA pipeline (accept set, scores, and merged
+/// statistics) is thread-invariant too.
+#[test]
+fn pipeline_is_thread_invariant() {
+    let spec = DatasetSpec::d100();
+    let pairs = mixed_pairs(&spec, SEED, 8, 0.5);
+    let cfg = MachineConfig::default();
+    let threshold = 8;
+    let (r1, s1) = pipeline_batch(
+        &BatchRunner::new(1),
+        &cfg,
+        &pairs,
+        Alphabet::Dna,
+        threshold,
+        Tier::QuetzalC,
+    )
+    .expect("pipeline");
+    let (r4, s4) = pipeline_batch(
+        &BatchRunner::new(4),
+        &cfg,
+        &pairs,
+        Alphabet::Dna,
+        threshold,
+        Tier::QuetzalC,
+    )
+    .expect("pipeline");
+    assert_eq!(r1, r4);
+    assert_eq!(s1, s4);
+    assert_eq!(r1.accepted + r1.rejected, 8);
+}
+
+/// Golden snapshot: every statistic of the canonical kernel (WFA at
+/// QUETZAL+C tier, first 100 bp Table II pair, default machine). If an
+/// intentional simulator change moves these numbers, re-record them —
+/// any *unintentional* diff here means simulation results silently
+/// changed.
+#[test]
+fn canonical_kernel_stats_snapshot() {
+    let wl = workload(1);
+    let cfg = MachineConfig::default();
+    let stats = run_algo_pairs(&BatchRunner::new(1), &cfg, Algo::Wfa, &wl, Tier::QuetzalC);
+    let want = RunStats {
+        cycles: 750,
+        instructions: 398,
+        uops: 398,
+        mem_requests: 39,
+        l1_hits: 44,
+        l1_misses: 12,
+        l2_misses: 12,
+        dram_bytes: 768,
+        prefetches: 0,
+        branches: 68,
+        mispredicts: 16,
+        indexed_ops: 0,
+        qz_accesses: 11,
+        stall_cycles: [34, 67, 35, 198, 410, 6],
+    };
+    assert_eq!(stats, vec![want]);
+}
