@@ -41,7 +41,7 @@ impl QBuffer {
     /// Panics if `bytes` is not a positive multiple of 8.
     pub fn new(bytes: usize) -> QBuffer {
         assert!(
-            bytes > 0 && bytes % 8 == 0,
+            bytes > 0 && bytes.is_multiple_of(8),
             "QBUFFER capacity must be a positive multiple of 8 bytes"
         );
         QBuffer {
@@ -115,7 +115,7 @@ impl QBuffer {
     /// Panics if `elem_idx` is not a multiple of 32.
     pub fn write_encoded(&mut self, elem_idx: u64, seg_a: u64, seg_b: u64) {
         assert!(
-            elem_idx % 32 == 0,
+            elem_idx.is_multiple_of(32),
             "encoded-mode writes are word-aligned (32 bases)"
         );
         let cap = self.capacity_elems(EncSize::E2);
@@ -249,7 +249,10 @@ impl QBuffers {
                 crate::encoder::ENCODE_LATENCY
             }
             EncSize::E8 => {
-                assert!(idx % 8 == 0, "8-bit encoded writes are word-aligned");
+                assert!(
+                    idx.is_multiple_of(8),
+                    "8-bit encoded writes are word-aligned"
+                );
                 let buf = &mut self.bufs[sel];
                 let cap = buf.capacity_elems(EncSize::E8);
                 for (w, chunk) in chars.chunks(8).enumerate() {
@@ -396,7 +399,7 @@ mod tests {
         let mut q = small();
         q.conf(64, 64, 0);
         for i in 0..64u64 {
-            q.buf_mut(0).write_elem(i, (i % 4) as u64, EncSize::E2);
+            q.buf_mut(0).write_elem(i, i % 4, EncSize::E2);
         }
         for i in 0..64u64 {
             let seg = q.buf(0).read_segment(i, EncSize::E2);

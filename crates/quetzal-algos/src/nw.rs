@@ -37,8 +37,8 @@ pub fn nw_align(pattern: &[u8], text: &[u8], costs: LinearCosts) -> NwResult {
     // Full matrix, row-major: D[i][j] at i*(n+1)+j.
     let w = n + 1;
     let mut dp = vec![0i64; (m + 1) * w];
-    for j in 0..=n {
-        dp[j] = j as i64 * costs.gap;
+    for (j, cell) in dp.iter_mut().enumerate().take(n + 1) {
+        *cell = j as i64 * costs.gap;
     }
     for i in 1..=m {
         dp[i * w] = i as i64 * costs.gap;

@@ -62,9 +62,9 @@ impl CsrMatrix {
 /// Scalar reference SpMV: `y = A · x`.
 pub fn spmv_ref(a: &CsrMatrix, x: &[i64]) -> Vec<i64> {
     let mut y = vec![0i64; a.rows];
-    for r in 0..a.rows {
+    for (r, out) in y.iter_mut().enumerate() {
         let (s, e) = (a.row_ptr[r] as usize, a.row_ptr[r + 1] as usize);
-        y[r] = (s..e)
+        *out = (s..e)
             .map(|k| a.values[k].wrapping_mul(x[a.col_idx[k] as usize]))
             .fold(0i64, |acc, v| acc.wrapping_add(v));
     }

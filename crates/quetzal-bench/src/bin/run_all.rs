@@ -1,9 +1,16 @@
 //! Runs every experiment in sequence (tables + figures). Workload sizes
 //! scale with the QUETZAL_SCALE environment variable.
+//!
+//! Experiment tables go to stdout and are deterministic (byte-identical
+//! across hosts and `QUETZAL_THREADS` values). The simulator-throughput
+//! summary — the same table `bench_uarch` measures for
+//! `BENCH_uarch.json` — is wall-clock-dependent, so it goes to stderr.
 fn main() {
     let scale = quetzal_bench::scale_from_env();
     eprintln!("running all experiments at scale {scale} ...");
     for table in quetzal_bench::experiments::run_all(scale) {
         println!("{table}");
     }
+    let throughput = quetzal_bench::throughput::measure_fig_kernels(scale);
+    eprint!("{}", quetzal_bench::throughput::summary_table(&throughput));
 }

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod throughput;
 pub mod timing;
 pub mod workloads;
 

@@ -42,6 +42,18 @@ pub fn median(samples: &mut [f64]) -> f64 {
     }
 }
 
+/// Simulated MIPS: millions of simulated instructions retired per
+/// wall-clock second — the simulator-throughput metric tracked by
+/// `BENCH_uarch.json` (instructions are simulated, seconds are host
+/// time; `ns` is the wall-clock of one run retiring `sim_instructions`).
+pub fn sim_mips(sim_instructions: u64, wall_ns: f64) -> f64 {
+    if wall_ns <= 0.0 {
+        0.0
+    } else {
+        sim_instructions as f64 * 1e3 / wall_ns
+    }
+}
+
 /// Renders nanoseconds with an adaptive unit.
 pub fn fmt_ns(ns: f64) -> String {
     if ns < 1e3 {
@@ -127,6 +139,14 @@ mod tests {
         assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn sim_mips_is_instructions_per_wall_second() {
+        // 2_000_000 simulated instructions in 1 ms of wall time
+        // -> 2e6 / 1e-3 s = 2e9 inst/s = 2000 MIPS.
+        assert!((sim_mips(2_000_000, 1e6) - 2000.0).abs() < 1e-9);
+        assert_eq!(sim_mips(1000, 0.0), 0.0);
     }
 
     #[test]

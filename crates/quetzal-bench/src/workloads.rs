@@ -139,7 +139,7 @@ pub const NW_WINDOW: usize = 320;
 /// Banded-SW window (same constraint as [`NW_WINDOW`]).
 pub const SW_WINDOW: usize = 320;
 
-fn windowed<'a>(seq: &'a [u8], window: usize) -> &'a [u8] {
+fn windowed(seq: &[u8], window: usize) -> &[u8] {
     &seq[..seq.len().min(window)]
 }
 

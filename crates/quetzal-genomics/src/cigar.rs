@@ -141,7 +141,7 @@ impl Cigar {
     pub fn iter(&self) -> impl Iterator<Item = CigarOp> + '_ {
         self.runs
             .iter()
-            .flat_map(|&(n, op)| std::iter::repeat(op).take(n as usize))
+            .flat_map(|&(n, op)| std::iter::repeat_n(op, n as usize))
     }
 
     /// Total number of operations (runs expanded).

@@ -53,10 +53,10 @@ pub fn banded_levenshtein(a: &[u8], b: &[u8], threshold: u32) -> Option<u32> {
     let mut prev = vec![INF; width];
     let mut curr = vec![INF; width];
     // Row i = 0: D[0][j] = j for j in [0, t].
-    for k in 0..width {
+    for (k, cell) in prev.iter_mut().enumerate() {
         let j = k as isize - t as isize;
         if (0..=b.len() as isize).contains(&j) {
-            prev[k] = j as u32;
+            *cell = j as u32;
         }
     }
     for i in 1..=a.len() {
@@ -167,8 +167,8 @@ pub fn gotoh_score(a: &[u8], b: &[u8], p: Penalties) -> u32 {
     let mut i_prev = vec![INF; n + 1];
     let mut d_prev = vec![INF; n + 1];
     m_prev[0] = 0;
-    for j in 1..=n {
-        d_prev[j] = p.gap_open + j as u32 * p.gap_extend;
+    for (j, cell) in d_prev.iter_mut().enumerate().skip(1) {
+        *cell = p.gap_open + j as u32 * p.gap_extend;
     }
     let mut m_curr = vec![INF; n + 1];
     let mut i_curr = vec![INF; n + 1];

@@ -10,11 +10,28 @@ use crate::types::{ElemSize, MemSize, QBufSel};
 pub struct Label(usize);
 
 /// An immutable, label-resolved instruction sequence.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Program {
     insts: Vec<Instruction>,
     name: String,
+    /// Process-unique identity assigned at build time; clones share it
+    /// (the instruction sequence is immutable), so it keys derived
+    /// per-program tables such as the simulator's decode cache.
+    id: u64,
 }
+
+/// Identity is deliberately excluded: two independently built programs
+/// with the same instructions compare equal.
+impl PartialEq for Program {
+    fn eq(&self, other: &Program) -> bool {
+        self.insts == other.insts && self.name == other.name
+    }
+}
+
+impl Eq for Program {}
+
+/// Source of build-time program identities.
+static NEXT_PROGRAM_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Program {
     /// The instructions.
@@ -44,6 +61,13 @@ impl Program {
     /// The diagnostic name given at build time.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Process-unique build identity (shared by clones). Stable for the
+    /// lifetime of the process; suitable as a cache key for tables
+    /// derived from the (immutable) instruction sequence.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Full disassembly listing.
@@ -353,6 +377,7 @@ impl ProgramBuilder {
     }
 
     /// Gather load (lane size `esize`, `msize` bytes read per lane).
+    #[allow(clippy::too_many_arguments)] // mirrors the instruction's operands
     pub fn vgather(
         &mut self,
         vd: VReg,
@@ -375,6 +400,7 @@ impl ProgramBuilder {
     }
 
     /// Scatter store (lane size `esize`, `msize` bytes written per lane).
+    #[allow(clippy::too_many_arguments)] // mirrors the instruction's operands
     pub fn vscatter(
         &mut self,
         vs: VReg,
@@ -585,6 +611,7 @@ impl ProgramBuilder {
         Ok(Program {
             insts,
             name: self.name.clone(),
+            id: NEXT_PROGRAM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 }

@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn flat_indices_are_unique_and_dense() {
-        let mut seen = vec![false; Reg::FLAT_COUNT];
+        let mut seen = [false; Reg::FLAT_COUNT];
         for i in 0..NUM_XREGS {
             seen[Reg::X(XReg::new(i)).flat_index()] = true;
         }

@@ -10,10 +10,13 @@
 
 use crate::config::CoreConfig;
 use crate::ooo::{DynInst, ExecSink, NullSink, OooTiming};
+use crate::predecode::{DecodeCache, MicroOp, Predecode};
 use crate::state::{truncate, ArchState};
 use crate::stats::RunStats;
 use quetzal_accel::count_alu::{qzcount_vector, COUNT_ALU_LATENCY};
-use quetzal_isa::{ElemSize, Instruction, Program, RedOp, SAluOp, VAluOp, LANES_64, VLEN_BYTES};
+use quetzal_isa::{
+    ElemSize, Instruction, PReg, Program, RedOp, SAluOp, VAluOp, VReg, LANES_64, VLEN_BYTES,
+};
 
 /// Errors raised during simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,8 +92,32 @@ fn mask_of(esize: ElemSize) -> u64 {
     }
 }
 
+/// Packs the active `(index, value)` lane pairs of a predicated QBUFFER
+/// write into caller-provided stack scratch, returning the live prefix
+/// (replaces a per-instruction `Vec` allocation on the hot path).
+fn active_lane_pairs<'a>(
+    state: &ArchState,
+    pg: PReg,
+    idx: VReg,
+    val: VReg,
+    buf: &'a mut [(u64, u64); LANES_64],
+) -> &'a [(u64, u64)] {
+    let mask = state.mask64(pg);
+    let idxs = state.v_lanes64(idx);
+    let vals = state.v_lanes64(val);
+    let mut n = 0;
+    for i in 0..LANES_64 {
+        if mask[i] {
+            buf[n] = (idxs[i], vals[i]);
+            n += 1;
+        }
+    }
+    &buf[..n]
+}
+
 /// Executes `program` on `state`, streaming retired instructions into
-/// `sink`. Returns the number of executed instructions.
+/// `sink`. Predecodes the program locally (no cache) and delegates to
+/// [`execute_predecoded`]. Returns the number of executed instructions.
 ///
 /// # Errors
 ///
@@ -102,9 +129,74 @@ pub fn execute(
     sink: &mut impl ExecSink,
     budget: u64,
 ) -> Result<u64, SimError> {
+    let pre = Predecode::of(program);
+    execute_predecoded(state, program, &pre, sink, budget)
+}
+
+/// Reference (seed-path) executor: decodes each instruction's
+/// [`MicroOp`] afresh at retire time instead of reading the predecoded
+/// table. Timing-equivalent to [`execute_predecoded`] by construction —
+/// kept so the golden timing-neutrality test can assert the equivalence
+/// on real workloads, and as the oracle for decode-cache bugs (a stale
+/// or misindexed table diverges from this path immediately).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the instruction budget is exhausted or an
+/// invalid `qzconf` is executed.
+pub fn execute_reference(
+    state: &mut ArchState,
+    program: &Program,
+    sink: &mut impl ExecSink,
+    budget: u64,
+) -> Result<u64, SimError> {
+    let mut d = DynInst::default();
+    execute_impl(state, program, sink, budget, &mut d, |_pc, inst| {
+        MicroOp::decode(inst)
+    })
+}
+
+/// Executes `program` with a prebuilt [`Predecode`] table (the hot
+/// path: the table is computed once per program and cached by
+/// [`Core`]).
+///
+/// # Panics
+///
+/// Panics if `pre` was built from a different (shorter) program.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the instruction budget is exhausted or an
+/// invalid `qzconf` is executed.
+pub fn execute_predecoded(
+    state: &mut ArchState,
+    program: &Program,
+    pre: &Predecode,
+    sink: &mut impl ExecSink,
+    budget: u64,
+) -> Result<u64, SimError> {
+    assert_eq!(pre.len(), program.len(), "predecode table mismatch");
+    let mut d = DynInst::default();
+    execute_impl(state, program, sink, budget, &mut d, |pc, _inst| {
+        *pre.op(pc)
+    })
+}
+
+/// The interpreter loop, generic over where each instruction's
+/// [`MicroOp`] record comes from (predecoded table or per-retire
+/// decode). `d` is caller-provided scratch: its `mem` buffer is reused
+/// across every dynamic instruction (and, via [`Core`], across runs),
+/// so the loop allocates nothing per instruction.
+fn execute_impl(
+    state: &mut ArchState,
+    program: &Program,
+    sink: &mut impl ExecSink,
+    budget: u64,
+    d: &mut DynInst,
+    mut uop_of: impl FnMut(usize, &Instruction) -> MicroOp,
+) -> Result<u64, SimError> {
     let mut pc = 0usize;
     let mut executed = 0u64;
-    let mut d = DynInst::default();
 
     loop {
         if executed >= budget {
@@ -163,7 +255,7 @@ pub fn execute(
                 next_pc = target;
             }
             Instruction::Halt => {
-                sink.retire(&inst, &d);
+                sink.retire(&uop_of(pc, &inst), d);
                 return Ok(executed);
             }
 
@@ -414,8 +506,11 @@ pub fn execute(
                 amount,
                 esize,
             } => {
+                // Stack scratch: at most VLEN_BYTES lanes (B8 elements),
+                // so a fixed array replaces the per-instruction Vec.
                 let lanes = esize.lanes();
-                let mut tmp = vec![0u64; lanes];
+                let mut buf = [0u64; VLEN_BYTES];
+                let tmp = &mut buf[..lanes];
                 for (i, item) in tmp.iter_mut().enumerate() {
                     let src = i + amount as usize;
                     *item = if src < lanes {
@@ -430,7 +525,8 @@ pub fn execute(
             }
             Instruction::VSlide1Up { vd, vn, rn, esize } => {
                 let lanes = esize.lanes();
-                let mut tmp = vec![0u64; lanes];
+                let mut buf = [0u64; VLEN_BYTES];
+                let tmp = &mut buf[..lanes];
                 tmp[0] = state.x(rn);
                 for (i, item) in tmp.iter_mut().enumerate().skip(1) {
                     *item = state.v_elem(vn, i - 1, esize);
@@ -470,14 +566,9 @@ pub fn execute(
                 d.qz_latency = state.qz.encode(sel.index(), &chars, at);
             }
             Instruction::QzStore { val, idx, sel, pg } => {
-                let mask = state.mask64(pg);
-                let idxs = state.v_lanes64(idx);
-                let vals = state.v_lanes64(val);
-                let lanes: Vec<(u64, u64)> = (0..LANES_64)
-                    .filter(|&i| mask[i])
-                    .map(|i| (idxs[i], vals[i]))
-                    .collect();
-                d.qz_latency = state.qz.store(sel.index(), &lanes);
+                let mut buf = [(0u64, 0u64); LANES_64];
+                let lanes = active_lane_pairs(state, pg, idx, val, &mut buf);
+                d.qz_latency = state.qz.store(sel.index(), lanes);
             }
             Instruction::QzUpdate {
                 op,
@@ -486,14 +577,9 @@ pub fn execute(
                 sel,
                 pg,
             } => {
-                let mask = state.mask64(pg);
-                let idxs = state.v_lanes64(idx);
-                let vals = state.v_lanes64(val);
-                let lanes: Vec<(u64, u64)> = (0..LANES_64)
-                    .filter(|&i| mask[i])
-                    .map(|i| (idxs[i], vals[i]))
-                    .collect();
-                d.qz_latency = state.qz.update(sel.index(), op, &lanes);
+                let mut buf = [(0u64, 0u64); LANES_64];
+                let lanes = active_lane_pairs(state, pg, idx, val, &mut buf);
+                d.qz_latency = state.qz.update(sel.index(), op, lanes);
             }
             Instruction::QzLoad { vd, idx, sel, pg } => {
                 let mask = state.mask64(pg);
@@ -548,7 +634,7 @@ pub fn execute(
             }
         }
 
-        sink.retire(&inst, &d);
+        sink.retire(&uop_of(pc, &inst), d);
         pc = next_pc;
     }
 }
@@ -561,6 +647,15 @@ pub struct Core {
     state: ArchState,
     timing: OooTiming,
     budget: u64,
+    /// Per-program predecode tables, keyed by [`Program::id`].
+    decode: DecodeCache,
+    /// Recycled dynamic-instruction record; its `mem` buffer keeps its
+    /// capacity across runs, so steady-state simulation allocates
+    /// nothing per instruction.
+    scratch: DynInst,
+    /// When set, [`run`](Core::run) takes the reference decode path
+    /// instead of the predecode table (timing-neutrality tests only).
+    reference_path: bool,
 }
 
 impl Core {
@@ -573,7 +668,18 @@ impl Core {
             state: ArchState::new(cfg.qz),
             timing: OooTiming::new(cfg),
             budget: Self::DEFAULT_BUDGET,
+            decode: DecodeCache::default(),
+            scratch: DynInst::default(),
+            reference_path: false,
         }
+    }
+
+    /// Routes subsequent [`run`](Core::run) calls through the reference
+    /// decode path (see [`run_reference`](Core::run_reference)). Lets
+    /// whole-workload drivers be replayed without predecode so tests can
+    /// assert the hot path is timing-identical end to end.
+    pub fn set_reference_path(&mut self, on: bool) {
+        self.reference_path = on;
     }
 
     /// Architectural state (registers, memory, QBUFFERs).
@@ -598,8 +704,37 @@ impl Core {
     ///
     /// Returns [`SimError`] on budget exhaustion or invalid `qzconf`.
     pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        if self.reference_path {
+            return self.run_reference(program);
+        }
+        let Core {
+            state,
+            timing,
+            budget,
+            decode,
+            scratch,
+            ..
+        } = self;
+        let pre = decode.get(program);
+        timing.begin_run();
+        execute_impl(state, program, timing, *budget, scratch, |pc, _inst| {
+            *pre.op(pc)
+        })?;
+        Ok(timing.end_run())
+    }
+
+    /// Runs a program with full timing through the *reference* decode
+    /// path ([`execute_reference`]): micro-ops are decoded afresh per
+    /// retired instruction, bypassing the predecode table and cache.
+    /// Exists so tests can assert the cached hot path is
+    /// timing-identical; not for production use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on budget exhaustion or invalid `qzconf`.
+    pub fn run_reference(&mut self, program: &Program) -> Result<RunStats, SimError> {
         self.timing.begin_run();
-        execute(&mut self.state, program, &mut self.timing, self.budget)?;
+        execute_reference(&mut self.state, program, &mut self.timing, self.budget)?;
         Ok(self.timing.end_run())
     }
 
@@ -610,8 +745,18 @@ impl Core {
     ///
     /// Returns [`SimError`] on budget exhaustion or invalid `qzconf`.
     pub fn run_functional(&mut self, program: &Program) -> Result<u64, SimError> {
+        let Core {
+            state,
+            budget,
+            decode,
+            scratch,
+            ..
+        } = self;
+        let pre = decode.get(program);
         let mut sink = NullSink;
-        execute(&mut self.state, program, &mut sink, self.budget)
+        execute_impl(state, program, &mut sink, *budget, scratch, |pc, _inst| {
+            *pre.op(pc)
+        })
     }
 }
 

@@ -47,10 +47,12 @@ pub mod config;
 pub mod interp;
 pub mod multicore;
 pub mod ooo;
+pub mod predecode;
 pub mod state;
 pub mod stats;
 
 pub use config::{CacheConfig, CoreConfig, MemConfig};
 pub use interp::{Core, SimError};
+pub use predecode::{DecodeCache, MicroOp, Predecode};
 pub use state::{ArchState, SimMemory};
 pub use stats::{RunStats, StallCat};

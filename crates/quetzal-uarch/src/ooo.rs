@@ -24,8 +24,9 @@
 
 use crate::cache::MemSystem;
 use crate::config::CoreConfig;
+use crate::predecode::{FuClass, MicroOp, NO_DEF};
 use crate::stats::{RunStats, StallCat};
-use quetzal_isa::{InstClass, Instruction, Reg};
+use quetzal_isa::{InstClass, Reg};
 
 use std::collections::VecDeque;
 
@@ -58,8 +59,11 @@ impl DynInst {
 
 /// Receives retired instructions from the interpreter.
 pub trait ExecSink {
-    /// Called once per executed instruction, in program order.
-    fn retire(&mut self, inst: &Instruction, dyn_inst: &DynInst);
+    /// Called once per executed instruction, in program order. `uop` is
+    /// the instruction's predecoded static record (see
+    /// [`crate::predecode`]); `dyn_inst` carries the dynamic facts of
+    /// this execution.
+    fn retire(&mut self, uop: &MicroOp, dyn_inst: &DynInst);
 }
 
 /// A sink that discards timing (pure functional execution).
@@ -67,10 +71,49 @@ pub trait ExecSink {
 pub struct NullSink;
 
 impl ExecSink for NullSink {
-    fn retire(&mut self, _inst: &Instruction, _dyn_inst: &DynInst) {}
+    fn retire(&mut self, _uop: &MicroOp, _dyn_inst: &DynInst) {}
 }
 
 const BPRED_ENTRIES: usize = 4096;
+
+/// Capacity of the store-to-load forwarding window (entries).
+const STORE_BUFFER_SLOTS: usize = 40;
+
+/// Fixed-capacity ring of the most recent stores, for the forwarding
+/// hazard model. Overwrites the oldest entry when full, so a run of any
+/// length holds peak memory flat (no deque reallocation, no spare
+/// capacity growth). Scan order differs from insertion order once the
+/// ring wraps, but [`OooTiming::forwarding_hazard`] folds entries with
+/// `max`/`or`, which is order-independent.
+#[derive(Debug, Clone)]
+struct StoreRing {
+    /// `(address, bytes, completion cycle)` per slot.
+    slots: [(u64, u32, u64); STORE_BUFFER_SLOTS],
+    /// Live entries (saturates at capacity).
+    len: usize,
+    /// Next slot to overwrite.
+    head: usize,
+}
+
+impl StoreRing {
+    fn new() -> StoreRing {
+        StoreRing {
+            slots: [(0, 0, 0); STORE_BUFFER_SLOTS],
+            len: 0,
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, addr: u64, size: u32, done: u64) {
+        self.slots[self.head] = (addr, size, done);
+        self.head = (self.head + 1) % STORE_BUFFER_SLOTS;
+        self.len = (self.len + 1).min(STORE_BUFFER_SLOTS);
+    }
+
+    fn entries(&self) -> &[(u64, u32, u64)] {
+        &self.slots[..self.len]
+    }
+}
 
 /// The out-of-order timing engine. State (caches, predictor, clock)
 /// persists across kernel submissions so a workload composed of many
@@ -98,16 +141,16 @@ pub struct OooTiming {
     // on L1 hits (paper SII-G).
     gather_pipe: u64,
     qz_port: u64,
-    // Recent stores for the store-to-load forwarding hazard model:
-    // (address, bytes, completion cycle).
-    store_buffer: VecDeque<(u64, u32, u64)>,
+    // Recent stores for the store-to-load forwarding hazard model.
+    store_buffer: StoreRing,
     // In-order commit.
     rob: VecDeque<u64>,
     commit_cycle: u64,
     commit_slots: u64,
     run_start_cycle: u64,
-    // Branch predictor: 2-bit saturating counters.
-    bpred: Vec<u8>,
+    // Branch predictor: 2-bit saturating counters (fixed table, boxed
+    // so `OooTiming` itself stays small and clones stay cheap-ish).
+    bpred: Box<[u8; BPRED_ENTRIES]>,
     stats: RunStats,
 }
 
@@ -129,12 +172,12 @@ impl OooTiming {
             front_cycle: 0,
             front_slots: 0,
             fetch_resume: 0,
-            store_buffer: VecDeque::new(),
+            store_buffer: StoreRing::new(),
             rob: VecDeque::new(),
             commit_cycle: 0,
             commit_slots: 0,
             run_start_cycle: 0,
-            bpred: vec![1u8; BPRED_ENTRIES],
+            bpred: Box::new([1u8; BPRED_ENTRIES]),
             stats: RunStats::default(),
         }
     }
@@ -224,25 +267,29 @@ impl OooTiming {
         }
     }
 
-    fn operands_ready(&self, inst: &Instruction) -> (u64, StallCat) {
+    /// Latest source-register ready time and its stall taint. Walks the
+    /// predecoded use list, which preserves `for_each_use` operand
+    /// order: with the `>=` comparison the taint comes from the *last*
+    /// operand tying the maximum, exactly as the seed model behaved.
+    fn operands_ready(&self, uop: &MicroOp) -> (u64, StallCat) {
         let mut t = 0;
         let mut cat = StallCat::Frontend;
-        inst.for_each_use(|r| {
-            let i = r.flat_index();
+        for &u in uop.uses() {
+            let i = u as usize;
             if self.reg_ready[i] >= t {
                 t = self.reg_ready[i];
                 cat = self.reg_taint[i];
             }
-        });
+        }
         (t, cat)
     }
 
-    fn set_defs(&mut self, inst: &Instruction, ready: u64, cat: StallCat) {
-        inst.for_each_def(|r| {
-            let i = r.flat_index();
+    fn set_defs(&mut self, uop: &MicroOp, ready: u64, cat: StallCat) {
+        if uop.def != NO_DEF {
+            let i = uop.def as usize;
             self.reg_ready[i] = ready;
             self.reg_taint[i] = cat;
-        });
+        }
     }
 
     /// Memory-dependence ordering through the store buffer: a load that
@@ -257,7 +304,7 @@ impl OooTiming {
     fn forwarding_hazard(&self, addr: u64, size: u32) -> (u64, bool) {
         let mut floor = 0;
         let mut replay = false;
-        for &(sa, ss, done) in &self.store_buffer {
+        for &(sa, ss, done) in self.store_buffer.entries() {
             let overlap = addr < sa + ss as u64 && sa < addr + size as u64;
             if !overlap {
                 continue;
@@ -274,9 +321,15 @@ impl OooTiming {
     }
 
     fn record_store(&mut self, addr: u64, size: u32, done: u64) {
-        self.store_buffer.push_back((addr, size, done));
-        if self.store_buffer.len() > 40 {
-            self.store_buffer.pop_front();
+        self.store_buffer.push(addr, size, done);
+    }
+
+    /// Compute-unit pool selected by the predecoded [`FuClass`].
+    fn compute_pool(&mut self, fu: FuClass) -> &mut [u64] {
+        match fu {
+            FuClass::Scalar => &mut self.fu_scalar,
+            FuClass::Vector => &mut self.fu_vector,
+            _ => unreachable!("not a shared compute pool: {fu:?}"),
         }
     }
 
@@ -294,10 +347,10 @@ impl OooTiming {
 }
 
 impl ExecSink for OooTiming {
-    fn retire(&mut self, inst: &Instruction, d: &DynInst) {
-        let class = inst.class();
+    fn retire(&mut self, uop: &MicroOp, d: &DynInst) {
+        let class = uop.class;
         let dispatched = self.dispatch();
-        let (ops_ready, ops_cat) = self.operands_ready(inst);
+        let (ops_ready, ops_cat) = self.operands_ready(uop);
         let ready_at = dispatched.max(ops_ready);
         self.stats.instructions += 1;
         self.stats.uops += 1;
@@ -309,7 +362,7 @@ impl ExecSink for OooTiming {
                 } else {
                     self.cfg.scalar_alu_lat
                 };
-                let start = Self::alloc_unit(&mut self.fu_scalar, ready_at, 1);
+                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
                 let cat = if ops_ready > dispatched {
                     ops_cat
                 } else {
@@ -319,9 +372,9 @@ impl ExecSink for OooTiming {
             }
             InstClass::Branch => {
                 self.stats.branches += 1;
-                let start = Self::alloc_unit(&mut self.fu_scalar, ready_at, 1);
+                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
                 let completion = start + self.cfg.scalar_alu_lat;
-                if matches!(inst, Instruction::Branch { .. }) && !self.predict(d.pc, d.taken) {
+                if uop.is_cond_branch && !self.predict(d.pc, d.taken) {
                     self.stats.mispredicts += 1;
                     self.fetch_resume = completion + self.cfg.mispredict_penalty;
                 }
@@ -384,13 +437,13 @@ impl ExecSink for OooTiming {
                 let mut done = start;
                 // Elements drain through the single indexed-access pipe
                 // at one address per cycle; concurrent gathers queue.
-                let mut issue_times = Vec::with_capacity(d.mem.len());
-                for _ in &d.mem {
-                    let t = self.gather_pipe.max(start);
-                    self.gather_pipe = t + 1;
-                    issue_times.push(t);
-                }
-                for (&(addr, size), &at) in d.mem.iter().zip(&issue_times) {
+                // Issue-slot assignment and the cache access are fused
+                // into one pass (the cache model never reads the pipe
+                // clock, so per-element interleaving cannot change any
+                // issue time).
+                for &(addr, size) in &d.mem {
+                    let at = self.gather_pipe.max(start);
+                    self.gather_pipe = at + 1;
                     self.stats.mem_requests += 1;
                     self.stats.uops += 1;
                     done = done.max(self.mem.access(
@@ -410,7 +463,7 @@ impl ExecSink for OooTiming {
                     InstClass::VectorHorizontal => self.cfg.vector_horiz_lat,
                     _ => self.cfg.vector_alu_lat,
                 };
-                let start = Self::alloc_unit(&mut self.fu_vector, ready_at, 1);
+                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
                 let cat = if ops_ready > dispatched {
                     ops_cat
                 } else {
@@ -419,7 +472,7 @@ impl ExecSink for OooTiming {
                 (start + lat, cat, 0)
             }
             InstClass::Predicate => {
-                let start = Self::alloc_unit(&mut self.fu_scalar, ready_at, 1);
+                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
                 let cat = if ops_ready > dispatched {
                     ops_cat
                 } else {
@@ -434,7 +487,7 @@ impl ExecSink for OooTiming {
                 (start + d.qz_latency, StallCat::Quetzal, 0)
             }
             InstClass::QzCountOp => {
-                let start = Self::alloc_unit(&mut self.fu_vector, ready_at, 1);
+                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
                 (start + d.qz_latency.max(1), StallCat::VectorCompute, 0)
             }
             InstClass::QzWrite | InstClass::QzConfig => {
@@ -449,7 +502,7 @@ impl ExecSink for OooTiming {
             InstClass::Halt => (ready_at, StallCat::Frontend, 0),
         };
 
-        self.set_defs(inst, completion, cat);
+        self.set_defs(uop, completion, cat);
         self.commit(completion, cat, extra_commit);
     }
 }
@@ -463,6 +516,12 @@ mod tests {
         let mut t = OooTiming::new(CoreConfig::a64fx_like());
         t.begin_run();
         t
+    }
+
+    /// Decode-and-retire shorthand for tests built around raw
+    /// `Instruction` values.
+    fn retire(t: &mut OooTiming, inst: &Instruction, d: &DynInst) {
+        ExecSink::retire(t, &MicroOp::decode(inst), d);
     }
 
     fn dyn_at(pc: usize) -> DynInst {
@@ -482,7 +541,7 @@ mod tests {
                 rd: XReg::new(pc as u8),
                 imm: 1,
             };
-            t.retire(&inst, &dyn_at(pc));
+            retire(&mut t, &inst, &dyn_at(pc));
         }
         let s = t.end_run();
         assert_eq!(s.instructions, 8);
@@ -499,7 +558,7 @@ mod tests {
             imm: 1,
         };
         for pc in 0..100 {
-            t.retire(&inst, &dyn_at(pc));
+            retire(&mut t, &inst, &dyn_at(pc));
         }
         let s = t.end_run();
         assert!(s.cycles >= 100, "chain must be ≥1 cycle/inst: {}", s.cycles);
@@ -517,7 +576,7 @@ mod tests {
         };
         let mut d = dyn_at(0);
         d.mem.push((0x1000, 8));
-        t.retire(&warm, &d);
+        retire(&mut t, &warm, &d);
         let _ = t.end_run();
 
         t.begin_run();
@@ -534,7 +593,7 @@ mod tests {
         for i in 0..8u64 {
             d.mem.push((0x1000 + 8 * i, 8));
         }
-        t.retire(&gather, &d);
+        retire(&mut t, &gather, &d);
         let s = t.end_run();
         assert!(
             (16..=28).contains(&s.cycles),
@@ -556,7 +615,7 @@ mod tests {
         };
         let mut d = dyn_at(0);
         d.qz_latency = 2;
-        t.retire(&qzload, &d);
+        retire(&mut t, &qzload, &d);
         let s = t.end_run();
         assert!(s.cycles <= 4, "qzload is 2 cycles + commit: {}", s.cycles);
         assert_eq!(s.qz_accesses, 1);
@@ -574,7 +633,7 @@ mod tests {
         };
         let mut d = dyn_at(0);
         d.qz_latency = 8; // worst-case bank conflicts
-        t.retire(&st, &d);
+        retire(&mut t, &st, &d);
         let s = t.end_run();
         // Seven conflict cycles beyond the ordinary commit slot.
         assert!(s.cycles >= 7, "cycles = {}", s.cycles);
@@ -594,7 +653,7 @@ mod tests {
         for pc in 0..40 {
             let mut d = dyn_at(0); // same pc -> same predictor entry
             d.taken = pc % 2 == 0;
-            t.retire(&br, &d);
+            retire(&mut t, &br, &d);
         }
         let s = t.end_run();
         assert!(s.mispredicts > 10, "mispredicts = {}", s.mispredicts);
@@ -618,10 +677,10 @@ mod tests {
         };
         let mut d = dyn_at(0);
         d.mem.push((1 << 30, 8));
-        t.retire(&load, &d);
+        retire(&mut t, &load, &d);
         // 1000 independent single-cycle instructions.
         for pc in 1..=1000 {
-            t.retire(&Instruction::MovImm { rd: X2, imm: 0 }, &dyn_at(pc));
+            retire(&mut t, &Instruction::MovImm { rd: X2, imm: 0 }, &dyn_at(pc));
         }
         let s = t.end_run();
         // Ideal would be 1000/4 = 250 cycles; the cold miss (≥120) must
@@ -631,12 +690,60 @@ mod tests {
     }
 
     #[test]
+    fn million_store_run_holds_peak_memory_flat() {
+        // The forwarding window is a fixed-capacity ring and the
+        // predictor a fixed table: no structure in the timing engine may
+        // grow with dynamic instruction count. Retire a million stores
+        // and check every bounded structure is at (not beyond) its cap.
+        let mut t = engine();
+        let st = Instruction::Store {
+            rs: X1,
+            rn: X0,
+            offset: 0,
+            size: MemSize::B8,
+        };
+        let uop = MicroOp::decode(&st);
+        let mut d = DynInst::default();
+        for i in 0..1_000_000u64 {
+            d.reset((i % 64) as usize);
+            d.mem.push((0x4000 + (i % 512) * 8, 8));
+            t.retire(&uop, &d);
+        }
+        assert_eq!(t.store_buffer.entries().len(), STORE_BUFFER_SLOTS);
+        assert!(t.rob.len() <= t.cfg.rob_size, "rob bounded");
+        assert_eq!(t.bpred.len(), BPRED_ENTRIES);
+        assert!(
+            d.mem.capacity() <= 4,
+            "recycled DynInst must not accumulate accesses (capacity {})",
+            d.mem.capacity()
+        );
+        let s = t.end_run();
+        assert_eq!(s.instructions, 1_000_000);
+        assert_eq!(s.mem_requests, 1_000_000);
+    }
+
+    #[test]
+    fn store_ring_keeps_newest_entries() {
+        let mut r = StoreRing::new();
+        for i in 0..(STORE_BUFFER_SLOTS as u64 * 3) {
+            r.push(i, 8, i + 100);
+        }
+        assert_eq!(r.entries().len(), STORE_BUFFER_SLOTS);
+        let min_addr = (STORE_BUFFER_SLOTS as u64) * 2;
+        assert!(
+            r.entries().iter().all(|&(a, _, _)| a >= min_addr),
+            "ring must hold exactly the newest {STORE_BUFFER_SLOTS} stores"
+        );
+    }
+
+    #[test]
     fn stall_attribution_sums_to_cycles() {
         let mut t = engine();
         for pc in 0..50 {
             let mut d = dyn_at(pc);
             d.mem.push((0x2000 + (pc as u64) * 8, 8));
-            t.retire(
+            retire(
+                &mut t,
                 &Instruction::Load {
                     rd: X1,
                     rn: X0,
@@ -663,14 +770,14 @@ mod tests {
         };
         let mut d = dyn_at(0);
         d.mem.push((1 << 25, 8));
-        t.retire(&load, &d);
+        retire(&mut t, &load, &d);
         let add = Instruction::AluRR {
             op: SAluOp::Add,
             rd: X1,
             rn: X1,
             rm: X1,
         };
-        t.retire(&add, &dyn_at(1));
+        retire(&mut t, &add, &dyn_at(1));
         let s = t.end_run();
         // The add's commit gap must be attributed to memory.
         assert!(s.stall_cycles[StallCat::Memory.index()] > 0);

@@ -41,33 +41,83 @@ impl SimMemory {
     }
 
     /// Reads `n ≤ 8` bytes little-endian, zero-extended.
+    ///
+    /// Fast path: an access contained in one page costs a single page
+    /// lookup instead of one per byte (the interpreter's dominant
+    /// memory operation — every scalar/vector element read lands here).
     pub fn read_le(&self, addr: u64, n: usize) -> u64 {
         debug_assert!(n <= 8);
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n <= PAGE_SIZE {
+            let Some(p) = self.pages.get(&(addr >> PAGE_BITS)) else {
+                return 0;
+            };
+            let mut v = 0u64;
+            for (i, &b) in p[off..off + n].iter().enumerate() {
+                v |= (b as u64) << (8 * i);
+            }
+            v
+        } else {
+            // Page-straddling access: per-byte slow path.
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
-    /// Writes the low `n ≤ 8` bytes of `value` little-endian.
+    /// Writes the low `n ≤ 8` bytes of `value` little-endian (single
+    /// page lookup when the access stays within one page).
     pub fn write_le(&mut self, addr: u64, value: u64, n: usize) {
         debug_assert!(n <= 8);
-        for i in 0..n {
-            self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + n <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_BITS)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            for (i, b) in page[off..off + n].iter_mut().enumerate() {
+                *b = (value >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+            }
         }
     }
 
-    /// Copies a byte slice into memory.
+    /// Copies a byte slice into memory, page by page.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let chunk = rest.len().min(PAGE_SIZE - off);
+            let page = self
+                .pages
+                .entry(addr >> PAGE_BITS)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + chunk].copy_from_slice(&rest[..chunk]);
+            rest = &rest[chunk..];
+            addr += chunk as u64;
         }
     }
 
-    /// Reads `len` bytes into a fresh vector.
+    /// Reads `len` bytes into a fresh vector, page by page.
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+        let mut out = Vec::with_capacity(len);
+        let mut addr = addr;
+        while out.len() < len {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let chunk = (len - out.len()).min(PAGE_SIZE - off);
+            match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => out.extend_from_slice(&p[off..off + chunk]),
+                None => out.resize(out.len() + chunk, 0),
+            }
+            addr += chunk as u64;
+        }
+        out
     }
 
     /// Number of resident pages (for footprint diagnostics).

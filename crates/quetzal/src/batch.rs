@@ -150,8 +150,10 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
+        // One slot per shard: the shard's results, or the panic message.
+        type ShardSlot<R> = Mutex<Option<Result<Vec<R>, String>>>;
         let shard_count = items.len().div_ceil(self.shard_size);
-        let mut slots: Vec<Mutex<Option<Result<Vec<R>, String>>>> = Vec::new();
+        let mut slots: Vec<ShardSlot<R>> = Vec::new();
         slots.resize_with(shard_count, || Mutex::new(None));
         let next = AtomicUsize::new(0);
 

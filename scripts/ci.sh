@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy -D warnings"
+cargo clippy --all-targets --offline --workspace -- -D warnings
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -27,5 +30,9 @@ QUETZAL_SCALE=0.25 QUETZAL_THREADS=4 \
     > "$out_dir/t4.txt"
 cmp "$out_dir/t1.txt" "$out_dir/t4.txt" \
     || { echo "FAIL: run_all output depends on QUETZAL_THREADS"; exit 1; }
+
+echo "==> perf trajectory: BENCH_uarch.json (simulated MIPS)"
+cargo run -q --release --offline -p quetzal-bench --bin bench_uarch \
+    > BENCH_uarch.json
 
 echo "CI OK"
