@@ -25,4 +25,4 @@ pub mod encoder;
 pub mod qbuffer;
 
 pub use config::{PortCount, QzConfig};
-pub use qbuffer::{QBuffer, QBuffers};
+pub use qbuffer::{BankProfile, QBuffer, QBuffers};

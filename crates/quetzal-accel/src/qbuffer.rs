@@ -167,6 +167,47 @@ fn elem_mask(esize: EncSize) -> u64 {
     }
 }
 
+/// How one vector of direct-mode write requests lands on the SRAM banks
+/// (§IV-B.2). Pure function of the addressed buffer geometry and the
+/// lane indices — the write itself does not change bank mapping — so
+/// timing models and observability probes can ask "how would this
+/// vector serialise?" without touching buffer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankProfile {
+    /// Requests landing on each bank.
+    pub per_bank: [u64; NUM_BANKS],
+}
+
+impl BankProfile {
+    /// Profiles the bank distribution of `lanes` (direct-mode write
+    /// requests against `buf` at element size `esize`).
+    pub fn of(buf: &QBuffer, esize: EncSize, lanes: &[(u64, u64)]) -> BankProfile {
+        let mut per_bank = [0u64; NUM_BANKS];
+        for &(idx, _) in lanes {
+            per_bank[buf.bank_of(idx, esize)] += 1;
+        }
+        BankProfile { per_bank }
+    }
+
+    /// The serialised latency of the write: the maximum number of
+    /// requests hitting one bank, and never less than one cycle (an
+    /// empty or conflict-free write still occupies its slot).
+    pub fn serialisation(&self) -> u64 {
+        self.per_bank.iter().copied().max().unwrap_or(0).max(1)
+    }
+
+    /// Cycles lost to conflicts beyond the first access (0 when the
+    /// vector is conflict-free).
+    pub fn conflict_cycles(&self) -> u64 {
+        self.serialisation() - 1
+    }
+
+    /// Number of banks receiving at least one request.
+    pub fn banks_touched(&self) -> usize {
+        self.per_bank.iter().filter(|&&n| n > 0).count()
+    }
+}
+
 /// The accelerator state visible to the core: two QBUFFERs plus the
 /// access-control registers set by `qzconf` (§IV-C).
 #[derive(Debug, Clone)]
@@ -196,6 +237,16 @@ impl QBuffers {
     /// The hardware configuration.
     pub fn config(&self) -> QzConfig {
         self.cfg
+    }
+
+    /// Restores power-on state (zeroed buffers, default access-control
+    /// registers) without reallocating the SRAM arrays. A reset
+    /// instance is indistinguishable from `QBuffers::new(self.config())`.
+    pub fn reset(&mut self) {
+        self.bufs[0].clear();
+        self.bufs[1].clear();
+        self.eb = [0, 0];
+        self.esize = EncSize::E64;
     }
 
     /// Executes `qzconf`: sets element counts and element size.
@@ -278,29 +329,33 @@ impl QBuffers {
         }
     }
 
+    /// Profiles how a direct-mode write vector against buffer `sel`
+    /// would land on the SRAM banks, without performing it.
+    pub fn write_profile(&self, sel: usize, lanes: &[(u64, u64)]) -> BankProfile {
+        BankProfile::of(&self.bufs[sel], self.esize, lanes)
+    }
+
     /// Executes `qzstore` in direct mode: stores `(idx, val)` pairs for
     /// every active lane. Returns the latency: the maximum number of
     /// requests hitting the same bank (≥ 1).
     pub fn store(&mut self, sel: usize, lanes: &[(u64, u64)]) -> u64 {
-        let mut per_bank = [0u64; NUM_BANKS];
+        let profile = self.write_profile(sel, lanes);
         for &(idx, val) in lanes {
-            per_bank[self.bufs[sel].bank_of(idx, self.esize)] += 1;
             self.bufs[sel].write_elem(idx, val, self.esize);
         }
-        per_bank.iter().copied().max().unwrap_or(0).max(1)
+        profile.serialisation()
     }
 
     /// Executes the read-modify-write `qzupdate<op>` in lane order, so
     /// duplicate indices accumulate (histogram semantics). Latency is
     /// bank-conflict serialised like `qzstore`.
     pub fn update(&mut self, sel: usize, op: QzOp, lanes: &[(u64, u64)]) -> u64 {
-        let mut per_bank = [0u64; NUM_BANKS];
+        let profile = self.write_profile(sel, lanes);
         for &(idx, val) in lanes {
-            per_bank[self.bufs[sel].bank_of(idx, self.esize)] += 1;
             let old = self.bufs[sel].read_segment(idx, self.esize) & elem_mask(self.esize);
             self.bufs[sel].write_elem(idx, apply_qzop(op, old, val, self.esize), self.esize);
         }
-        per_bank.iter().copied().max().unwrap_or(0).max(1)
+        profile.serialisation()
     }
 
     /// Executes `qzload` for one vector of per-lane element indices.
@@ -560,6 +615,45 @@ mod tests {
         assert_eq!(apply_qzop(QzOp::Min, u64::MAX, 1, EncSize::E64), u64::MAX); // -1 < 1 signed
         assert_eq!(apply_qzop(QzOp::Max, u64::MAX, 1, EncSize::E64), 1);
         assert_eq!(apply_qzop(QzOp::Mul, 6, 7, EncSize::E64), 42);
+    }
+
+    #[test]
+    fn write_profile_matches_store_latency_without_mutating() {
+        let mut q = small();
+        q.conf(1024, 1024, 2);
+        let conflict: Vec<(u64, u64)> = (0..8).map(|i| (i * 8, i)).collect();
+        let spread: Vec<(u64, u64)> = (0..8).map(|i| (i, i)).collect();
+
+        let p = q.write_profile(0, &conflict);
+        assert_eq!(p.serialisation(), 8);
+        assert_eq!(p.conflict_cycles(), 7);
+        assert_eq!(p.banks_touched(), 1);
+        // Profiling is pure: the buffer is still zero.
+        assert!(q.buf(0).words().iter().all(|&w| w == 0));
+        // And the executed store reports exactly the profiled latency.
+        assert_eq!(q.store(0, &conflict), p.serialisation());
+
+        let p = q.write_profile(0, &spread);
+        assert_eq!(p.serialisation(), 1);
+        assert_eq!(p.conflict_cycles(), 0);
+        assert_eq!(p.banks_touched(), 8);
+        assert_eq!(q.update(0, QzOp::Add, &spread), 1);
+
+        assert_eq!(BankProfile::default().serialisation(), 1);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut q = small();
+        q.conf(64, 64, 0);
+        q.load_image(0, &[0xAB; 64]);
+        q.store(1, &[(3, 7)]);
+        q.reset();
+        let fresh = QBuffers::new(q.config());
+        assert_eq!(q.esize, fresh.esize);
+        assert_eq!(q.eb, fresh.eb);
+        assert_eq!(q.buf(0).words(), fresh.buf(0).words());
+        assert_eq!(q.buf(1).words(), fresh.buf(1).words());
     }
 
     #[test]

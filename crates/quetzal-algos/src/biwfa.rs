@@ -16,7 +16,7 @@ use crate::common::{SimOutcome, Tier};
 use crate::wfa::{wfa_edit_align, WfaResult};
 use crate::wfa_sim::{wfa_sim, wfa_sim_bounded, WfaSimError};
 use quetzal::uarch::RunStats;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 use quetzal_genomics::cigar::Cigar;
 use quetzal_genomics::distance::common_prefix_len;
 use quetzal_genomics::Alphabet;
@@ -190,8 +190,8 @@ pub fn biwfa_edit_align(pattern: &[u8], text: &[u8]) -> WfaResult {
 /// # Errors
 ///
 /// Returns [`WfaSimError`] if any kernel fails.
-pub fn biwfa_sim(
-    machine: &mut Machine,
+pub fn biwfa_sim<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     alphabet: Alphabet,
@@ -205,8 +205,8 @@ pub fn biwfa_sim(
     })
 }
 
-fn biwfa_sim_rec(
-    machine: &mut Machine,
+fn biwfa_sim_rec<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     alphabet: Alphabet,

@@ -2,7 +2,7 @@
 
 use quetzal::isa::*;
 use quetzal::uarch::RunStats;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 
 /// Implementation tier of a simulated kernel (paper §VII intro).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,14 +139,14 @@ pub fn emit_compiled_overhead(b: &mut ProgramBuilder, n: usize) {
 
 /// Stages a byte slice into freshly allocated simulated memory and
 /// returns its address.
-pub fn stage_bytes(machine: &mut Machine, bytes: &[u8]) -> u64 {
+pub fn stage_bytes<P: Probe>(machine: &mut Machine<P>, bytes: &[u8]) -> u64 {
     let addr = machine.alloc(bytes.len() as u64 + 64);
     machine.write_bytes(addr, bytes);
     addr
 }
 
 /// Stages a slice of 64-bit words into simulated memory.
-pub fn stage_words(machine: &mut Machine, words: &[i64]) -> u64 {
+pub fn stage_words<P: Probe>(machine: &mut Machine<P>, words: &[i64]) -> u64 {
     let addr = machine.alloc(8 * words.len() as u64 + 64);
     for (i, &w) in words.iter().enumerate() {
         machine.write_u64(addr + 8 * i as u64, w as u64);

@@ -24,7 +24,7 @@
 use crate::common::{emit_compiled_overhead, stage_bytes, stage_words, SimOutcome, Tier};
 use quetzal::isa::*;
 use quetzal::uarch::SimError;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 
 /// Linear-gap DP costs (lower is better; match costs 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -505,8 +505,8 @@ fn build_base_program(args: &DpArgs) -> Program {
 ///
 /// Panics if a QUETZAL tier is requested for inputs that exceed the
 /// QBUFFER capacity.
-pub fn dp_sim(
-    machine: &mut Machine,
+pub fn dp_sim<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     costs: LinearCosts,

@@ -17,7 +17,7 @@
 use crate::common::{emit_compiled_overhead, stage_bytes, stage_words, SimOutcome, Tier};
 use quetzal::isa::*;
 use quetzal::uarch::SimError;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 
 /// Scalar reference histogram.
 pub fn histogram_ref(values: &[u8], bins: usize) -> Vec<u64> {
@@ -163,8 +163,8 @@ fn build_qz(in_addr: u64, n: usize, zeros: u64, bins: usize, out_addr: u64) -> P
 ///
 /// Panics (QUETZAL tiers) if `bins` exceeds the QBUFFER's 64-bit
 /// element capacity.
-pub fn histogram_sim(
-    machine: &mut Machine,
+pub fn histogram_sim<P: Probe>(
+    machine: &mut Machine<P>,
     values: &[u8],
     bins: usize,
     tier: Tier,

@@ -9,7 +9,7 @@
 use crate::common::{SimOutcome, Tier};
 use crate::dp_sim::{dp_sim, LinearCosts};
 use quetzal::uarch::SimError;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 use quetzal_genomics::cigar::{Cigar, CigarOp};
 
 /// Result of a global alignment.
@@ -100,8 +100,8 @@ pub fn nw_align(pattern: &[u8], text: &[u8], costs: LinearCosts) -> NwResult {
 /// # Errors
 ///
 /// Returns [`SimError`] on simulation failure.
-pub fn nw_sim(
-    machine: &mut Machine,
+pub fn nw_sim<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     costs: LinearCosts,

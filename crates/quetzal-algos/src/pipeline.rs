@@ -13,7 +13,7 @@ use crate::sneakysnake::{ss_filter, ss_sim};
 use crate::wfa::wfa_edit_align;
 use crate::wfa_sim::{wfa_sim, WfaSimError};
 use quetzal::uarch::RunStats;
-use quetzal::{BatchRunner, Machine, MachineConfig};
+use quetzal::{BatchRunner, Machine, MachineConfig, Probe};
 use quetzal_genomics::dataset::SeqPair;
 use quetzal_genomics::Alphabet;
 
@@ -55,8 +55,8 @@ pub fn pipeline_ref(pairs: &[SeqPair], threshold: u32) -> PipelineResult {
 /// # Errors
 ///
 /// Returns [`WfaSimError`] if any kernel fails.
-pub fn pipeline_sim(
-    machine: &mut Machine,
+pub fn pipeline_sim<P: Probe>(
+    machine: &mut Machine<P>,
     pairs: &[SeqPair],
     alphabet: Alphabet,
     threshold: u32,

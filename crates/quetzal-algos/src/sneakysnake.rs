@@ -23,7 +23,7 @@ use crate::common::{emit_compiled_overhead, emit_qz_stage_pair, stage_bytes, Sim
 use crate::wfa_sim::SeqEnc;
 use quetzal::isa::*;
 use quetzal::uarch::SimError;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 use quetzal_genomics::Alphabet;
 
 /// Verdict of the SneakySnake filter.
@@ -279,8 +279,8 @@ struct SsArgs {
 /// # Errors
 ///
 /// Returns [`SimError`] on simulation failure.
-pub fn ss_sim(
-    machine: &mut Machine,
+pub fn ss_sim<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     alphabet: Alphabet,

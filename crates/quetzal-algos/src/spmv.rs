@@ -9,7 +9,7 @@
 use crate::common::{emit_compiled_overhead, stage_words, SimOutcome, Tier};
 use quetzal::isa::*;
 use quetzal::uarch::SimError;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 use quetzal_genomics::dataset::SplitMix64;
 
 /// A CSR sparse matrix with `i64` values.
@@ -199,8 +199,8 @@ fn build_vector(a: &SpmvAddrs, tier: Tier, cols: usize) -> Program {
 ///
 /// Panics (QUETZAL tiers) if the dense vector exceeds the QBUFFER's
 /// 64-bit element capacity; tile the matrix by column blocks instead.
-pub fn spmv_sim(
-    machine: &mut Machine,
+pub fn spmv_sim<P: Probe>(
+    machine: &mut Machine<P>,
     a: &CsrMatrix,
     x: &[i64],
     tier: Tier,

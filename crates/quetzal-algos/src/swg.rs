@@ -12,7 +12,7 @@
 use crate::common::{SimOutcome, Tier};
 use crate::dp_sim::{dp_sim, LinearCosts};
 use quetzal::uarch::SimError;
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 use quetzal_genomics::cigar::Penalties;
 
 /// `i64` infinity for banded cells.
@@ -98,8 +98,8 @@ pub fn default_band(read_len: usize) -> i64 {
 /// # Errors
 ///
 /// Returns [`SimError`] on simulation failure.
-pub fn swg_sim(
-    machine: &mut Machine,
+pub fn swg_sim<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     costs: LinearCosts,

@@ -23,7 +23,7 @@ use crate::common::{
 };
 use quetzal::isa::*;
 use quetzal::uarch::{RunStats, SimError};
-use quetzal::Machine;
+use quetzal::{Machine, Probe};
 use quetzal_genomics::distance::myers_distance;
 use quetzal_genomics::Alphabet;
 
@@ -501,8 +501,8 @@ impl From<SimError> for WfaSimError {
 /// # Errors
 ///
 /// Returns [`WfaSimError`] if the simulation fails.
-pub fn wfa_sim(
-    machine: &mut Machine,
+pub fn wfa_sim<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     alphabet: Alphabet,
@@ -519,8 +519,8 @@ pub fn wfa_sim(
 /// # Errors
 ///
 /// Returns [`WfaSimError`] if the simulation fails.
-pub fn wfa_sim_bounded(
-    machine: &mut Machine,
+pub fn wfa_sim_bounded<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     alphabet: Alphabet,
@@ -537,8 +537,8 @@ pub fn wfa_sim_bounded(
     )
 }
 
-fn wfa_sim_with_mode(
-    machine: &mut Machine,
+fn wfa_sim_with_mode<P: Probe>(
+    machine: &mut Machine<P>,
     pattern: &[u8],
     text: &[u8],
     alphabet: Alphabet,

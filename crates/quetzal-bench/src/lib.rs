@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod report;
 pub mod throughput;
 pub mod timing;
+pub mod trace;
 pub mod workloads;
 
 /// Reads the workload scale factor from `QUETZAL_SCALE` (default 1.0).

@@ -10,7 +10,7 @@
 //! depend on the host's core count.
 
 use quetzal::uarch::RunStats;
-use quetzal::{BatchRunner, Machine, MachineConfig};
+use quetzal::{BatchRunner, Machine, MachineConfig, Probe};
 use quetzal_algos::biwfa::biwfa_sim;
 use quetzal_algos::dp_sim::LinearCosts;
 use quetzal_algos::nw::nw_sim;
@@ -254,8 +254,14 @@ pub fn run_algo_pairs(
 }
 
 /// Simulates one pair (the per-shard work item of [`run_algo_pairs`]).
-fn simulate_pair(
-    machine: &mut Machine,
+///
+/// Public and generic over the machine's [`Probe`] so observability
+/// tooling (`trace_run`, the `--cpi-stacks` summary) can replay exactly
+/// the kernels the experiment tables measure on a
+/// `Machine<RecordingProbe>` — same staging, same windowing, same
+/// thresholds.
+pub fn simulate_pair<P: Probe>(
+    machine: &mut Machine<P>,
     algo: Algo,
     alphabet: quetzal_genomics::Alphabet,
     ss_threshold: u32,

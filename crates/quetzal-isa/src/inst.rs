@@ -154,7 +154,7 @@ impl QzOp {
 /// Branch targets are resolved instruction indices (see
 /// [`ProgramBuilder`](crate::ProgramBuilder) for label-based
 /// construction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     // ---- scalar ----
     /// `rd = imm`.

@@ -1,0 +1,168 @@
+//! Chrome `trace_event` export.
+//!
+//! Serialises the probe's event ring into the Chrome trace-event JSON
+//! format (the `{"traceEvents": [...]}` object form), loadable in
+//! Perfetto / `chrome://tracing`. One timeline row (`tid`) per
+//! instruction class, one process (`pid`) per program; each dynamic
+//! instruction is a complete ("X") event spanning dispatch→commit with
+//! issue/writeback and the stall classification in `args`. Cycles map
+//! 1:1 to the viewer's microseconds (`ts` is unitless in the format).
+//!
+//! Emission is hand-rolled: the repo's zero-external-dependency policy
+//! (DESIGN.md §5) rules out serde, and the format needs only strings,
+//! integers and flat objects. Strings are escaped per JSON; the
+//! in-tree parser ([`crate::json`]) round-trips the output in tests
+//! and in CI's smoke validation.
+
+use crate::recording::RecordingProbe;
+use crate::stall::{class_index, class_label, classify};
+
+/// Escapes a string for a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the probe's retained events as a Chrome trace JSON document.
+pub fn render(probe: &RecordingProbe) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |ev: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push_str(&ev);
+        *first = false;
+    };
+
+    // Metadata: process names (programs) and thread names (classes).
+    for (id, name) in probe.programs() {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{id},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ),
+            &mut first,
+        );
+        for class in crate::stall::CLASSES {
+            push(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{id},\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    class_index(class),
+                    class_label(class)
+                ),
+                &mut first,
+            );
+        }
+    }
+
+    for rec in probe.events() {
+        let ev = &rec.ev;
+        let dur = ev.commit.saturating_sub(ev.dispatch).max(1);
+        push(
+            format!(
+                "{{\"name\":\"pc {} {}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\
+                 \"issue\":{},\"writeback\":{},\"commit_gap\":{},\"stall\":\"{}\",\
+                 \"l1_hits\":{},\"l1_misses\":{},\"l2_misses\":{}}}}}",
+                ev.pc,
+                class_label(ev.class),
+                class_label(ev.class),
+                ev.dispatch,
+                dur,
+                rec.program,
+                class_index(ev.class),
+                ev.issue,
+                ev.complete,
+                ev.commit_gap,
+                classify(ev).label(),
+                ev.mem.l1_hits,
+                ev.mem.l1_misses,
+                ev.mem.l2_misses,
+            ),
+            &mut first,
+        );
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":");
+    out.push_str(&probe.dropped().to_string());
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use quetzal_uarch::predecode::FuClass;
+    use quetzal_uarch::{MemLevelMix, Probe, RetireEvent, StallCat};
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_parser() {
+        let mut p = RecordingProbe::new(8);
+        p.on_program(3, "kernel \"x\"");
+        p.on_retire(&RetireEvent {
+            pc: 5,
+            class: quetzal_isa::InstClass::Gather,
+            fu: FuClass::GatherPipe,
+            dispatch: 10,
+            ops_ready: 10,
+            issue: 12,
+            complete: 31,
+            commit: 31,
+            commit_gap: 19,
+            extra_commit: 0,
+            cat: StallCat::Memory,
+            dep_cat: StallCat::Frontend,
+            mem: MemLevelMix {
+                l1_hits: 8,
+                l1_misses: 0,
+                l2_misses: 0,
+            },
+            store_ring_floor: 0,
+            store_replay: false,
+            qz_port_wait: 0,
+            qz_latency: 0,
+            mispredicted: false,
+        });
+        let doc = render(&p);
+        let v = Value::parse(&doc).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("one X event");
+        assert_eq!(x.get("ts").and_then(Value::as_u64), Some(10));
+        assert_eq!(x.get("dur").and_then(Value::as_u64), Some(21));
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("stall"))
+                .and_then(Value::as_str),
+            Some("l1")
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! CPI-stack rendering.
+//!
+//! A CPI stack decomposes a kernel's cycles-per-instruction into
+//! additive components: the issue-limited base plus one term per stall
+//! cause. Because the fine [`StallKind`] taxonomy partitions exactly
+//! the cycles the engine attributed (see [`crate::stall`]), the stack's
+//! terms sum to the measured CPI — the property that makes the paper's
+//! "where do the gather cycles go" argument quantitative.
+
+use crate::recording::RecordingProbe;
+use crate::stall::{class_label, StallKind, CLASSES};
+
+/// An immutable CPI-stack snapshot extracted from a probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpiStack {
+    /// Kernel label (for rendering).
+    pub name: String,
+    /// Total cycles across observed runs.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Issue-limited (unattributed) cycles.
+    pub base_cycles: u64,
+    /// Stall cycles per fine kind, summed over classes.
+    pub by_kind: [u64; StallKind::ALL.len()],
+    /// `(class label, instructions, stall cycles per kind)` per
+    /// instruction class with at least one retired instruction.
+    pub by_class: Vec<(&'static str, u64, [u64; StallKind::ALL.len()])>,
+}
+
+impl CpiStack {
+    /// Snapshots a probe's aggregates into a stack labelled `name`.
+    pub fn from_probe(name: &str, probe: &RecordingProbe) -> CpiStack {
+        let mut by_kind = [0u64; StallKind::ALL.len()];
+        let mut by_class = Vec::new();
+        for &class in &CLASSES {
+            let insts = probe.class_instructions(class);
+            let mut row = [0u64; StallKind::ALL.len()];
+            for kind in StallKind::ALL {
+                let v = probe.stall_cell(class, kind);
+                row[kind.index()] = v;
+                by_kind[kind.index()] += v;
+            }
+            if insts > 0 {
+                by_class.push((class_label(class), insts, row));
+            }
+        }
+        CpiStack {
+            name: name.to_string(),
+            cycles: probe.cycles(),
+            instructions: probe.instructions(),
+            base_cycles: probe.base_cycles(),
+            by_kind,
+            by_class,
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Total stall cycles of one kind.
+    pub fn kind_cycles(&self, kind: StallKind) -> u64 {
+        self.by_kind[kind.index()]
+    }
+
+    /// Memory-hierarchy stall cycles (store-ring + L1 + L2 + DRAM +
+    /// memory-dependence waits) — the bucket the paper's QBUFFER claim
+    /// is about.
+    pub fn memory_stall_cycles(&self) -> u64 {
+        self.kind_cycles(StallKind::StoreRing)
+            + self.kind_cycles(StallKind::L1)
+            + self.kind_cycles(StallKind::L2)
+            + self.kind_cycles(StallKind::Dram)
+            + self.kind_cycles(StallKind::DepMemory)
+    }
+
+    /// QUETZAL stall cycles (port conflicts, access latency,
+    /// dependence waits on QBUFFER results).
+    pub fn quetzal_stall_cycles(&self) -> u64 {
+        self.kind_cycles(StallKind::QzPort)
+            + self.kind_cycles(StallKind::QzAccess)
+            + self.kind_cycles(StallKind::DepQuetzal)
+    }
+
+    /// Renders the stack as an aligned text table: one row per
+    /// component, cycles, share of total, and CPI contribution.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let cyc = self.cycles.max(1) as f64;
+        let ins = self.instructions.max(1) as f64;
+        out.push_str(&format!(
+            "CPI stack: {} ({} cycles, {} instructions, CPI {:.3})\n",
+            self.name,
+            self.cycles,
+            self.instructions,
+            self.cpi()
+        ));
+        out.push_str(&format!(
+            "  {:<12} {:>12} {:>7} {:>8}\n",
+            "component", "cycles", "share", "cpi"
+        ));
+        let mut row = |label: &str, v: u64| {
+            if v > 0 {
+                out.push_str(&format!(
+                    "  {:<12} {:>12} {:>6.1}% {:>8.3}\n",
+                    label,
+                    v,
+                    100.0 * v as f64 / cyc,
+                    v as f64 / ins
+                ));
+            }
+        };
+        row("base", self.base_cycles);
+        for kind in StallKind::ALL {
+            row(kind.label(), self.by_kind[kind.index()]);
+        }
+        out
+    }
+
+    /// Renders the class × kind matrix (rows: classes that retired at
+    /// least one instruction; columns: kinds with any stall cycles).
+    pub fn render_by_class(&self) -> String {
+        let live: Vec<StallKind> = StallKind::ALL
+            .into_iter()
+            .filter(|k| self.by_kind[k.index()] > 0)
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!("{:<8} {:>10}", "class", "insts"));
+        for k in &live {
+            out.push_str(&format!(" {:>11}", k.label()));
+        }
+        out.push('\n');
+        for (label, insts, row) in &self.by_class {
+            out.push_str(&format!("{label:<8} {insts:>10}"));
+            for k in &live {
+                out.push_str(&format!(" {:>11}", row[k.index()]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_uarch::predecode::FuClass;
+    use quetzal_uarch::{MemLevelMix, Probe, RetireEvent, RunStats, StallCat};
+
+    fn load_ev(gap: u64, l1_miss: bool) -> RetireEvent {
+        RetireEvent {
+            pc: 0,
+            class: quetzal_isa::InstClass::ScalarLoad,
+            fu: FuClass::Load,
+            dispatch: 0,
+            ops_ready: 0,
+            issue: 0,
+            complete: gap,
+            commit: gap,
+            commit_gap: gap,
+            extra_commit: 0,
+            cat: StallCat::Memory,
+            dep_cat: StallCat::Frontend,
+            mem: MemLevelMix {
+                l1_hits: u64::from(!l1_miss),
+                l1_misses: u64::from(l1_miss),
+                l2_misses: 0,
+            },
+            store_ring_floor: 0,
+            store_replay: false,
+            qz_port_wait: 0,
+            qz_latency: 0,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn stack_sums_to_engine_accounting() {
+        let mut p = RecordingProbe::new(16);
+        p.on_program(1, "k");
+        p.on_run_start(0);
+        p.on_retire(&load_ev(4, false));
+        p.on_retire(&load_ev(30, true));
+        let mut stats = RunStats {
+            cycles: 40,
+            ..Default::default()
+        };
+        stats.stall_cycles[StallCat::Memory.index()] = 34;
+        stats.stall_cycles[StallCat::Base.index()] = 6;
+        p.on_run_end(&stats);
+        assert!(p.audit_failures().is_empty());
+
+        let stack = CpiStack::from_probe("k", &p);
+        assert_eq!(stack.kind_cycles(StallKind::L1), 4);
+        assert_eq!(stack.kind_cycles(StallKind::L2), 30);
+        let total: u64 = stack.base_cycles + stack.by_kind.iter().sum::<u64>();
+        assert_eq!(total, stack.cycles);
+        let rendered = stack.render();
+        assert!(rendered.contains("l2"));
+        assert!(stack.render_by_class().contains("sload"));
+    }
+}

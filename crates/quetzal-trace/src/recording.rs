@@ -1,0 +1,343 @@
+//! The recording probe: bounded event ring plus streaming aggregation.
+//!
+//! [`RecordingProbe`] implements [`Probe`] with `ENABLED = true`. It
+//! keeps the most recent dynamic instructions in a fixed-capacity ring
+//! (for Chrome-trace export) and aggregates *every* instruction — the
+//! ring may drop, the aggregates never do — into:
+//!
+//! * a CPI matrix of stall cycles by `InstClass` × [`StallKind`];
+//! * a hottest-static-instruction table keyed by `(Program::id, pc)`;
+//! * per-run coarse stall totals, audited against the engine's own
+//!   [`RunStats`] at every `on_run_end` (any mismatch is recorded — an
+//!   always-on self-check that the refined taxonomy partitions exactly
+//!   the cycles the engine attributed).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use quetzal_isa::InstClass;
+use quetzal_uarch::{Probe, RetireEvent, RunStats, StallCat};
+
+use crate::stall::{class_index, classify, StallKind, CLASSES};
+
+/// One ring-buffer entry: a retire event plus the program it came from.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// [`quetzal_isa::Program::id`] of the submitting program.
+    pub program: u64,
+    /// The retire event.
+    pub ev: RetireEvent,
+}
+
+/// Aggregate for one static instruction (one `(program, pc)` site).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotEntry {
+    /// Dynamic executions.
+    pub count: u64,
+    /// Stall cycles charged at this site (commit gap + commit busy).
+    pub stall_cycles: u64,
+    /// Timing class (of the last execution; static per site).
+    pub class: Option<InstClass>,
+}
+
+/// Number of fine stall kinds.
+pub const N_KINDS: usize = StallKind::ALL.len();
+/// Number of instruction classes.
+pub const N_CLASSES: usize = CLASSES.len();
+
+/// A recording [`Probe`] (see module docs).
+#[derive(Debug)]
+pub struct RecordingProbe {
+    capacity: usize,
+    ring: VecDeque<TraceRecord>,
+    dropped: u64,
+    programs: HashMap<u64, String>,
+    current_program: u64,
+    /// Stall cycles by class × fine kind (aggregated over all runs).
+    cpi: [[u64; N_KINDS]; N_CLASSES],
+    insts_by_class: [u64; N_CLASSES],
+    /// Cycles the engine left unattributed (issue-limited "base").
+    base_cycles: u64,
+    total_cycles: u64,
+    total_instructions: u64,
+    runs: u64,
+    hot: HashMap<(u64, usize), HotEntry>,
+    /// Coarse stall cycles accumulated since `on_run_start`.
+    run_coarse: [u64; 6],
+    audit_failures: Vec<String>,
+}
+
+impl RecordingProbe {
+    /// Default event-ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Bound on retained audit-failure descriptions.
+    const MAX_AUDIT_FAILURES: usize = 8;
+
+    /// Creates a probe whose ring holds the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> RecordingProbe {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RecordingProbe {
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+            programs: HashMap::new(),
+            current_program: 0,
+            cpi: [[0; N_KINDS]; N_CLASSES],
+            insts_by_class: [0; N_CLASSES],
+            base_cycles: 0,
+            total_cycles: 0,
+            total_instructions: 0,
+            runs: 0,
+            hot: HashMap::new(),
+            run_coarse: [0; 6],
+            audit_failures: Vec::new(),
+        }
+    }
+
+    /// The recorded events still in the ring, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Kernel runs observed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total cycles across observed runs.
+    pub fn cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total retired instructions across observed runs.
+    pub fn instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Cycles the engine attributed to no stall (issue-limited base).
+    pub fn base_cycles(&self) -> u64 {
+        self.base_cycles
+    }
+
+    /// Retired-instruction count of one class.
+    pub fn class_instructions(&self, class: InstClass) -> u64 {
+        self.insts_by_class[class_index(class)]
+    }
+
+    /// Stall cycles in one class × kind cell.
+    pub fn stall_cell(&self, class: InstClass, kind: StallKind) -> u64 {
+        self.cpi[class_index(class)][kind.index()]
+    }
+
+    /// Total stall cycles of one fine kind across all classes.
+    pub fn stall_of(&self, kind: StallKind) -> u64 {
+        self.cpi.iter().map(|row| row[kind.index()]).sum()
+    }
+
+    /// The diagnostic name of an observed program, if seen.
+    pub fn program_name(&self, id: u64) -> Option<&str> {
+        self.programs.get(&id).map(String::as_str)
+    }
+
+    /// All observed programs `(id, name)`, sorted by id.
+    pub fn programs(&self) -> Vec<(u64, &str)> {
+        let mut v: Vec<(u64, &str)> = self
+            .programs
+            .iter()
+            .map(|(&id, name)| (id, name.as_str()))
+            .collect();
+        v.sort_by_key(|&(id, _)| id);
+        v
+    }
+
+    /// Descriptions of failed per-run audits (empty when the fine
+    /// taxonomy partitioned the engine's accounting exactly).
+    pub fn audit_failures(&self) -> &[String] {
+        &self.audit_failures
+    }
+
+    /// The `n` hottest static instructions by stall cycles, then by
+    /// execution count, program id and pc (fully deterministic order).
+    pub fn hottest(&self, n: usize) -> Vec<((u64, usize), HotEntry)> {
+        let mut v: Vec<((u64, usize), HotEntry)> = self.hot.iter().map(|(&k, &e)| (k, e)).collect();
+        v.sort_by(|a, b| {
+            (b.1.stall_cycles, b.1.count)
+                .cmp(&(a.1.stall_cycles, a.1.count))
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// Forgets all recorded data (aggregates, ring, programs).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.dropped = 0;
+        self.programs.clear();
+        self.current_program = 0;
+        self.cpi = [[0; N_KINDS]; N_CLASSES];
+        self.insts_by_class = [0; N_CLASSES];
+        self.base_cycles = 0;
+        self.total_cycles = 0;
+        self.total_instructions = 0;
+        self.runs = 0;
+        self.hot.clear();
+        self.run_coarse = [0; 6];
+        self.audit_failures.clear();
+    }
+}
+
+impl Default for RecordingProbe {
+    fn default() -> Self {
+        RecordingProbe::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Probe for RecordingProbe {
+    const ENABLED: bool = true;
+
+    fn on_program(&mut self, id: u64, name: &str) {
+        self.current_program = id;
+        self.programs.entry(id).or_insert_with(|| name.to_string());
+    }
+
+    fn on_run_start(&mut self, _cycle: u64) {
+        self.run_coarse = [0; 6];
+    }
+
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        let ci = class_index(ev.class);
+        self.insts_by_class[ci] += 1;
+        self.total_instructions += 1;
+        let charged = ev.commit_gap + ev.extra_commit;
+        if ev.commit_gap > 0 {
+            self.cpi[ci][classify(ev).index()] += ev.commit_gap;
+            self.run_coarse[ev.cat.index()] += ev.commit_gap;
+        }
+        if ev.extra_commit > 0 {
+            // Commit-stage QBUFFER busy time: the engine charges it to
+            // the Quetzal bucket unconditionally.
+            self.cpi[ci][StallKind::QzAccess.index()] += ev.extra_commit;
+            self.run_coarse[StallCat::Quetzal.index()] += ev.extra_commit;
+        }
+        let hot = self.hot.entry((self.current_program, ev.pc)).or_default();
+        hot.count += 1;
+        hot.stall_cycles += charged;
+        hot.class = Some(ev.class);
+
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceRecord {
+            program: self.current_program,
+            ev: *ev,
+        });
+    }
+
+    fn on_run_end(&mut self, stats: &RunStats) {
+        self.runs += 1;
+        self.total_cycles += stats.cycles;
+        self.base_cycles += stats.stall_cycles[StallCat::Base.index()];
+        for cat in StallCat::all().into_iter().skip(1) {
+            let got = self.run_coarse[cat.index()];
+            let want = stats.stall_cycles[cat.index()];
+            if got != want && self.audit_failures.len() < Self::MAX_AUDIT_FAILURES {
+                self.audit_failures.push(format!(
+                    "run {}: probe charged {got} cycles to {cat}, engine charged {want}",
+                    self.runs
+                ));
+            }
+        }
+        self.run_coarse = [0; 6];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_uarch::predecode::FuClass;
+    use quetzal_uarch::{MemLevelMix, StallCat};
+
+    fn ev(pc: usize, gap: u64, cat: StallCat) -> RetireEvent {
+        RetireEvent {
+            pc,
+            class: InstClass::ScalarAlu,
+            fu: FuClass::Scalar,
+            dispatch: 0,
+            ops_ready: 0,
+            issue: 0,
+            complete: 1,
+            commit: 1 + gap,
+            commit_gap: gap,
+            extra_commit: 0,
+            cat,
+            dep_cat: StallCat::Frontend,
+            mem: MemLevelMix::default(),
+            store_ring_floor: 0,
+            store_replay: false,
+            qz_port_wait: 0,
+            qz_latency: 0,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let mut p = RecordingProbe::new(4);
+        p.on_program(7, "t");
+        for pc in 0..10 {
+            p.on_retire(&ev(pc, 0, StallCat::ScalarCompute));
+        }
+        assert_eq!(p.events().count(), 4);
+        assert_eq!(p.dropped(), 6);
+        assert_eq!(p.instructions(), 10);
+        // Oldest were evicted: the ring holds pcs 6..10.
+        assert_eq!(p.events().next().unwrap().ev.pc, 6);
+    }
+
+    #[test]
+    fn audit_detects_mismatch_and_passes_when_consistent() {
+        let mut p = RecordingProbe::new(16);
+        p.on_run_start(0);
+        p.on_retire(&ev(0, 3, StallCat::ScalarCompute));
+        let mut stats = RunStats {
+            cycles: 5,
+            ..Default::default()
+        };
+        stats.stall_cycles[StallCat::ScalarCompute.index()] = 3;
+        stats.stall_cycles[StallCat::Base.index()] = 2;
+        p.on_run_end(&stats);
+        assert!(p.audit_failures().is_empty());
+        assert_eq!(p.base_cycles(), 2);
+
+        p.on_run_start(0);
+        p.on_retire(&ev(0, 2, StallCat::ScalarCompute));
+        p.on_run_end(&stats); // engine says 3, probe saw 2
+        assert_eq!(p.audit_failures().len(), 1);
+    }
+
+    #[test]
+    fn hottest_is_deterministic_and_ranked() {
+        let mut p = RecordingProbe::new(16);
+        p.on_program(1, "k");
+        p.on_retire(&ev(0, 1, StallCat::ScalarCompute));
+        p.on_retire(&ev(1, 5, StallCat::ScalarCompute));
+        p.on_retire(&ev(1, 5, StallCat::ScalarCompute));
+        let top = p.hottest(2);
+        assert_eq!(top[0].0, (1, 1));
+        assert_eq!(top[0].1.stall_cycles, 10);
+        assert_eq!(top[0].1.count, 2);
+        assert_eq!(top[1].0, (1, 0));
+    }
+}

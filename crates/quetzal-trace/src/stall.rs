@@ -1,0 +1,275 @@
+//! The fine-grained stall taxonomy and its classification rule.
+//!
+//! The timing engine charges every lost cycle to one of six coarse
+//! [`StallCat`] buckets. This module refines the charge using the
+//! lifecycle facts of the [`RetireEvent`] — which cache level served
+//! the instruction, whether it waited on an operand (and what that
+//! operand was waiting on), whether a functional unit was busy, whether
+//! a store-to-load forward failed, whether the QBUFFER read port was
+//! contended. The refinement never re-times anything: it partitions
+//! exactly the cycles the engine already attributed, so a CPI stack
+//! built from [`StallKind`] buckets sums to the engine's cycle count.
+
+use quetzal_isa::InstClass;
+use quetzal_uarch::{RetireEvent, StallCat};
+
+/// Fine-grained cause of a commit-stall gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallKind {
+    /// Front-end limits: fetch/dispatch width, mispredict redirect.
+    Frontend,
+    /// Waiting on an operand produced by scalar compute.
+    DepScalar,
+    /// Waiting on an operand produced by vector compute.
+    DepVector,
+    /// Waiting on an operand produced by a memory access.
+    DepMemory,
+    /// Waiting on an operand produced by a QUETZAL operation.
+    DepQuetzal,
+    /// Scalar execution latency.
+    ScalarExec,
+    /// Vector execution latency (including the count ALU).
+    VectorExec,
+    /// Operands were ready but every unit/port of the class was busy.
+    FuBusy,
+    /// Store-to-load forwarding: failed-forward replay or drain wait.
+    StoreRing,
+    /// Memory access served at L1 speed (port/occupancy cost).
+    L1,
+    /// Memory access that missed L1 and was served by the L2.
+    L2,
+    /// Memory access that missed L2 and went to main memory.
+    Dram,
+    /// QBUFFER read waiting for the single read port.
+    QzPort,
+    /// QBUFFER access latency (reads, commit-time writes, config).
+    QzAccess,
+}
+
+impl StallKind {
+    /// Every kind, in display order.
+    pub const ALL: [StallKind; 14] = [
+        StallKind::Frontend,
+        StallKind::DepScalar,
+        StallKind::DepVector,
+        StallKind::DepMemory,
+        StallKind::DepQuetzal,
+        StallKind::ScalarExec,
+        StallKind::VectorExec,
+        StallKind::FuBusy,
+        StallKind::StoreRing,
+        StallKind::L1,
+        StallKind::L2,
+        StallKind::Dram,
+        StallKind::QzPort,
+        StallKind::QzAccess,
+    ];
+
+    /// Dense index (position in [`StallKind::ALL`]).
+    pub fn index(self) -> usize {
+        StallKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is listed")
+    }
+
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::Frontend => "frontend",
+            StallKind::DepScalar => "dep-scalar",
+            StallKind::DepVector => "dep-vector",
+            StallKind::DepMemory => "dep-memory",
+            StallKind::DepQuetzal => "dep-quetzal",
+            StallKind::ScalarExec => "scalar-exec",
+            StallKind::VectorExec => "vector-exec",
+            StallKind::FuBusy => "fu-busy",
+            StallKind::StoreRing => "store-ring",
+            StallKind::L1 => "l1",
+            StallKind::L2 => "l2",
+            StallKind::Dram => "dram",
+            StallKind::QzPort => "qz-port",
+            StallKind::QzAccess => "qz-access",
+        }
+    }
+
+    /// The coarse engine bucket this kind refines. The refinement is a
+    /// partition: summing kinds by coarse category reproduces the
+    /// engine's `stall_cycles` entries exactly (the probe-neutrality
+    /// test asserts this).
+    pub fn coarse(self) -> StallCat {
+        match self {
+            StallKind::Frontend => StallCat::Frontend,
+            StallKind::DepScalar | StallKind::ScalarExec => StallCat::ScalarCompute,
+            StallKind::DepVector | StallKind::VectorExec => StallCat::VectorCompute,
+            StallKind::DepMemory
+            | StallKind::StoreRing
+            | StallKind::L1
+            | StallKind::L2
+            | StallKind::Dram => StallCat::Memory,
+            StallKind::DepQuetzal | StallKind::QzPort | StallKind::QzAccess => StallCat::Quetzal,
+            // FuBusy refines whichever compute class stalled; resolved
+            // per event in `classify` — standalone it maps to scalar.
+            StallKind::FuBusy => StallCat::ScalarCompute,
+        }
+    }
+}
+
+impl std::fmt::Display for StallKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn dep_kind(cat: StallCat) -> StallKind {
+    match cat {
+        StallCat::Memory => StallKind::DepMemory,
+        StallCat::Quetzal => StallKind::DepQuetzal,
+        StallCat::VectorCompute => StallKind::DepVector,
+        StallCat::ScalarCompute | StallCat::Base => StallKind::DepScalar,
+        StallCat::Frontend => StallKind::Frontend,
+    }
+}
+
+/// Classifies the commit-stall gap of one retired instruction.
+///
+/// Mirrors the engine's attribution rule exactly — memory-class and
+/// QUETZAL-class instructions always charge their own category, compute
+/// and branch instructions charge their operand's taint when the
+/// operand arrived after dispatch — then refines within the category
+/// using the event's hazard facts. Memory levels resolve by deepest
+/// level touched (DRAM > L2 > store-ring replay > L1), because the
+/// deepest access dominates the completion time the engine charged.
+pub fn classify(ev: &RetireEvent) -> StallKind {
+    use InstClass::*;
+    match ev.class {
+        ScalarLoad | VectorLoad | ScalarStore | VectorStore | Gather | Scatter => {
+            if ev.mem.l2_misses > 0 {
+                StallKind::Dram
+            } else if ev.mem.l1_misses > 0 {
+                StallKind::L2
+            } else if ev.store_replay || ev.store_ring_floor > 0 {
+                StallKind::StoreRing
+            } else {
+                StallKind::L1
+            }
+        }
+        QzRead => {
+            if ev.qz_port_wait > 0 {
+                StallKind::QzPort
+            } else {
+                StallKind::QzAccess
+            }
+        }
+        QzWrite | QzConfig => StallKind::QzAccess,
+        QzCountOp => {
+            if ev.resource_wait() > 0 {
+                StallKind::FuBusy
+            } else {
+                StallKind::VectorExec
+            }
+        }
+        ScalarAlu | ScalarMul | Predicate => {
+            if ev.ops_ready > ev.dispatch {
+                dep_kind(ev.dep_cat)
+            } else if ev.resource_wait() > 0 {
+                StallKind::FuBusy
+            } else {
+                StallKind::ScalarExec
+            }
+        }
+        VectorAlu | VectorMul | VectorHorizontal => {
+            if ev.ops_ready > ev.dispatch {
+                dep_kind(ev.dep_cat)
+            } else if ev.resource_wait() > 0 {
+                StallKind::FuBusy
+            } else {
+                StallKind::VectorExec
+            }
+        }
+        Branch | Halt => {
+            if ev.ops_ready > ev.dispatch {
+                dep_kind(ev.dep_cat)
+            } else {
+                StallKind::Frontend
+            }
+        }
+    }
+}
+
+/// Every [`InstClass`], in display order, with dense-index helpers
+/// (the ISA enum does not carry one; the trace layer needs a fixed
+/// matrix dimension).
+pub const CLASSES: [InstClass; 18] = [
+    InstClass::ScalarAlu,
+    InstClass::ScalarMul,
+    InstClass::ScalarLoad,
+    InstClass::ScalarStore,
+    InstClass::Branch,
+    InstClass::VectorAlu,
+    InstClass::VectorMul,
+    InstClass::VectorLoad,
+    InstClass::VectorStore,
+    InstClass::Gather,
+    InstClass::Scatter,
+    InstClass::VectorHorizontal,
+    InstClass::Predicate,
+    InstClass::QzConfig,
+    InstClass::QzWrite,
+    InstClass::QzRead,
+    InstClass::QzCountOp,
+    InstClass::Halt,
+];
+
+/// Dense index of an [`InstClass`] (position in [`CLASSES`]).
+pub fn class_index(class: InstClass) -> usize {
+    CLASSES
+        .iter()
+        .position(|&c| c == class)
+        .expect("every class is listed")
+}
+
+/// Short stable label for an [`InstClass`].
+pub fn class_label(class: InstClass) -> &'static str {
+    match class {
+        InstClass::ScalarAlu => "salu",
+        InstClass::ScalarMul => "smul",
+        InstClass::ScalarLoad => "sload",
+        InstClass::ScalarStore => "sstore",
+        InstClass::Branch => "branch",
+        InstClass::VectorAlu => "valu",
+        InstClass::VectorMul => "vmul",
+        InstClass::VectorLoad => "vload",
+        InstClass::VectorStore => "vstore",
+        InstClass::Gather => "gather",
+        InstClass::Scatter => "scatter",
+        InstClass::VectorHorizontal => "vhoriz",
+        InstClass::Predicate => "pred",
+        InstClass::QzConfig => "qzconf",
+        InstClass::QzWrite => "qzwrite",
+        InstClass::QzRead => "qzread",
+        InstClass::QzCountOp => "qzcount",
+        InstClass::Halt => "halt",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_dense_and_labelled() {
+        for (i, k) in StallKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn classes_are_dense_and_complete() {
+        for (i, c) in CLASSES.iter().enumerate() {
+            assert_eq!(class_index(*c), i);
+            assert!(!class_label(*c).is_empty());
+        }
+    }
+}

@@ -92,6 +92,16 @@ impl CacheArray {
         let set = self.set_of(line);
         (0..self.ways).any(|w| self.tags[set * self.ways + w] == Some(line))
     }
+
+    /// Invalidates every line in place. Equivalent to rebuilding the
+    /// array with `CacheArray::new`, but reuses the tag and LRU
+    /// allocations (for an 8 MB L2 that is ~3 MB of `Vec` the batch
+    /// runner would otherwise reallocate per workload pair).
+    pub fn reset(&mut self) {
+        self.tags.fill(None);
+        self.stamps.fill(0);
+        self.tick = 0;
+    }
 }
 
 /// Per-PC stride detector (degree-N line prefetcher on L1/L2, Table I).
@@ -222,6 +232,17 @@ impl MemSystem {
     /// L1 latency (used by the store-buffer path of the timing model).
     pub fn l1_latency(&self) -> u64 {
         self.l1_lat
+    }
+
+    /// Cold-boots the memory system in place: caches invalidated,
+    /// prefetcher history and DRAM channel occupancy cleared. Behaves
+    /// exactly like a freshly built `MemSystem` while keeping the large
+    /// tag-array allocations alive.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.dram_next_free = 0.0;
+        self.prefetcher.table.clear();
     }
 }
 

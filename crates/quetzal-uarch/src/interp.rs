@@ -11,6 +11,7 @@
 use crate::config::CoreConfig;
 use crate::ooo::{DynInst, ExecSink, NullSink, OooTiming};
 use crate::predecode::{DecodeCache, MicroOp, Predecode};
+use crate::probe::{NullProbe, Probe};
 use crate::state::{truncate, ArchState};
 use crate::stats::RunStats;
 use quetzal_accel::count_alu::{qzcount_vector, COUNT_ALU_LATENCY};
@@ -642,10 +643,13 @@ fn execute_impl(
 /// One simulated core: architectural state plus the out-of-order timing
 /// engine. Cache and accelerator state persist across `run` calls, so a
 /// workload can be submitted as many consecutive kernels.
+///
+/// Generic over an observation [`Probe`]; the default [`NullProbe`]
+/// compiles all instrumentation out (see [`crate::probe`]).
 #[derive(Debug, Clone)]
-pub struct Core {
+pub struct Core<P: Probe = NullProbe> {
     state: ArchState,
-    timing: OooTiming,
+    timing: OooTiming<P>,
     budget: u64,
     /// Per-program predecode tables, keyed by [`Program::id`].
     decode: DecodeCache,
@@ -659,19 +663,36 @@ pub struct Core {
 }
 
 impl Core {
+    /// Creates a core with the given configuration (no probe).
+    pub fn new(cfg: CoreConfig) -> Core {
+        Core::with_probe(cfg, NullProbe)
+    }
+}
+
+impl<P: Probe> Core<P> {
     /// Default per-run instruction budget.
     pub const DEFAULT_BUDGET: u64 = 2_000_000_000;
 
-    /// Creates a core with the given configuration.
-    pub fn new(cfg: CoreConfig) -> Core {
+    /// Creates a core with an attached observation probe.
+    pub fn with_probe(cfg: CoreConfig, probe: P) -> Core<P> {
         Core {
             state: ArchState::new(cfg.qz),
-            timing: OooTiming::new(cfg),
+            timing: OooTiming::with_probe(cfg, probe),
             budget: Self::DEFAULT_BUDGET,
             decode: DecodeCache::default(),
             scratch: DynInst::default(),
             reference_path: false,
         }
+    }
+
+    /// The attached observation probe.
+    pub fn probe(&self) -> &P {
+        self.timing.probe()
+    }
+
+    /// Mutable access to the attached probe (drain recorded data).
+    pub fn probe_mut(&mut self) -> &mut P {
+        self.timing.probe_mut()
     }
 
     /// Routes subsequent [`run`](Core::run) calls through the reference
@@ -680,6 +701,30 @@ impl Core {
     /// assert the hot path is timing-identical end to end.
     pub fn set_reference_path(&mut self, on: bool) {
         self.reference_path = on;
+    }
+
+    /// Resolves future predecode misses through a shared
+    /// [`PredecodeRegistry`](crate::predecode::PredecodeRegistry), so
+    /// sibling cores (batch shards) decode each program once between
+    /// them. Timing-neutral: a shared table is identical to a locally
+    /// decoded one.
+    pub fn set_predecode_registry(&mut self, registry: crate::predecode::PredecodeRegistry) {
+        self.decode.set_registry(registry);
+    }
+
+    /// Cold-boots the core in place: architectural state, accelerator
+    /// and the whole timing engine (clock, caches, predictor) return to
+    /// power-on values while the big allocations — cache tag arrays,
+    /// predecode cache, scratch buffers — are reused. Behaviourally
+    /// identical to building a fresh core with the same configuration:
+    /// budget and reference-path flag return to their defaults. The
+    /// decode cache and any attached predecode registry survive —
+    /// predecode is pure, so stale entries cannot exist.
+    pub fn reset(&mut self) {
+        self.state.reset();
+        self.timing.reset();
+        self.budget = Self::DEFAULT_BUDGET;
+        self.reference_path = false;
     }
 
     /// Architectural state (registers, memory, QBUFFERs).
@@ -716,6 +761,9 @@ impl Core {
             ..
         } = self;
         let pre = decode.get(program);
+        if P::ENABLED {
+            timing.probe_mut().on_program(program.id(), program.name());
+        }
         timing.begin_run();
         execute_impl(state, program, timing, *budget, scratch, |pc, _inst| {
             *pre.op(pc)
@@ -733,6 +781,11 @@ impl Core {
     ///
     /// Returns [`SimError`] on budget exhaustion or invalid `qzconf`.
     pub fn run_reference(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        if P::ENABLED {
+            self.timing
+                .probe_mut()
+                .on_program(program.id(), program.name());
+        }
         self.timing.begin_run();
         execute_reference(&mut self.state, program, &mut self.timing, self.budget)?;
         Ok(self.timing.end_run())

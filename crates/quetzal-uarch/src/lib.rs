@@ -48,11 +48,13 @@ pub mod interp;
 pub mod multicore;
 pub mod ooo;
 pub mod predecode;
+pub mod probe;
 pub mod state;
 pub mod stats;
 
 pub use config::{CacheConfig, CoreConfig, MemConfig};
 pub use interp::{Core, SimError};
-pub use predecode::{DecodeCache, MicroOp, Predecode};
+pub use predecode::{DecodeCache, MicroOp, Predecode, PredecodeRegistry};
+pub use probe::{MemLevelMix, NullProbe, Probe, RetireEvent};
 pub use state::{ArchState, SimMemory};
 pub use stats::{RunStats, StallCat};

@@ -25,6 +25,7 @@
 use crate::cache::MemSystem;
 use crate::config::CoreConfig;
 use crate::predecode::{FuClass, MicroOp, NO_DEF};
+use crate::probe::{MemLevelMix, NullProbe, Probe, RetireEvent};
 use crate::stats::{RunStats, StallCat};
 use quetzal_isa::{InstClass, Reg};
 
@@ -119,8 +120,11 @@ impl StoreRing {
 /// persists across kernel submissions so a workload composed of many
 /// kernels sees warm caches, exactly as consecutive function calls on
 /// real hardware would.
+///
+/// Generic over a [`Probe`]; the default [`NullProbe`] disables every
+/// observation site at compile time (see [`crate::probe`]).
 #[derive(Debug, Clone)]
-pub struct OooTiming {
+pub struct OooTiming<P: Probe = NullProbe> {
     cfg: CoreConfig,
     /// The memory hierarchy.
     pub mem: MemSystem,
@@ -152,11 +156,19 @@ pub struct OooTiming {
     // so `OooTiming` itself stays small and clones stay cheap-ish).
     bpred: Box<[u8; BPRED_ENTRIES]>,
     stats: RunStats,
+    probe: P,
 }
 
 impl OooTiming {
-    /// Creates a timing engine for a core configuration.
+    /// Creates a timing engine for a core configuration (no probe).
     pub fn new(cfg: CoreConfig) -> OooTiming {
+        OooTiming::with_probe(cfg, NullProbe)
+    }
+}
+
+impl<P: Probe> OooTiming<P> {
+    /// Creates a timing engine with an attached observation probe.
+    pub fn with_probe(cfg: CoreConfig, probe: P) -> OooTiming<P> {
         let mem = MemSystem::new(&cfg);
         OooTiming {
             fu_scalar: vec![0; cfg.scalar_alus],
@@ -179,7 +191,18 @@ impl OooTiming {
             run_start_cycle: 0,
             bpred: Box::new([1u8; BPRED_ENTRIES]),
             stats: RunStats::default(),
+            probe,
         }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the attached probe (drain recorded data).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
     }
 
     /// Starts accounting a new kernel run (cycle counters continue,
@@ -193,6 +216,9 @@ impl OooTiming {
         self.front_cycle = self.front_cycle.max(self.commit_cycle);
         self.front_slots = 0;
         self.fetch_resume = self.fetch_resume.max(self.commit_cycle);
+        if P::ENABLED {
+            self.probe.on_run_start(self.run_start_cycle);
+        }
     }
 
     /// Finishes the run: closes the stall attribution and returns the
@@ -202,12 +228,43 @@ impl OooTiming {
         stats.cycles = self.commit_cycle - self.run_start_cycle;
         let attributed: u64 = stats.stall_cycles.iter().skip(1).sum();
         stats.stall_cycles[StallCat::Base.index()] = stats.cycles.saturating_sub(attributed);
+        if P::ENABLED {
+            self.probe.on_run_end(&stats);
+        }
         stats
     }
 
     /// The current global cycle (monotonic across runs).
     pub fn now(&self) -> u64 {
         self.commit_cycle
+    }
+
+    /// Cold-boots the engine in place: clock back to zero, pipeline and
+    /// predictor state cleared, caches invalidated. Timing-equivalent
+    /// to a freshly built engine while reusing every allocation (FU
+    /// vectors, ROB, predictor table, cache tag arrays). The attached
+    /// probe is deliberately *not* cleared — observation spans pool
+    /// reuse; its cycle timeline restarts at zero with the engine.
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        self.reg_ready = [0; Reg::FLAT_COUNT];
+        self.reg_taint = [StallCat::Base; Reg::FLAT_COUNT];
+        self.front_cycle = 0;
+        self.front_slots = 0;
+        self.fetch_resume = 0;
+        self.fu_scalar.fill(0);
+        self.fu_vector.fill(0);
+        self.load_ports.fill(0);
+        self.store_ports.fill(0);
+        self.gather_pipe = 0;
+        self.qz_port = 0;
+        self.store_buffer = StoreRing::new();
+        self.rob.clear();
+        self.commit_cycle = 0;
+        self.commit_slots = 0;
+        self.run_start_cycle = 0;
+        self.bpred.fill(1);
+        self.stats = RunStats::default();
     }
 
     fn alloc_unit(units: &mut [u64], at: u64, busy: u64) -> u64 {
@@ -240,16 +297,20 @@ impl OooTiming {
         self.front_cycle
     }
 
-    fn commit(&mut self, completion: u64, cat: StallCat, extra_commit_busy: u64) {
-        // Width-limited, in-order commit.
+    /// Width-limited, in-order commit. Returns the cycle the
+    /// instruction finally committed at and the stall gap charged to
+    /// its category (both consumed only by probes; dead values compile
+    /// away when no probe is attached).
+    fn commit(&mut self, completion: u64, cat: StallCat, extra_commit_busy: u64) -> (u64, u64) {
         if self.commit_slots >= self.cfg.commit_width {
             self.commit_cycle += 1;
             self.commit_slots = 0;
         }
         let ideal = self.commit_cycle;
         let commit_at = ideal.max(completion);
+        let mut gap = 0;
         if commit_at > ideal {
-            let gap = commit_at - ideal;
+            gap = commit_at - ideal;
             self.stats.stall_cycles[cat.index()] += gap;
             self.commit_cycle = commit_at;
             self.commit_slots = 0;
@@ -265,6 +326,7 @@ impl OooTiming {
         if self.rob.len() > self.cfg.rob_size {
             self.rob.pop_front();
         }
+        (self.commit_cycle, gap)
     }
 
     /// Latest source-register ready time and its stall taint. Walks the
@@ -346,7 +408,7 @@ impl OooTiming {
     }
 }
 
-impl ExecSink for OooTiming {
+impl<P: Probe> ExecSink for OooTiming<P> {
     fn retire(&mut self, uop: &MicroOp, d: &DynInst) {
         let class = uop.class;
         let dispatched = self.dispatch();
@@ -355,7 +417,24 @@ impl ExecSink for OooTiming {
         self.stats.instructions += 1;
         self.stats.uops += 1;
 
-        let (completion, cat, extra_commit) = match class {
+        // Probe-only capture: counter snapshots (for per-instruction
+        // cache-level deltas) and hazard facts the match arms would
+        // otherwise discard. All of it folds away for `NullProbe`.
+        let (pr_l1h, pr_l1m, pr_l2m, pr_misp) = if P::ENABLED {
+            (
+                self.stats.l1_hits,
+                self.stats.l1_misses,
+                self.stats.l2_misses,
+                self.stats.mispredicts,
+            )
+        } else {
+            (0, 0, 0, 0)
+        };
+        let mut pr_store_floor = 0u64;
+        let mut pr_store_replay = false;
+        let mut pr_qz_wait = 0u64;
+
+        let (completion, cat, extra_commit, issue) = match class {
             InstClass::ScalarAlu | InstClass::ScalarMul => {
                 let lat = if class == InstClass::ScalarMul {
                     self.cfg.scalar_mul_lat
@@ -368,7 +447,7 @@ impl ExecSink for OooTiming {
                 } else {
                     StallCat::ScalarCompute
                 };
-                (start + lat, cat, 0)
+                (start + lat, cat, 0, start)
             }
             InstClass::Branch => {
                 self.stats.branches += 1;
@@ -383,7 +462,7 @@ impl ExecSink for OooTiming {
                 } else {
                     StallCat::Frontend
                 };
-                (completion, cat, 0)
+                (completion, cat, 0, start)
             }
             InstClass::ScalarLoad | InstClass::VectorLoad => {
                 let start = Self::alloc_unit(&mut self.load_ports, ready_at, 1);
@@ -405,8 +484,12 @@ impl ExecSink for OooTiming {
                         done = done.max(r + self.mem.l1_latency());
                     }
                     done = done.max(floor);
+                    if P::ENABLED {
+                        pr_store_floor = pr_store_floor.max(floor);
+                        pr_store_replay |= replay;
+                    }
                 }
-                (done.max(start + 1), StallCat::Memory, 0)
+                (done.max(start + 1), StallCat::Memory, 0, start)
             }
             InstClass::ScalarStore | InstClass::VectorStore => {
                 let start = Self::alloc_unit(&mut self.store_ports, ready_at, 1);
@@ -425,7 +508,7 @@ impl ExecSink for OooTiming {
                 for &(addr, size) in &d.mem {
                     self.record_store(addr, size, done);
                 }
-                (done.max(start + 1), StallCat::Memory, 0)
+                (done.max(start + 1), StallCat::Memory, 0, start)
             }
             InstClass::Gather | InstClass::Scatter => {
                 // Cracked into one scalar request per active lane: each
@@ -455,7 +538,7 @@ impl ExecSink for OooTiming {
                         &mut self.stats,
                     ));
                 }
-                (done.max(start + 1), StallCat::Memory, 0)
+                (done.max(start + 1), StallCat::Memory, 0, start)
             }
             InstClass::VectorAlu | InstClass::VectorMul | InstClass::VectorHorizontal => {
                 let lat = match class {
@@ -469,7 +552,7 @@ impl ExecSink for OooTiming {
                 } else {
                     StallCat::VectorCompute
                 };
-                (start + lat, cat, 0)
+                (start + lat, cat, 0, start)
             }
             InstClass::Predicate => {
                 let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
@@ -478,17 +561,25 @@ impl ExecSink for OooTiming {
                 } else {
                     StallCat::ScalarCompute
                 };
-                (start + self.cfg.pred_lat, cat, 0)
+                (start + self.cfg.pred_lat, cat, 0, start)
             }
             InstClass::QzRead => {
                 self.stats.qz_accesses += 1;
                 let start = self.qz_port.max(ready_at);
                 self.qz_port = start + 1;
-                (start + d.qz_latency, StallCat::Quetzal, 0)
+                if P::ENABLED {
+                    pr_qz_wait = start - ready_at;
+                }
+                (start + d.qz_latency, StallCat::Quetzal, 0, start)
             }
             InstClass::QzCountOp => {
                 let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
-                (start + d.qz_latency.max(1), StallCat::VectorCompute, 0)
+                (
+                    start + d.qz_latency.max(1),
+                    StallCat::VectorCompute,
+                    0,
+                    start,
+                )
             }
             InstClass::QzWrite | InstClass::QzConfig => {
                 // Executes at commit (paper §IV-E): the value must be
@@ -497,13 +588,45 @@ impl ExecSink for OooTiming {
                 // write retires within its commit slot like a normal
                 // buffered store).
                 self.stats.qz_accesses += 1;
-                (ready_at, StallCat::Quetzal, d.qz_latency.saturating_sub(1))
+                (
+                    ready_at,
+                    StallCat::Quetzal,
+                    d.qz_latency.saturating_sub(1),
+                    ready_at,
+                )
             }
-            InstClass::Halt => (ready_at, StallCat::Frontend, 0),
+            InstClass::Halt => (ready_at, StallCat::Frontend, 0, ready_at),
         };
 
         self.set_defs(uop, completion, cat);
-        self.commit(completion, cat, extra_commit);
+        let (commit_at, commit_gap) = self.commit(completion, cat, extra_commit);
+        if P::ENABLED {
+            let ev = RetireEvent {
+                pc: d.pc,
+                class,
+                fu: uop.fu,
+                dispatch: dispatched,
+                ops_ready,
+                issue,
+                complete: completion,
+                commit: commit_at,
+                commit_gap,
+                extra_commit,
+                cat,
+                dep_cat: ops_cat,
+                mem: MemLevelMix {
+                    l1_hits: self.stats.l1_hits - pr_l1h,
+                    l1_misses: self.stats.l1_misses - pr_l1m,
+                    l2_misses: self.stats.l2_misses - pr_l2m,
+                },
+                store_ring_floor: pr_store_floor,
+                store_replay: pr_store_replay,
+                qz_port_wait: pr_qz_wait,
+                qz_latency: d.qz_latency,
+                mispredicted: self.stats.mispredicts > pr_misp,
+            };
+            self.probe.on_retire(&ev);
+        }
     }
 }
 

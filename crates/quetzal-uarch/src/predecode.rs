@@ -175,6 +175,55 @@ impl Predecode {
     }
 }
 
+/// A process-wide, thread-safe registry of [`Predecode`] tables shared
+/// by many cores.
+///
+/// [`Predecode::of`] is pure — the table depends only on the program
+/// text — so decoding the same program on every batch shard is wasted
+/// work. A registry hands out `Arc<Predecode>` clones keyed by
+/// [`Program::id`]; the batch runner attaches one registry per run so
+/// all shards share a single decode of each kernel. Sharing is
+/// invisible to timing: a cache hit and a fresh decode yield identical
+/// tables, so results stay bit-identical for any thread count.
+///
+/// Bounded like [`DecodeCache`]: past [`DecodeCache::CAPACITY`]
+/// distinct programs the registry flushes wholesale (cores keep their
+/// local `Arc`s alive, so in-flight tables are unaffected).
+#[derive(Debug, Clone, Default)]
+pub struct PredecodeRegistry {
+    map:
+        std::sync::Arc<std::sync::Mutex<std::collections::HashMap<u64, std::sync::Arc<Predecode>>>>,
+}
+
+impl PredecodeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> PredecodeRegistry {
+        PredecodeRegistry::default()
+    }
+
+    /// Returns the shared table for `program`, decoding it on first
+    /// sight (under the lock; decode is cheap relative to simulation).
+    pub fn get_or_decode(&self, program: &Program) -> std::sync::Arc<Predecode> {
+        let mut map = self.map.lock().expect("predecode registry poisoned");
+        if map.len() >= DecodeCache::CAPACITY && !map.contains_key(&program.id()) {
+            map.clear();
+        }
+        map.entry(program.id())
+            .or_insert_with(|| std::sync::Arc::new(Predecode::of(program)))
+            .clone()
+    }
+
+    /// Number of distinct programs currently registered.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("predecode registry poisoned").len()
+    }
+
+    /// Whether the registry holds no programs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A small program-keyed cache of [`Predecode`] tables.
 ///
 /// Keys are [`Program::id`] (process-unique, shared by clones of the
@@ -183,23 +232,39 @@ impl Predecode {
 /// through unboundedly many programs (test harnesses) stays flat in
 /// memory, while the common shapes (one staging program plus one kernel
 /// program resubmitted per pair) always hit.
+///
+/// With [`DecodeCache::set_registry`] the cache resolves misses through
+/// a shared [`PredecodeRegistry`] instead of decoding locally, so
+/// sibling cores reuse one table per program.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeCache {
-    map: std::collections::HashMap<u64, Predecode>,
+    map: std::collections::HashMap<u64, std::sync::Arc<Predecode>>,
+    shared: Option<PredecodeRegistry>,
 }
 
 impl DecodeCache {
     /// Distinct programs kept before the cache is flushed.
     pub const CAPACITY: usize = 64;
 
+    /// Routes future misses through `registry` (hits keep their table).
+    pub fn set_registry(&mut self, registry: PredecodeRegistry) {
+        self.shared = Some(registry);
+    }
+
     /// Returns the table for `program`, decoding it on first sight.
     pub fn get(&mut self, program: &Program) -> &Predecode {
         if self.map.len() >= Self::CAPACITY && !self.map.contains_key(&program.id()) {
             self.map.clear();
         }
-        self.map
+        let shared = &self.shared;
+        let table = self
+            .map
             .entry(program.id())
-            .or_insert_with(|| Predecode::of(program))
+            .or_insert_with(|| match shared {
+                Some(registry) => registry.get_or_decode(program),
+                None => std::sync::Arc::new(Predecode::of(program)),
+            });
+        table
     }
 
     /// Number of cached programs.
@@ -309,5 +374,44 @@ mod tests {
             cache.len() <= DecodeCache::CAPACITY,
             "cache must stay bounded"
         );
+    }
+
+    #[test]
+    fn registry_shares_one_table_across_caches() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 1);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let registry = PredecodeRegistry::new();
+        let mut a = DecodeCache::default();
+        let mut c = DecodeCache::default();
+        a.set_registry(registry.clone());
+        c.set_registry(registry.clone());
+        let ta = a.get(&p) as *const Predecode;
+        let tc = c.get(&p) as *const Predecode;
+        assert_eq!(ta, tc, "both caches must hold the same shared table");
+        assert_eq!(registry.len(), 1);
+
+        // Sharing must not change the table itself.
+        let local = Predecode::of(&p);
+        assert_eq!(local.len(), a.get(&p).len());
+        assert_eq!(local.op(0), a.get(&p).op(0));
+    }
+
+    #[test]
+    fn registry_stays_bounded() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.mov_imm(X0, 1);
+            b.halt();
+            b.build().unwrap()
+        };
+        let registry = PredecodeRegistry::new();
+        for _ in 0..(DecodeCache::CAPACITY * 2) {
+            registry.get_or_decode(&build());
+        }
+        assert!(registry.len() <= DecodeCache::CAPACITY);
+        assert!(!registry.is_empty());
     }
 }

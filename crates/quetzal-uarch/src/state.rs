@@ -124,6 +124,15 @@ impl SimMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Drops every page: all addresses read as zero again, as in a
+    /// fresh memory. Keeps the page-table capacity so a pooled machine
+    /// does not re-grow the map from scratch; pages themselves are
+    /// freed, so retained footprint does not accumulate across
+    /// workloads.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
 }
 
 /// A 512-bit vector register value.
@@ -155,6 +164,18 @@ impl ArchState {
             mem: SimMemory::new(),
             qz: QBuffers::new(qz_config),
         }
+    }
+
+    /// Zeroes registers, memory and the accelerator in place. A reset
+    /// state is architecturally indistinguishable from
+    /// `ArchState::new(self.qz.config())` — the machine-pool
+    /// equivalence test pins this.
+    pub fn reset(&mut self) {
+        self.x = [0; 32];
+        self.v = [[0; VLEN_BYTES]; 32];
+        self.p = [0; 16];
+        self.mem.clear();
+        self.qz.reset();
     }
 
     /// Scalar register value.

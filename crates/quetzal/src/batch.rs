@@ -14,9 +14,11 @@
 //!
 //! 1. items are split into shards as a pure function of the item count
 //!    and the configured shard size — never of the thread count;
-//! 2. every shard starts from a fresh, identically configured context
-//!    (for simulations: a cold [`Machine`]), so a shard's results do
-//!    not depend on which worker ran it or on what ran before it;
+//! 2. every shard starts from a cold, identically configured context
+//!    (for simulations: a fresh [`Machine`], or a pooled one
+//!    [`Machine::reset`] to the indistinguishable cold-boot state), so
+//!    a shard's results do not depend on which worker ran it or on
+//!    what ran before it;
 //! 3. per-item results are written into pre-assigned slots and merged
 //!    in shard order, never in completion order;
 //! 4. a panicking shard poisons only itself (panic isolation); the
@@ -38,10 +40,26 @@
 //! assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
 //! ```
 
-use crate::{Machine, MachineConfig};
+use crate::{Machine, MachineConfig, PredecodeRegistry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Shard context of [`BatchRunner::run_machines`]: a machine checked
+/// out of the run's pool, returned on drop (including on shard panic —
+/// the next checkout resets it back to cold-boot state).
+struct PooledMachine<'a> {
+    machine: Option<Machine>,
+    pool: &'a Mutex<Vec<Machine>>,
+}
+
+impl Drop for PooledMachine<'_> {
+    fn drop(&mut self) {
+        if let (Some(machine), Ok(mut pool)) = (self.machine.take(), self.pool.lock()) {
+            pool.push(machine);
+        }
+    }
+}
 
 /// Environment variable selecting the worker-thread count
 /// (`QUETZAL_THREADS`). Unset or invalid values fall back to the host's
@@ -215,9 +233,21 @@ impl BatchRunner {
     }
 
     /// [`run`](Self::run) specialised to simulation work: every shard
-    /// owns a fresh [`Machine`] built from `config`, so simulated
+    /// starts from a cold [`Machine`] built from `config`, so simulated
     /// caches and QBUFFERs are warm across the items *within* a shard
     /// and cold at every shard boundary — independent of thread count.
+    ///
+    /// Two run-wide optimisations keep this cheap without touching the
+    /// determinism guarantee:
+    ///
+    /// * machines are **pooled**: a shard checks a machine out of the
+    ///   run's pool and [`Machine::reset`]s it to cold-boot state
+    ///   instead of reallocating the multi-megabyte cache tag arrays
+    ///   per shard (reset ≡ fresh is pinned by `tests/parallel.rs`);
+    /// * predecode is **shared**: all machines of the run resolve
+    ///   predecode misses through one [`PredecodeRegistry`], so each
+    ///   kernel program is decoded once per run, not once per shard
+    ///   (sound because predecode is a pure function of the program).
     ///
     /// # Errors
     ///
@@ -232,7 +262,35 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
-        self.run(items, || Machine::new(config.clone()), work)
+        let registry = PredecodeRegistry::new();
+        let pool: Mutex<Vec<Machine>> = Mutex::new(Vec::new());
+        self.run(
+            items,
+            || {
+                let machine = match pool.lock().expect("machine pool").pop() {
+                    Some(mut machine) => {
+                        machine.reset();
+                        machine
+                    }
+                    None => {
+                        let mut machine = Machine::new(config.clone());
+                        machine.set_predecode_registry(registry.clone());
+                        machine
+                    }
+                };
+                PooledMachine {
+                    machine: Some(machine),
+                    pool: &pool,
+                }
+            },
+            |pooled, i, item| {
+                work(
+                    pooled.machine.as_mut().expect("checked-out machine"),
+                    i,
+                    item,
+                )
+            },
+        )
     }
 }
 
@@ -304,6 +362,38 @@ mod tests {
             })
             .unwrap();
         assert_eq!(got, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn pooled_machines_match_fresh_machines_exactly() {
+        // One worker, shard size 1: the pool forces every shard after
+        // the first onto a reset machine. Results (timing included)
+        // must equal per-item fresh machines.
+        let items: Vec<i64> = (1..=6).collect();
+        let work = |m: &mut Machine, x: i64| {
+            let mut b = ProgramBuilder::new();
+            let top = b.label();
+            b.mov_imm(X0, 0);
+            b.mov_imm(X1, 0x3000);
+            b.bind(top);
+            b.store(X0, X1, 0, MemSize::B8);
+            b.alu_ri(SAluOp::Add, X1, X1, 64);
+            b.alu_ri(SAluOp::Add, X0, X0, 1);
+            b.mov_imm(X2, 40);
+            b.branch(BranchCond::Lt, X0, X2, top);
+            b.alu_ri(SAluOp::Add, X0, X0, x);
+            b.halt();
+            let stats = m.run(&b.build().unwrap()).unwrap();
+            (m.core().state().x(X0), stats.cycles)
+        };
+        let pooled = BatchRunner::new(1)
+            .run_machines(&MachineConfig::default(), &items, |m, _i, &x| work(m, x))
+            .unwrap();
+        let fresh: Vec<(u64, u64)> = items
+            .iter()
+            .map(|&x| work(&mut Machine::new(MachineConfig::default()), x))
+            .collect();
+        assert_eq!(pooled, fresh);
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub mod batch;
 pub use batch::{BatchError, BatchRunner};
 pub use quetzal_accel::{PortCount, QzConfig};
 pub use quetzal_isa::Program;
-pub use quetzal_uarch::{Core, CoreConfig, RunStats, SimError, StallCat};
+pub use quetzal_uarch::{
+    Core, CoreConfig, MemLevelMix, NullProbe, PredecodeRegistry, Probe, RetireEvent, RunStats,
+    SimError, StallCat,
+};
 
 /// Configuration of a simulated [`Machine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -90,19 +93,38 @@ const HEAP_BASE: u64 = 0x1000_0000;
 /// Cache, accelerator and clock state persist across [`run`](Machine::run)
 /// calls, so a driver can submit a workload as a sequence of kernels the
 /// way the paper's algorithm implementations do.
+/// Generic over an observation [`Probe`]; the default [`NullProbe`]
+/// compiles all instrumentation out of the timing hot path.
 #[derive(Debug, Clone)]
-pub struct Machine {
-    core: Core,
+pub struct Machine<P: Probe = NullProbe> {
+    core: Core<P>,
     heap: u64,
 }
 
 impl Machine {
-    /// Creates a machine.
+    /// Creates a machine (no probe).
     pub fn new(config: MachineConfig) -> Machine {
+        Machine::with_probe(config, NullProbe)
+    }
+}
+
+impl<P: Probe> Machine<P> {
+    /// Creates a machine with an attached observation probe.
+    pub fn with_probe(config: MachineConfig, probe: P) -> Machine<P> {
         Machine {
-            core: Core::new(config.core),
+            core: Core::with_probe(config.core, probe),
             heap: HEAP_BASE,
         }
+    }
+
+    /// The attached observation probe.
+    pub fn probe(&self) -> &P {
+        self.core.probe()
+    }
+
+    /// Mutable access to the attached probe (drain recorded data).
+    pub fn probe_mut(&mut self) -> &mut P {
+        self.core.probe_mut()
     }
 
     /// Allocates `bytes` of simulated memory (64-byte aligned). The
@@ -143,13 +165,31 @@ impl Machine {
         self.core.run(program)
     }
 
+    /// Routes predecode misses through a shared registry, so machines
+    /// of one batch decode each program once between them (see
+    /// [`PredecodeRegistry`]).
+    pub fn set_predecode_registry(&mut self, registry: PredecodeRegistry) {
+        self.core.set_predecode_registry(registry);
+    }
+
+    /// Cold-boots the machine in place: registers, memory, caches,
+    /// QBUFFERs, clock and the heap allocator return to power-on
+    /// values, while the big allocations (cache tag arrays, predecode
+    /// tables) are reused. Behaviourally identical to constructing a
+    /// fresh machine with the same configuration — the batch runner's
+    /// machine pool relies on this, and `tests/parallel.rs` pins it.
+    pub fn reset(&mut self) {
+        self.core.reset();
+        self.heap = HEAP_BASE;
+    }
+
     /// The underlying core.
-    pub fn core(&self) -> &Core {
+    pub fn core(&self) -> &Core<P> {
         &self.core
     }
 
     /// Mutable access to the underlying core.
-    pub fn core_mut(&mut self) -> &mut Core {
+    pub fn core_mut(&mut self) -> &mut Core<P> {
         &mut self.core
     }
 }
@@ -197,6 +237,64 @@ mod tests {
         let s2 = m.run(&p).unwrap();
         assert!(s1.cycles > 0);
         assert!(s2.cycles > 0);
+    }
+
+    #[test]
+    fn reset_machine_is_indistinguishable_from_fresh() {
+        // A kernel that exercises caches, the branch predictor, vector
+        // state and the QBUFFERs, so any state surviving reset would
+        // perturb the second run's timing or results.
+        let kernel = || {
+            let mut b = ProgramBuilder::new();
+            let top = b.label();
+            b.mov_imm(X0, 0);
+            b.mov_imm(X1, 0x2000);
+            b.mov_imm(X2, 200);
+            b.bind(top);
+            b.store(X0, X1, 0, MemSize::B8);
+            b.load(X3, X1, 0, MemSize::B8);
+            b.alu_ri(SAluOp::Add, X1, X1, 64);
+            b.alu_ri(SAluOp::Add, X0, X0, 1);
+            b.branch(BranchCond::Lt, X0, X2, top);
+            b.mov_imm(X4, 128);
+            b.mov_imm(X5, 2);
+            b.qzconf(X4, X4, X5);
+            b.ptrue(P0, ElemSize::B64);
+            b.dup_imm(V0, 3, ElemSize::B64);
+            b.dup_imm(V1, 9, ElemSize::B64);
+            b.qzupdate(QzOp::Add, V1, V0, QBufSel::Q0, P0);
+            b.halt();
+            b.build().unwrap()
+        };
+        let p = kernel();
+
+        let mut pooled = Machine::default();
+        let dirty = kernel();
+        pooled.alloc(4096);
+        pooled.run(&dirty).unwrap();
+        pooled.reset();
+
+        let mut fresh = Machine::default();
+        let a1 = pooled.alloc(256);
+        let a2 = fresh.alloc(256);
+        assert_eq!(a1, a2, "heap allocator must restart");
+        let s_pooled = pooled.run(&p).unwrap();
+        let s_fresh = fresh.run(&p).unwrap();
+        assert_eq!(s_pooled, s_fresh, "reset must restore cold-boot timing");
+        assert_eq!(
+            pooled.core().state().x(X3),
+            fresh.core().state().x(X3),
+            "architectural results must match"
+        );
+        assert_eq!(
+            pooled.core().state().qz.buf(0).words(),
+            fresh.core().state().qz.buf(0).words(),
+            "QBUFFER contents must match"
+        );
+        assert_eq!(
+            pooled.core().state().mem.resident_pages(),
+            fresh.core().state().mem.resident_pages()
+        );
     }
 
     #[test]

@@ -31,6 +31,25 @@ QUETZAL_SCALE=0.25 QUETZAL_THREADS=4 \
 cmp "$out_dir/t1.txt" "$out_dir/t4.txt" \
     || { echo "FAIL: run_all output depends on QUETZAL_THREADS"; exit 1; }
 
+echo "==> smoke: trace_run probed replay + Chrome-trace JSON"
+QUETZAL_SCALE=0.25 \
+    cargo run -q --release --offline -p quetzal-bench --bin trace_run -- \
+    wfa vec --top 5 --chrome "$out_dir/trace.json" > "$out_dir/trace.txt"
+# trace_run validates the emitted JSON with the in-tree strict parser
+# (quetzal_trace::json) before writing and exits non-zero on failure;
+# here we only check that the analysis and the artifact both landed.
+grep -q "CPI stack" "$out_dir/trace.txt" \
+    || { echo "FAIL: trace_run printed no CPI stack"; exit 1; }
+test -s "$out_dir/trace.json" \
+    || { echo "FAIL: trace_run wrote no Chrome trace"; exit 1; }
+
+echo "==> committed results_run_all.txt is fresh (default scale)"
+QUETZAL_THREADS=4 \
+    cargo run -q --release --offline -p quetzal-bench --bin run_all -- --cpi-stacks \
+    > "$out_dir/full.txt" 2>/dev/null
+cmp results_run_all.txt "$out_dir/full.txt" \
+    || { echo "FAIL: results_run_all.txt is stale; regenerate with run_all"; exit 1; }
+
 echo "==> perf trajectory: BENCH_uarch.json (simulated MIPS)"
 cargo run -q --release --offline -p quetzal-bench --bin bench_uarch \
     > BENCH_uarch.json
