@@ -18,6 +18,11 @@
 //! `8/ports + 1`, write bank conflicts) and the post-place-and-route
 //! [`area`] model that regenerates the paper's Table III.
 
+// Guest-reachable paths must return typed errors, never unwrap (see
+// DESIGN.md "Failure model & fault injection"); tests are exempt.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod area;
 pub mod config;
 pub mod count_alu;
@@ -25,4 +30,4 @@ pub mod encoder;
 pub mod qbuffer;
 
 pub use config::{PortCount, QzConfig};
-pub use qbuffer::{BankProfile, QBuffer, QBuffers};
+pub use qbuffer::{BankProfile, QBuffer, QBuffers, QzFault};

@@ -23,6 +23,35 @@ use quetzal_isa::{EncSize, QzOp, LANES_64, VLEN_BYTES};
 /// Number of SRAM banks per read-port copy (one per 64-bit VPU lane).
 pub const NUM_BANKS: usize = LANES_64;
 
+/// Guest-reachable QBUFFER access faults. The hardware raises these as
+/// precise exceptions at commit; the simulator surfaces them as typed
+/// errors through
+/// [`SimError::QBufferIndexOutOfRange`](../quetzal_uarch/interp/enum.SimError.html)
+/// instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QzFault {
+    /// An encoded-mode write (`qzencode`) used an element index that is
+    /// not aligned to a whole SRAM word for the configured element size.
+    MisalignedEncode {
+        /// The offending element index.
+        idx: u64,
+        /// The required alignment in elements.
+        align: u64,
+    },
+}
+
+impl std::fmt::Display for QzFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QzFault::MisalignedEncode { idx, align } => {
+                write!(f, "qzencode index {idx} not aligned to {align} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QzFault {}
+
 /// One direct-mapped scratchpad buffer.
 ///
 /// Indices address *elements* (of the configured [`EncSize`]), not
@@ -128,6 +157,14 @@ impl QBuffer {
     /// Raw word access (for tests and state save/restore).
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Flips one SRAM bit (fault injection: models a soft error in the
+    /// scratchpad array). `word` wraps modulo capacity and `bit` modulo
+    /// 64, so any pair of values addresses a real cell.
+    pub fn flip_bit(&mut self, word: usize, bit: u32) {
+        let n = self.words.len();
+        self.words[word % n] ^= 1u64 << (bit % 64);
     }
 
     /// Clears the buffer to zero.
@@ -288,43 +325,56 @@ impl QBuffers {
     ///
     /// Returns the latency in cycles (one per 128 bits written).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `idx` is not aligned to a whole SRAM word for the
-    /// configured element size.
-    pub fn encode(&mut self, sel: usize, chars: &[u8; VLEN_BYTES], idx: u64) -> u64 {
+    /// Returns [`QzFault::MisalignedEncode`] if `idx` is not aligned to
+    /// a whole SRAM word for the configured element size (32 elements in
+    /// 2-bit mode, 8 in 8-bit mode; 64-bit mode has no constraint). The
+    /// buffer is untouched on error — a precise commit-time fault.
+    pub fn encode(
+        &mut self,
+        sel: usize,
+        chars: &[u8; VLEN_BYTES],
+        idx: u64,
+    ) -> Result<u64, QzFault> {
         match self.esize {
             EncSize::E2 => {
+                if !idx.is_multiple_of(32) {
+                    return Err(QzFault::MisalignedEncode { idx, align: 32 });
+                }
                 let (a, b) = encode_vector(chars);
                 self.bufs[sel].write_encoded(idx, a, b);
-                crate::encoder::ENCODE_LATENCY
+                Ok(crate::encoder::ENCODE_LATENCY)
             }
             EncSize::E8 => {
-                assert!(
-                    idx.is_multiple_of(8),
-                    "8-bit encoded writes are word-aligned"
-                );
+                if !idx.is_multiple_of(8) {
+                    return Err(QzFault::MisalignedEncode { idx, align: 8 });
+                }
                 let buf = &mut self.bufs[sel];
                 let cap = buf.capacity_elems(EncSize::E8);
+                // Wrap the base index first so the per-word offsets can
+                // never overflow, whatever the guest put in `idx`.
+                let base = idx % cap;
                 for (w, chunk) in chars.chunks(8).enumerate() {
                     let mut word = [0u8; 8];
                     word.copy_from_slice(chunk);
-                    let elem = (idx + 8 * w as u64) % cap;
+                    let elem = (base + 8 * w as u64) % cap;
                     let wi = (elem / 8) as usize;
                     buf.words[wi] = u64::from_le_bytes(word);
                 }
-                4 // 512 bits at 128 bits per cycle
+                Ok(4) // 512 bits at 128 bits per cycle
             }
             EncSize::E64 => {
                 let buf = &mut self.bufs[sel];
                 let cap = buf.capacity_elems(EncSize::E64);
+                let base = idx % cap;
                 for (w, chunk) in chars.chunks(8).enumerate() {
                     let mut word = [0u8; 8];
                     word.copy_from_slice(chunk);
-                    let elem = (idx + w as u64) % cap;
+                    let elem = (base + w as u64) % cap;
                     buf.words[elem as usize] = u64::from_le_bytes(word);
                 }
-                4
+                Ok(4)
             }
         }
     }
@@ -483,18 +533,33 @@ mod tests {
         q.conf(128, 128, 0); // 2-bit mode
         let mut chars = [b'A'; 64];
         chars[..4].copy_from_slice(b"GTCA");
-        q.encode(1, &chars, 64);
+        q.encode(1, &chars, 64).unwrap();
         let seg = q.buf(1).read_segment(64, EncSize::E2);
         // G=11, T=10, C=01, A=00 packed LSB-first.
         assert_eq!(seg & 0xFF, 0b00_01_10_11);
     }
 
     #[test]
-    #[should_panic(expected = "word-aligned")]
     fn encoded_mode_rejects_unaligned_index() {
         let mut q = small();
         q.conf(128, 128, 0); // 2-bit mode
-        q.encode(0, &[b'A'; 64], 7);
+        assert_eq!(
+            q.encode(0, &[b'A'; 64], 7),
+            Err(QzFault::MisalignedEncode { idx: 7, align: 32 }),
+        );
+        assert!(
+            q.buf(0).words().iter().all(|&w| w == 0),
+            "faulting encode must not touch the buffer"
+        );
+        // 8-bit mode requires word (8-element) alignment.
+        q.conf(128, 128, 1);
+        assert_eq!(
+            q.encode(0, &[b'A'; 64], 12),
+            Err(QzFault::MisalignedEncode { idx: 12, align: 8 }),
+        );
+        // 64-bit mode has no alignment constraint: any index encodes.
+        q.conf(128, 128, 2);
+        assert!(q.encode(0, &[b'A'; 64], 7).is_ok());
     }
 
     #[test]
@@ -505,7 +570,7 @@ mod tests {
         for (i, c) in chars.iter_mut().enumerate() {
             *c = i as u8 + 1;
         }
-        let lat = q.encode(0, &chars, 0);
+        let lat = q.encode(0, &chars, 0).unwrap();
         assert_eq!(lat, 4);
         assert_eq!(q.buf(0).read_segment(0, EncSize::E8) & 0xFF, 1);
         assert_eq!(q.buf(0).read_segment(63, EncSize::E8) & 0xFF, 64);
@@ -518,7 +583,7 @@ mod tests {
         let mut chars = [0u8; 64];
         chars[..8].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
         chars[56..].copy_from_slice(&7u64.to_le_bytes());
-        q.encode(1, &chars, 4);
+        q.encode(1, &chars, 4).unwrap();
         assert_eq!(q.buf(1).read_segment(4, EncSize::E64), 0xDEAD_BEEF);
         assert_eq!(q.buf(1).read_segment(11, EncSize::E64), 7);
     }

@@ -10,7 +10,7 @@
 //! depend on the host's core count.
 
 use quetzal::uarch::RunStats;
-use quetzal::{BatchRunner, Machine, MachineConfig, Probe};
+use quetzal::{BatchRunner, Machine, MachineConfig, Probe, SimError};
 use quetzal_algos::biwfa::biwfa_sim;
 use quetzal_algos::dp_sim::LinearCosts;
 use quetzal_algos::nw::nw_sim;
@@ -234,9 +234,16 @@ fn run_algo_uncached(cfg: &MachineConfig, algo: Algo, wl: &Workload, tier: Tier)
 /// results in pair order. This is the quantity `tests/parallel.rs`
 /// asserts is thread-count-invariant.
 ///
+/// Pairs whose simulation fails (typed [`SimError`] or kernel panic,
+/// after one retry on a fresh machine) are dropped from the result; the
+/// failures are summarised on **stderr** so stdout tables stay
+/// byte-identical between fault-free runs at any thread count. The
+/// healthy pairs' statistics are bit-identical to a fully healthy run.
+///
 /// # Panics
 ///
-/// Panics if a simulation fails (experiment harness context).
+/// Panics only on simulation-infrastructure failure (a panic outside
+/// the per-item fault boundary).
 pub fn run_algo_pairs(
     runner: &BatchRunner,
     cfg: &MachineConfig,
@@ -246,11 +253,23 @@ pub fn run_algo_pairs(
 ) -> Vec<RunStats> {
     let threshold = wl.ss_threshold();
     let alphabet = wl.spec.alphabet;
-    runner
-        .run_machines(cfg, &wl.pairs, |machine, _i, pair| {
-            simulate_pair(machine, algo, alphabet, threshold, pair, tier)
+    let report = runner
+        .run_machines_report(cfg, &wl.pairs, |machine, _i, pair| {
+            try_simulate_pair(machine, algo, alphabet, threshold, pair, tier)
         })
-        .expect("simulation shard panicked")
+        .expect("simulation infrastructure panicked");
+    if !report.is_clean() {
+        eprintln!(
+            "warning: {} of {} pairs failed ({algo}, {}, {tier}):",
+            report.failures.len(),
+            wl.pairs.len(),
+            wl.spec.name,
+        );
+        for failure in &report.failures {
+            eprintln!("  {failure}");
+        }
+    }
+    report.results.into_iter().flatten().collect()
 }
 
 /// Simulates one pair (the per-shard work item of [`run_algo_pairs`]).
@@ -260,6 +279,11 @@ pub fn run_algo_pairs(
 /// the kernels the experiment tables measure on a
 /// `Machine<RecordingProbe>` — same staging, same windowing, same
 /// thresholds.
+///
+/// # Panics
+///
+/// Panics if the simulation fails; use [`try_simulate_pair`] for the
+/// fault-tolerant variant.
 pub fn simulate_pair<P: Probe>(
     machine: &mut Machine<P>,
     algo: Algo,
@@ -268,23 +292,35 @@ pub fn simulate_pair<P: Probe>(
     pair: &SeqPair,
     tier: Tier,
 ) -> RunStats {
+    try_simulate_pair(machine, algo, alphabet, ss_threshold, pair, tier)
+        .expect("pair simulation failed")
+}
+
+/// Fallible [`simulate_pair`]: machine-level faults come back as typed
+/// [`SimError`]s so [`run_algo_pairs`] can degrade per pair instead of
+/// killing the batch. Algorithm-driver bugs that are not machine faults
+/// (e.g. a WFA score-cap overflow) still panic — they indicate a broken
+/// harness, not a misbehaving kernel, and the panic is caught at the
+/// same per-item boundary.
+pub fn try_simulate_pair<P: Probe>(
+    machine: &mut Machine<P>,
+    algo: Algo,
+    alphabet: quetzal_genomics::Alphabet,
+    ss_threshold: u32,
+    pair: &SeqPair,
+    tier: Tier,
+) -> Result<RunStats, SimError> {
+    use quetzal_algos::wfa_sim::WfaSimError;
+    let unwrap_wfa = |r: Result<quetzal_algos::SimOutcome, WfaSimError>| match r {
+        Ok(outcome) => Ok(outcome),
+        Err(WfaSimError::Sim(e)) => Err(e),
+        Err(e @ WfaSimError::ScoreCapExceeded) => panic!("wfa driver bug: {e}"),
+    };
     let (p, t) = (pair.pattern.as_bytes(), pair.text.as_bytes());
-    match algo {
-        Algo::Wfa => {
-            wfa_sim(machine, p, t, alphabet, tier)
-                .expect("wfa sim")
-                .stats
-        }
-        Algo::BiWfa => {
-            biwfa_sim(machine, p, t, alphabet, tier)
-                .expect("biwfa sim")
-                .stats
-        }
-        Algo::Ss => {
-            ss_sim(machine, p, t, alphabet, ss_threshold, tier)
-                .expect("ss sim")
-                .stats
-        }
+    let outcome = match algo {
+        Algo::Wfa => unwrap_wfa(wfa_sim(machine, p, t, alphabet, tier))?,
+        Algo::BiWfa => unwrap_wfa(biwfa_sim(machine, p, t, alphabet, tier))?,
+        Algo::Ss => ss_sim(machine, p, t, alphabet, ss_threshold, tier)?,
         Algo::Sw => {
             let (pw, tw) = (windowed(p, SW_WINDOW), windowed(t, SW_WINDOW));
             swg_sim(
@@ -294,17 +330,14 @@ pub fn simulate_pair<P: Probe>(
                 LinearCosts::UNIT,
                 default_band(pw.len()),
                 tier,
-            )
-            .expect("sw sim")
-            .stats
+            )?
         }
         Algo::Nw => {
             let (pw, tw) = (windowed(p, NW_WINDOW), windowed(t, NW_WINDOW));
-            nw_sim(machine, pw, tw, LinearCosts::UNIT, tier)
-                .expect("nw sim")
-                .stats
+            nw_sim(machine, pw, tw, LinearCosts::UNIT, tier)?
         }
-    }
+    };
+    Ok(outcome.stats)
 }
 
 /// Base pairs processed by one run of `algo` over `wl` (for throughput

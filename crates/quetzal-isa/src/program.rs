@@ -48,6 +48,28 @@ impl Program {
         self.insts[pc]
     }
 
+    /// Instruction at `pc`, or `None` when `pc` is outside the program
+    /// — the fallible fetch used by the simulator so a truncated image
+    /// or corrupted branch target becomes a typed decode fault.
+    pub fn get(&self, pc: usize) -> Option<Instruction> {
+        self.insts.get(pc).copied()
+    }
+
+    /// Builds a program directly from raw instructions, bypassing the
+    /// builder's structural validation (trailing-`halt` check, label
+    /// resolution). Exists for fault injection: truncated and mutated
+    /// images are *supposed* to be malformed, and the simulator must
+    /// turn them into typed `SimError`s rather than rely on builder
+    /// guarantees. Gets a fresh process-unique identity like any built
+    /// program.
+    pub fn from_raw(insts: Vec<Instruction>, name: impl Into<String>) -> Program {
+        Program {
+            insts,
+            name: name.into(),
+            id: NEXT_PROGRAM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.insts.len()

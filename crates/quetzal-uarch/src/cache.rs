@@ -179,8 +179,10 @@ impl MemSystem {
         cycle: u64,
         stats: &mut RunStats,
     ) -> u64 {
+        // Saturating end address: a guest access at the top of the
+        // address space must not wrap `last` below `first`.
         let first = self.l1.line_of(addr);
-        let last = self.l1.line_of(addr + size.max(1) as u64 - 1);
+        let last = self.l1.line_of(addr.saturating_add(size.max(1) as u64 - 1));
         let mut done = cycle;
         for line in first..=last {
             let t = self.access_line(line, cycle, stats);

@@ -20,6 +20,13 @@ use quetzal_isa::{
 };
 
 /// Errors raised during simulation.
+///
+/// Every variant carries enough context to locate the faulting dynamic
+/// instruction. This is the complete *guest-visible* failure taxonomy:
+/// anything a guest program can trigger surfaces as one of these, never
+/// as a panic (the fault-injection sweep in `tests/fault_injection.rs`
+/// enforces that). True simulator-internal invariants stay
+/// `debug_assert!`s; see DESIGN.md "Failure model & fault injection".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The instruction budget was exhausted (runaway kernel loop).
@@ -27,10 +34,50 @@ pub enum SimError {
         /// The configured budget.
         budget: u64,
     },
+    /// The timing-side cycle watchdog fired: the clock advanced past the
+    /// configured cycle budget. Distinct from [`SimError::InstLimit`] —
+    /// this catches a *timing-model* livelock (pathological structural
+    /// stalls) even when the retired-instruction count stays small.
+    CycleLimit {
+        /// The configured cycle budget.
+        budget: u64,
+    },
     /// `qzconf` was executed with an invalid element-size field.
     InvalidQzConf {
         /// The offending `Esiz` value.
         esiz: u64,
+        /// Program counter of the instruction.
+        pc: usize,
+    },
+    /// The program counter left the program: sequential execution fell
+    /// off the end, or a corrupted branch/jump target pointed outside
+    /// the instruction stream (truncated or mutated program image).
+    DecodeError {
+        /// The out-of-range program counter.
+        pc: usize,
+    },
+    /// A lane index encoded in the instruction is out of range for its
+    /// element size (`vextract`/`vinsert` with `lane >= lanes(esize)`).
+    InvalidRegister {
+        /// The offending lane index.
+        index: u8,
+        /// Program counter of the instruction.
+        pc: usize,
+    },
+    /// A store touched more distinct memory pages than the simulated
+    /// memory's page budget allows — the guest scribbled over an
+    /// adversarial address range instead of its staged working set.
+    MemoryFault {
+        /// The faulting (first unmappable) address.
+        addr: u64,
+        /// Program counter of the instruction.
+        pc: usize,
+    },
+    /// `qzencode` was executed with an element index that violates the
+    /// configured encoding's alignment contract.
+    QBufferIndexOutOfRange {
+        /// The offending element index.
+        idx: u64,
         /// Program counter of the instruction.
         pc: usize,
     },
@@ -42,8 +89,29 @@ impl std::fmt::Display for SimError {
             SimError::InstLimit { budget } => {
                 write!(f, "instruction budget of {budget} exhausted")
             }
+            SimError::CycleLimit { budget } => {
+                write!(f, "cycle budget of {budget} exhausted (timing watchdog)")
+            }
             SimError::InvalidQzConf { esiz, pc } => {
                 write!(f, "invalid qzconf element size {esiz} at pc {pc}")
+            }
+            SimError::DecodeError { pc } => {
+                write!(f, "program counter {pc} outside program")
+            }
+            SimError::InvalidRegister { index, pc } => {
+                write!(f, "lane index {index} out of range at pc {pc}")
+            }
+            SimError::MemoryFault { addr, pc } => {
+                write!(
+                    f,
+                    "memory fault at address {addr:#x} (pc {pc}): page budget exceeded"
+                )
+            }
+            SimError::QBufferIndexOutOfRange { idx, pc } => {
+                write!(
+                    f,
+                    "qbuffer element index {idx} invalid for configured encoding at pc {pc}"
+                )
             }
         }
     }
@@ -203,7 +271,11 @@ fn execute_impl(
         if executed >= budget {
             return Err(SimError::InstLimit { budget });
         }
-        let inst = program.fetch(pc);
+        // Fallible fetch: a truncated program image or a corrupted
+        // branch target surfaces as a typed decode fault, not a panic.
+        let Some(inst) = program.get(pc) else {
+            return Err(SimError::DecodeError { pc });
+        };
         executed += 1;
         d.reset(pc);
         let mut next_pc = pc + 1;
@@ -236,7 +308,13 @@ fn execute_impl(
                 size,
             } => {
                 let addr = state.x(rn).wrapping_add_signed(offset);
-                state.mem.write_le(addr, state.x(rs), size.bytes());
+                if state
+                    .mem
+                    .try_write_le(addr, state.x(rs), size.bytes())
+                    .is_err()
+                {
+                    return Err(SimError::MemoryFault { addr, pc });
+                }
                 d.mem.push((addr, size.bytes() as u32));
             }
             Instruction::Branch {
@@ -279,7 +357,8 @@ fn execute_impl(
             } => {
                 let start = state.x(rn) as i64;
                 for i in 0..esize.lanes() {
-                    state.set_v_elem(vd, i, esize, truncate(start + step * i as i64, esize));
+                    let v = start.wrapping_add(step.wrapping_mul(i as i64));
+                    state.set_v_elem(vd, i, esize, truncate(v, esize));
                 }
             }
             Instruction::VAluVV {
@@ -372,9 +451,8 @@ fn execute_impl(
                 let base = state.x(rn);
                 for i in 0..esize.lanes() {
                     let v = if state.lane_active(pg, i, esize) {
-                        state
-                            .mem
-                            .read_le(base + (i * esize.bytes()) as u64, esize.bytes())
+                        let addr = base.wrapping_add((i * esize.bytes()) as u64);
+                        state.mem.read_le(addr, esize.bytes())
                     } else {
                         0
                     };
@@ -392,9 +470,8 @@ fn execute_impl(
                 let base = state.x(rn);
                 for i in 0..esize.lanes() {
                     let v = if state.lane_active(pg, i, esize) {
-                        state
-                            .mem
-                            .read_le(base + (i * msize.bytes()) as u64, msize.bytes())
+                        let addr = base.wrapping_add((i * msize.bytes()) as u64);
+                        state.mem.read_le(addr, msize.bytes())
                     } else {
                         0
                     };
@@ -407,9 +484,10 @@ fn execute_impl(
                 for i in 0..esize.lanes() {
                     if state.lane_active(pg, i, esize) {
                         let v = state.v_elem(vs, i, esize);
-                        state
-                            .mem
-                            .write_le(base + (i * esize.bytes()) as u64, v, esize.bytes());
+                        let addr = base.wrapping_add((i * esize.bytes()) as u64);
+                        if state.mem.try_write_le(addr, v, esize.bytes()).is_err() {
+                            return Err(SimError::MemoryFault { addr, pc });
+                        }
                     }
                 }
                 d.mem.push((base, VLEN_BYTES as u32));
@@ -450,9 +528,13 @@ fn execute_impl(
                     if state.lane_active(pg, i, esize) {
                         let off = state.v_elem_i64(idx, i, esize);
                         let addr = base.wrapping_add_signed(off.wrapping_mul(scale as i64));
-                        state
+                        if state
                             .mem
-                            .write_le(addr, state.v_elem(vs, i, esize), msize.bytes());
+                            .try_write_le(addr, state.v_elem(vs, i, esize), msize.bytes())
+                            .is_err()
+                        {
+                            return Err(SimError::MemoryFault { addr, pc });
+                        }
                         d.mem.push((addr, msize.bytes() as u32));
                     }
                 }
@@ -489,6 +571,9 @@ fn execute_impl(
                 lane,
                 esize,
             } => {
+                if lane as usize >= esize.lanes() {
+                    return Err(SimError::InvalidRegister { index: lane, pc });
+                }
                 let v = state.v_elem(vn, lane as usize, esize);
                 state.set_x(rd, v);
             }
@@ -498,6 +583,9 @@ fn execute_impl(
                 lane,
                 esize,
             } => {
+                if lane as usize >= esize.lanes() {
+                    return Err(SimError::InvalidRegister { index: lane, pc });
+                }
                 let v = state.x(rn);
                 state.set_v_elem(vd, lane as usize, esize, v);
             }
@@ -564,7 +652,10 @@ fn execute_impl(
             Instruction::QzEncode { sel, val, idx } => {
                 let chars = *state.v(val);
                 let at = state.x(idx);
-                d.qz_latency = state.qz.encode(sel.index(), &chars, at);
+                match state.qz.encode(sel.index(), &chars, at) {
+                    Ok(lat) => d.qz_latency = lat,
+                    Err(_) => return Err(SimError::QBufferIndexOutOfRange { idx: at, pc }),
+                }
             }
             Instruction::QzStore { val, idx, sel, pg } => {
                 let mut buf = [(0u64, 0u64); LANES_64];
@@ -636,6 +727,12 @@ fn execute_impl(
         }
 
         sink.retire(&uop_of(pc, &inst), d);
+        // Timing-side watchdog: the sink reports when its clock passed
+        // the configured cycle budget (see [`SimError::CycleLimit`]).
+        // Checked after retire so the clock reflects this instruction.
+        if let Some(cycles) = sink.cycle_budget_exceeded() {
+            return Err(SimError::CycleLimit { budget: cycles });
+        }
         pc = next_pc;
     }
 }
@@ -741,6 +838,15 @@ impl<P: Probe> Core<P> {
     /// Sets the per-run instruction budget (runaway-loop guard).
     pub fn set_budget(&mut self, budget: u64) {
         self.budget = budget;
+    }
+
+    /// Sets the timing-side cycle watchdog: a timed run whose clock
+    /// passes `cycles` terminates with [`SimError::CycleLimit`]. Only
+    /// meaningful for timed runs — functional runs have no clock.
+    /// Defaults to effectively unlimited; [`reset`](Core::reset)
+    /// restores the default.
+    pub fn set_cycle_budget(&mut self, cycles: u64) {
+        self.timing.set_cycle_budget(cycles);
     }
 
     /// Runs a program with full timing; returns this run's statistics.
@@ -1063,6 +1169,138 @@ mod tests {
         assert!(matches!(
             c.run(&p),
             Err(SimError::InvalidQzConf { esiz: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_program_is_a_decode_error() {
+        // `from_raw` bypasses the builder's trailing-halt validation:
+        // execution runs off the end and must fault, not panic.
+        let p = Program::from_raw(vec![Instruction::MovImm { rd: X0, imm: 1 }], "truncated");
+        let mut c = core();
+        assert!(matches!(c.run(&p), Err(SimError::DecodeError { pc: 1 })));
+    }
+
+    #[test]
+    fn corrupted_branch_target_is_a_decode_error() {
+        let p = Program::from_raw(
+            vec![Instruction::Jump { target: 99 }, Instruction::Halt],
+            "bad-target",
+        );
+        let mut c = core();
+        assert!(matches!(c.run(&p), Err(SimError::DecodeError { pc: 99 })));
+    }
+
+    #[test]
+    fn out_of_range_lane_is_an_error() {
+        let p = Program::from_raw(
+            vec![
+                Instruction::VExtract {
+                    rd: X0,
+                    vn: V0,
+                    lane: 60,
+                    esize: ElemSize::B64, // only 8 lanes
+                },
+                Instruction::Halt,
+            ],
+            "bad-lane",
+        );
+        let mut c = core();
+        assert!(matches!(
+            c.run(&p),
+            Err(SimError::InvalidRegister { index: 60, pc: 0 })
+        ));
+        let p = Program::from_raw(
+            vec![
+                Instruction::VInsert {
+                    vd: V0,
+                    rn: X0,
+                    lane: 200,
+                    esize: ElemSize::B8,
+                },
+                Instruction::Halt,
+            ],
+            "bad-lane-insert",
+        );
+        assert!(matches!(
+            c.run(&p),
+            Err(SimError::InvalidRegister { index: 200, pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn misaligned_qzencode_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 64).mov_imm(X1, 64).mov_imm(X2, 0);
+        b.qzconf(X0, X1, X2); // 2-bit mode: encode index must be 32-aligned
+        b.mov_imm(X3, 7);
+        b.qzencode(QBufSel::Q0, V0, X3);
+        b.halt();
+        let mut c = core();
+        let p = b.build().unwrap();
+        assert!(matches!(
+            c.run(&p),
+            Err(SimError::QBufferIndexOutOfRange { idx: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn page_budget_turns_wild_stores_into_memory_fault() {
+        // Stride-64KiB stores touch a fresh page each iteration; a small
+        // page budget turns the spree into a typed fault instead of
+        // letting a corrupted kernel eat host memory.
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 0);
+        b.mov_imm(X1, 0x5A);
+        let top = b.label();
+        b.bind(top);
+        b.store(X1, X0, 0, MemSize::B8);
+        b.alu_ri(SAluOp::Add, X0, X0, 1 << 16);
+        b.jump(top);
+        b.halt();
+        let mut c = core();
+        c.state_mut().mem.set_page_budget(16);
+        let p = b.build().unwrap();
+        assert!(matches!(c.run(&p), Err(SimError::MemoryFault { .. })));
+        // Reset restores the default budget: the same core afterwards
+        // hits the *instruction* budget instead, proving the fault came
+        // from the lowered page budget and cold-boot is complete.
+        c.reset();
+        c.set_budget(10_000);
+        assert!(matches!(c.run(&p), Err(SimError::InstLimit { .. })));
+    }
+
+    #[test]
+    fn cycle_watchdog_stops_timing_livelock() {
+        // Pathological store-ring schedule: every load misaligned-
+        // overlaps the store before it, so each one fails to forward,
+        // replays through the load ports and pays the forwarding
+        // penalty — cycles per instruction far above normal. The
+        // instruction budget would let this grind on for ages; the
+        // cycle watchdog terminates it with a *typed* error.
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 0x1000);
+        b.mov_imm(X1, 0xFF);
+        let top = b.label();
+        b.bind(top);
+        b.store(X1, X0, 0, MemSize::B8);
+        b.load(X2, X0, 2, MemSize::B2); // misaligned overlap -> replay
+        b.jump(top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut c = core();
+        c.set_cycle_budget(10_000);
+        assert!(matches!(
+            c.run(&p),
+            Err(SimError::CycleLimit { budget: 10_000 })
+        ));
+        // Distinct from InstLimit: without the cycle watchdog the same
+        // program runs until the instruction budget fires.
+        c.reset();
+        c.set_budget(1_000);
+        assert!(matches!(
+            c.run(&p),
+            Err(SimError::InstLimit { budget: 1_000 })
         ));
     }
 

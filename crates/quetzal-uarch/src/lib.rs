@@ -42,6 +42,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Guest-reachable paths must return typed errors, never unwrap (see
+// DESIGN.md "Failure model & fault injection"); tests are exempt.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cache;
 pub mod config;
 pub mod interp;

@@ -65,6 +65,15 @@ pub trait ExecSink {
     /// [`crate::predecode`]); `dyn_inst` carries the dynamic facts of
     /// this execution.
     fn retire(&mut self, uop: &MicroOp, dyn_inst: &DynInst);
+
+    /// Timing-side watchdog hook, polled by the interpreter after every
+    /// retire. Returns `Some(budget)` once the sink's clock has advanced
+    /// past its configured cycle budget, terminating the run with
+    /// [`SimError::CycleLimit`](crate::interp::SimError::CycleLimit).
+    /// Sinks without a clock (the default) never fire.
+    fn cycle_budget_exceeded(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A sink that discards timing (pure functional execution).
@@ -152,6 +161,8 @@ pub struct OooTiming<P: Probe = NullProbe> {
     commit_cycle: u64,
     commit_slots: u64,
     run_start_cycle: u64,
+    /// Per-run cycle watchdog (see [`ExecSink::cycle_budget_exceeded`]).
+    cycle_budget: u64,
     // Branch predictor: 2-bit saturating counters (fixed table, boxed
     // so `OooTiming` itself stays small and clones stay cheap-ish).
     bpred: Box<[u8; BPRED_ENTRIES]>,
@@ -171,10 +182,12 @@ impl<P: Probe> OooTiming<P> {
     pub fn with_probe(cfg: CoreConfig, probe: P) -> OooTiming<P> {
         let mem = MemSystem::new(&cfg);
         OooTiming {
-            fu_scalar: vec![0; cfg.scalar_alus],
-            fu_vector: vec![0; cfg.vector_fus],
-            load_ports: vec![0; cfg.load_ports],
-            store_ports: vec![0; cfg.store_ports],
+            // A zero-width pool in a hand-built config would deadlock
+            // allocation; clamp to one unit so any config simulates.
+            fu_scalar: vec![0; cfg.scalar_alus.max(1)],
+            fu_vector: vec![0; cfg.vector_fus.max(1)],
+            load_ports: vec![0; cfg.load_ports.max(1)],
+            store_ports: vec![0; cfg.store_ports.max(1)],
             gather_pipe: 0,
             qz_port: 0,
             mem,
@@ -189,6 +202,7 @@ impl<P: Probe> OooTiming<P> {
             commit_cycle: 0,
             commit_slots: 0,
             run_start_cycle: 0,
+            cycle_budget: u64::MAX,
             bpred: Box::new([1u8; BPRED_ENTRIES]),
             stats: RunStats::default(),
             probe,
@@ -239,6 +253,14 @@ impl<P: Probe> OooTiming<P> {
         self.commit_cycle
     }
 
+    /// Sets the per-run cycle watchdog: once the clock advances more
+    /// than `cycles` past the run start, the interpreter terminates the
+    /// run with a typed `CycleLimit` error. Defaults to `u64::MAX`
+    /// (effectively off); [`reset`](OooTiming::reset) restores that.
+    pub fn set_cycle_budget(&mut self, cycles: u64) {
+        self.cycle_budget = cycles;
+    }
+
     /// Cold-boots the engine in place: clock back to zero, pipeline and
     /// predictor state cleared, caches invalidated. Timing-equivalent
     /// to a freshly built engine while reusing every allocation (FU
@@ -263,18 +285,27 @@ impl<P: Probe> OooTiming<P> {
         self.commit_cycle = 0;
         self.commit_slots = 0;
         self.run_start_cycle = 0;
+        self.cycle_budget = u64::MAX;
         self.bpred.fill(1);
         self.stats = RunStats::default();
     }
 
     fn alloc_unit(units: &mut [u64], at: u64, busy: u64) -> u64 {
-        let (best, _) = units
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .expect("at least one unit");
-        let start = units[best].max(at);
-        units[best] = start + busy;
+        // Manual min-scan: pool vectors are never empty (constructors
+        // clamp widths to >= 1), so `best` always lands on a real slot;
+        // an unexpectedly empty pool issues at `at` instead of panicking.
+        let mut best = 0;
+        for (i, &t) in units.iter().enumerate() {
+            if t < units[best] {
+                best = i;
+            }
+        }
+        let Some(slot) = units.get_mut(best) else {
+            debug_assert!(false, "empty functional-unit pool");
+            return at;
+        };
+        let start = (*slot).max(at);
+        *slot = start + busy;
         start
     }
 
@@ -282,8 +313,11 @@ impl<P: Probe> OooTiming<P> {
         let mut floor = self.fetch_resume;
         if self.rob.len() >= self.cfg.rob_size {
             // Oldest in-flight instruction must commit to free a slot.
-            let oldest = self.rob.pop_front().expect("rob nonempty");
-            floor = floor.max(oldest);
+            // `rob_size >= 1` makes the deque nonempty here, but a pop on
+            // an empty deque is just "no backpressure", not a crash.
+            if let Some(oldest) = self.rob.pop_front() {
+                floor = floor.max(oldest);
+            }
         }
         if floor > self.front_cycle {
             self.front_cycle = floor;
@@ -367,7 +401,10 @@ impl<P: Probe> OooTiming<P> {
         let mut floor = 0;
         let mut replay = false;
         for &(sa, ss, done) in self.store_buffer.entries() {
-            let overlap = addr < sa + ss as u64 && sa < addr + size as u64;
+            // Saturating ends: guest addresses can sit at the top of the
+            // address space, and a wrapped end would miss the overlap.
+            let overlap =
+                addr < sa.saturating_add(ss as u64) && sa < addr.saturating_add(size as u64);
             if !overlap {
                 continue;
             }
@@ -387,11 +424,23 @@ impl<P: Probe> OooTiming<P> {
     }
 
     /// Compute-unit pool selected by the predecoded [`FuClass`].
+    ///
+    /// Only `Scalar` and `Vector` name shared pools; the other classes
+    /// (load/store ports, gather pipe, QZ port) are dedicated resources
+    /// the retire arms address directly, and `MicroOp::decode`'s
+    /// `fu_of` mapping only assigns `Scalar`/`Vector` to the compute
+    /// classes that reach this function — provably unreachable from any
+    /// `Program`, however corrupted, so this is an internal invariant
+    /// (`debug_assert!`), not a guest-reachable fault. The release
+    /// fallback routes to the scalar pool rather than aborting.
     fn compute_pool(&mut self, fu: FuClass) -> &mut [u64] {
         match fu {
             FuClass::Scalar => &mut self.fu_scalar,
             FuClass::Vector => &mut self.fu_vector,
-            _ => unreachable!("not a shared compute pool: {fu:?}"),
+            _ => {
+                debug_assert!(false, "not a shared compute pool: {fu:?}");
+                &mut self.fu_scalar
+            }
         }
     }
 
@@ -409,6 +458,10 @@ impl<P: Probe> OooTiming<P> {
 }
 
 impl<P: Probe> ExecSink for OooTiming<P> {
+    fn cycle_budget_exceeded(&self) -> Option<u64> {
+        (self.commit_cycle - self.run_start_cycle > self.cycle_budget).then_some(self.cycle_budget)
+    }
+
     fn retire(&mut self, uop: &MicroOp, d: &DynInst) {
         let class = uop.class;
         let dispatched = self.dispatch();

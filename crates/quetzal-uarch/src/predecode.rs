@@ -204,7 +204,10 @@ impl PredecodeRegistry {
     /// Returns the shared table for `program`, decoding it on first
     /// sight (under the lock; decode is cheap relative to simulation).
     pub fn get_or_decode(&self, program: &Program) -> std::sync::Arc<Predecode> {
-        let mut map = self.map.lock().expect("predecode registry poisoned");
+        // Poison recovery: predecode tables are pure functions of an
+        // immutable program, so a panic elsewhere cannot have left the
+        // map inconsistent — a healthy shard keeps going.
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
         if map.len() >= DecodeCache::CAPACITY && !map.contains_key(&program.id()) {
             map.clear();
         }
@@ -215,7 +218,7 @@ impl PredecodeRegistry {
 
     /// Number of distinct programs currently registered.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("predecode registry poisoned").len()
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether the registry holds no programs.

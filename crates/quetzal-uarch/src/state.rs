@@ -8,19 +8,68 @@ use std::collections::HashMap;
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 
+/// Default resident-page budget: 2^16 pages = 256 MiB of simulated
+/// memory — far above any workload in the repo, far below what an
+/// adversarial scatter across the 64-bit address space could otherwise
+/// force the *host* to allocate.
+pub const DEFAULT_PAGE_BUDGET: usize = 1 << 16;
+
+/// A write needed a new page beyond the resident-page budget. Surfaced
+/// by the interpreter as [`SimError::MemoryFault`](crate::SimError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageBudgetExceeded;
+
 /// Sparse, paged, byte-addressable simulated memory.
 ///
 /// Unwritten memory reads as zero — convenient for buffers that
-/// algorithms initialise lazily.
-#[derive(Debug, Clone, Default)]
+/// algorithms initialise lazily. The number of resident pages is capped
+/// ([`DEFAULT_PAGE_BUDGET`]): guest writes that would exceed the cap
+/// fail with [`PageBudgetExceeded`] instead of growing host memory
+/// without bound.
+#[derive(Debug, Clone)]
 pub struct SimMemory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    page_budget: usize,
+}
+
+impl Default for SimMemory {
+    fn default() -> SimMemory {
+        SimMemory {
+            pages: HashMap::new(),
+            page_budget: DEFAULT_PAGE_BUDGET,
+        }
+    }
 }
 
 impl SimMemory {
     /// Creates an empty memory.
     pub fn new() -> SimMemory {
         SimMemory::default()
+    }
+
+    /// Sets the resident-page budget (tests and fault-injection harnesses
+    /// lower it to keep adversarial cases cheap).
+    pub fn set_page_budget(&mut self, pages: usize) {
+        self.page_budget = pages;
+    }
+
+    /// The page a write to `addr` lands in, allocating it if the budget
+    /// allows.
+    fn page_for_write(
+        &mut self,
+        addr: u64,
+    ) -> Result<&mut Box<[u8; PAGE_SIZE]>, PageBudgetExceeded> {
+        use std::collections::hash_map::Entry;
+        let resident = self.pages.len();
+        match self.pages.entry(addr >> PAGE_BITS) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(v) => {
+                if resident >= self.page_budget {
+                    return Err(PageBudgetExceeded);
+                }
+                Ok(v.insert(Box::new([0u8; PAGE_SIZE])))
+            }
+        }
     }
 
     /// Reads one byte.
@@ -31,13 +80,27 @@ impl SimMemory {
         }
     }
 
-    /// Writes one byte.
-    pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+    /// Writes one byte, failing if it needs a page beyond the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageBudgetExceeded`] when the write would allocate a
+    /// page past the resident cap.
+    pub fn try_write_u8(&mut self, addr: u64, value: u8) -> Result<(), PageBudgetExceeded> {
+        let page = self.page_for_write(addr)?;
         page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+        Ok(())
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resident-page budget is exceeded (host-staging API;
+    /// guest writes go through [`try_write_u8`](Self::try_write_u8)).
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.try_write_u8(addr, value)
+            .expect("simulated memory page budget exceeded");
     }
 
     /// Reads `n ≤ 8` bytes little-endian, zero-extended.
@@ -58,10 +121,12 @@ impl SimMemory {
             }
             v
         } else {
-            // Page-straddling access: per-byte slow path.
+            // Page-straddling access: per-byte slow path. Wrapping
+            // address arithmetic: an access at the top of the 64-bit
+            // space wraps around, like the hardware bus would.
             let mut v = 0u64;
             for i in 0..n {
-                v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+                v |= (self.read_u8(addr.wrapping_add(i as u64)) as u64) << (8 * i);
             }
             v
         }
@@ -69,25 +134,48 @@ impl SimMemory {
 
     /// Writes the low `n ≤ 8` bytes of `value` little-endian (single
     /// page lookup when the access stays within one page).
-    pub fn write_le(&mut self, addr: u64, value: u64, n: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageBudgetExceeded`] when the write would allocate a
+    /// page past the resident cap.
+    pub fn try_write_le(
+        &mut self,
+        addr: u64,
+        value: u64,
+        n: usize,
+    ) -> Result<(), PageBudgetExceeded> {
         debug_assert!(n <= 8);
         let off = (addr as usize) & (PAGE_SIZE - 1);
         if off + n <= PAGE_SIZE {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_BITS)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let page = self.page_for_write(addr)?;
             for (i, b) in page[off..off + n].iter_mut().enumerate() {
                 *b = (value >> (8 * i)) as u8;
             }
         } else {
             for i in 0..n {
-                self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+                self.try_write_u8(addr.wrapping_add(i as u64), (value >> (8 * i)) as u8)?;
             }
         }
+        Ok(())
+    }
+
+    /// Writes the low `n ≤ 8` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resident-page budget is exceeded (host-staging API;
+    /// guest writes go through [`try_write_le`](Self::try_write_le)).
+    pub fn write_le(&mut self, addr: u64, value: u64, n: usize) {
+        self.try_write_le(addr, value, n)
+            .expect("simulated memory page budget exceeded");
     }
 
     /// Copies a byte slice into memory, page by page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resident-page budget is exceeded (host-staging API).
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
         let mut addr = addr;
         let mut rest = bytes;
@@ -95,12 +183,11 @@ impl SimMemory {
             let off = (addr as usize) & (PAGE_SIZE - 1);
             let chunk = rest.len().min(PAGE_SIZE - off);
             let page = self
-                .pages
-                .entry(addr >> PAGE_BITS)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                .page_for_write(addr)
+                .expect("simulated memory page budget exceeded");
             page[off..off + chunk].copy_from_slice(&rest[..chunk]);
             rest = &rest[chunk..];
-            addr += chunk as u64;
+            addr = addr.wrapping_add(chunk as u64);
         }
     }
 
@@ -115,7 +202,7 @@ impl SimMemory {
                 Some(p) => out.extend_from_slice(&p[off..off + chunk]),
                 None => out.resize(out.len() + chunk, 0),
             }
-            addr += chunk as u64;
+            addr = addr.wrapping_add(chunk as u64);
         }
         out
     }
@@ -169,12 +256,14 @@ impl ArchState {
     /// Zeroes registers, memory and the accelerator in place. A reset
     /// state is architecturally indistinguishable from
     /// `ArchState::new(self.qz.config())` — the machine-pool
-    /// equivalence test pins this.
+    /// equivalence test pins this. The memory page budget returns to its
+    /// default, like every other per-run knob.
     pub fn reset(&mut self) {
         self.x = [0; 32];
         self.v = [[0; VLEN_BYTES]; 32];
         self.p = [0; 16];
         self.mem.clear();
+        self.mem.set_page_budget(DEFAULT_PAGE_BUDGET);
         self.qz.reset();
     }
 

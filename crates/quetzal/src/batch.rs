@@ -29,6 +29,21 @@
 //! experiment harness (`quetzal-bench`) relies on it: speedup tables
 //! must be byte-identical between `QUETZAL_THREADS=1` and `=N` runs.
 //!
+//! # Graceful degradation
+//!
+//! The `*_report` entry points ([`run_report`](BatchRunner::run_report),
+//! [`run_machines_report`](BatchRunner::run_machines_report)) add a
+//! fault boundary *per item*: a work closure that returns a typed
+//! [`SimError`] or panics costs only its own item, not the shard or the
+//! batch. The failing item is retried once on a brand-new (non-pooled)
+//! context; the outcome lands in a [`RunReport`] whose `failures` list
+//! is ordered by item index and independent of the thread count, while
+//! every healthy item's result stays bit-identical to a fault-free run.
+//! A machine that was live during a failure is **quarantined** — moved
+//! to a kill list and never returned to the pool — because a panic may
+//! have unwound mid-simulation and [`Machine::reset`]'s cold-boot
+//! guarantee is only pinned for machines that completed their runs.
+//!
 //! ```
 //! use quetzal::{BatchRunner, Machine, MachineConfig};
 //!
@@ -40,23 +55,114 @@
 //! assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
 //! ```
 
-use crate::{Machine, MachineConfig, PredecodeRegistry};
+use crate::{Machine, MachineConfig, PredecodeRegistry, SimError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Shard context of [`BatchRunner::run_machines`]: a machine checked
-/// out of the run's pool, returned on drop (including on shard panic —
-/// the next checkout resets it back to cold-boot state).
+/// Best-effort panic payload extraction.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Locks a pool list, ignoring lock poisoning: the lists are only ever
+/// pushed to / popped from, and a panic cannot unwind mid-`Vec`
+/// operation in a way that leaves the list structurally broken.
+fn lock(list: &Mutex<Vec<Machine>>) -> std::sync::MutexGuard<'_, Vec<Machine>> {
+    list.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The per-run machine pool behind [`BatchRunner::run_machines`] and
+/// [`BatchRunner::run_machines_report`].
+///
+/// Machines are recycled through `free` (reset-on-checkout), except
+/// machines that were live during a panic or a failed item: those are
+/// moved to `quarantine` and never handed out again — a machine that
+/// unwound mid-run may violate the invariants [`Machine::reset`]
+/// assumes, and a machine involved in a fault is cheaper to replace
+/// than to prove clean.
+struct MachinePool<'a> {
+    config: &'a MachineConfig,
+    registry: PredecodeRegistry,
+    free: Mutex<Vec<Machine>>,
+    quarantine: Mutex<Vec<Machine>>,
+}
+
+impl<'a> MachinePool<'a> {
+    fn new(config: &'a MachineConfig) -> MachinePool<'a> {
+        MachinePool {
+            config,
+            registry: PredecodeRegistry::new(),
+            free: Mutex::new(Vec::new()),
+            quarantine: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A brand-new machine (never pooled) sharing the run's predecode
+    /// registry.
+    fn fresh(&self) -> Machine {
+        let mut machine = Machine::new(self.config.clone());
+        machine.set_predecode_registry(self.registry.clone());
+        machine
+    }
+
+    /// Checks a machine out of the free list (reset to cold-boot
+    /// state), or builds a fresh one if the list is empty.
+    fn checkout(&'a self) -> PooledMachine<'a> {
+        let machine = match lock(&self.free).pop() {
+            Some(mut machine) => {
+                machine.reset();
+                machine
+            }
+            None => self.fresh(),
+        };
+        PooledMachine {
+            machine: Some(machine),
+            pool: self,
+        }
+    }
+}
+
+/// Shard context of the machine-pooled entry points: a machine checked
+/// out of the run's pool. On drop it returns to the free list — unless
+/// the thread is unwinding, in which case it is quarantined (a panic
+/// mid-[`Machine::run`] leaves state `reset` is not pinned against).
 struct PooledMachine<'a> {
     machine: Option<Machine>,
-    pool: &'a Mutex<Vec<Machine>>,
+    pool: &'a MachinePool<'a>,
+}
+
+impl PooledMachine<'_> {
+    fn machine(&mut self) -> &mut Machine {
+        self.machine.as_mut().expect("checked-out machine")
+    }
+
+    /// Quarantines the current machine and installs a brand-new one —
+    /// the fault-recovery path: never re-pool a machine that was live
+    /// during a failure.
+    fn replace_with_fresh(&mut self) {
+        if let Some(old) = self.machine.take() {
+            lock(&self.pool.quarantine).push(old);
+        }
+        self.machine = Some(self.pool.fresh());
+    }
 }
 
 impl Drop for PooledMachine<'_> {
     fn drop(&mut self) {
-        if let (Some(machine), Ok(mut pool)) = (self.machine.take(), self.pool.lock()) {
-            pool.push(machine);
+        let Some(machine) = self.machine.take() else {
+            return;
+        };
+        if std::thread::panicking() {
+            lock(&self.pool.quarantine).push(machine);
+        } else {
+            lock(&self.pool.free).push(machine);
         }
     }
 }
@@ -90,6 +196,85 @@ impl std::fmt::Display for BatchError {
 }
 
 impl std::error::Error for BatchError {}
+
+/// Why a single batch item failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The work closure returned a typed simulation error.
+    Sim(SimError),
+    /// The work closure panicked; the payload, if it was a string.
+    Panic(String),
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Sim(e) => write!(f, "simulation error: {e}"),
+            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// One failed item of a [`RunReport`]. The recorded cause is the *first*
+/// attempt's failure; `recovered` says whether the retry on a fresh
+/// context produced a result after all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemFailure {
+    /// Index of the failing item in the input slice.
+    pub item: usize,
+    /// What the first attempt died of.
+    pub cause: FailureCause,
+    /// `true` if the one retry on a brand-new context succeeded (the
+    /// item's result is present despite the failure entry).
+    pub recovered: bool,
+}
+
+impl std::fmt::Display for ItemFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "item {}: {}{}",
+            self.item,
+            self.cause,
+            if self.recovered {
+                " (recovered on retry)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Partial results of a fault-tolerant batch run: one result slot per
+/// input item (`None` where the item failed twice), plus the failure
+/// log ordered by item index.
+///
+/// Both halves are deterministic: healthy items are bit-identical to a
+/// fault-free run at any thread count, and `failures` depends only on
+/// the items, never on scheduling.
+#[derive(Debug, Clone)]
+pub struct RunReport<R> {
+    /// Per-item results, in item order; `None` iff the item failed and
+    /// the retry failed too.
+    pub results: Vec<Option<R>>,
+    /// All failures (including recovered ones), ordered by item index.
+    pub failures: Vec<ItemFailure>,
+}
+
+impl<R> RunReport<R> {
+    /// `true` if every item produced a result on its first attempt.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The healthy results with their item indices.
+    pub fn healthy(&self) -> impl Iterator<Item = (usize, &R)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+    }
+}
 
 /// Deterministic parallel executor for slices of independent work items.
 ///
@@ -184,15 +369,7 @@ impl BatchRunner {
                     .map(|i| work(&mut ctx, i, &items[i]))
                     .collect::<Vec<R>>()
             }))
-            .map_err(|payload| {
-                if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                }
-            })
+            .map_err(panic_message)
         };
 
         let workers = self.threads.min(shard_count.max(1));
@@ -249,6 +426,12 @@ impl BatchRunner {
     ///   kernel program is decoded once per run, not once per shard
     ///   (sound because predecode is a pure function of the program).
     ///
+    /// A shard whose work closure panics quarantines its machine (the
+    /// machine is *not* returned to the pool — unwinding mid-run leaves
+    /// state `reset` is not pinned against) and the batch fails with
+    /// [`BatchError`]; for per-item fault tolerance use
+    /// [`run_machines_report`](Self::run_machines_report).
+    ///
     /// # Errors
     ///
     /// Returns [`BatchError`] if any shard panicked.
@@ -262,35 +445,134 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
-        let registry = PredecodeRegistry::new();
-        let pool: Mutex<Vec<Machine>> = Mutex::new(Vec::new());
+        let pool = MachinePool::new(config);
         self.run(
             items,
-            || {
-                let machine = match pool.lock().expect("machine pool").pop() {
-                    Some(mut machine) => {
-                        machine.reset();
-                        machine
-                    }
-                    None => {
-                        let mut machine = Machine::new(config.clone());
-                        machine.set_predecode_registry(registry.clone());
-                        machine
-                    }
+            || pool.checkout(),
+            |pooled, i, item| work(pooled.machine(), i, item),
+        )
+    }
+
+    /// Fault-tolerant [`run`](Self::run): the work closure is fallible,
+    /// and a failure (typed [`SimError`] or panic) costs only its item.
+    ///
+    /// Each failing item is retried **once** on a brand-new context from
+    /// `init` — both to rule out contamination from earlier items that
+    /// shared the shard's context, and because a panicked closure may
+    /// have left the context inconsistent. After the retry the context
+    /// is replaced again, so later items of the shard never run on a
+    /// context a failure touched. Healthy items are bit-identical to a
+    /// fault-free run at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] only for infrastructure panics (e.g. in
+    /// `init` itself) — work-closure failures land in the report.
+    pub fn run_report<C, T, R>(
+        &self,
+        items: &[T],
+        init: impl Fn() -> C + Sync,
+        work: impl Fn(&mut C, usize, &T) -> Result<R, SimError> + Sync,
+    ) -> Result<RunReport<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let attempt = |ctx: &mut C, i: usize, item: &T| -> Result<R, FailureCause> {
+            match catch_unwind(AssertUnwindSafe(|| work(ctx, i, item))) {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(e)) => Err(FailureCause::Sim(e)),
+                Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
+            }
+        };
+        let rows = self.run(items, &init, |ctx, i, item| match attempt(ctx, i, item) {
+            Ok(r) => (Some(r), None),
+            Err(cause) => {
+                *ctx = init();
+                let failure = |recovered| ItemFailure {
+                    item: i,
+                    cause: cause.clone(),
+                    recovered,
                 };
-                PooledMachine {
-                    machine: Some(machine),
-                    pool: &pool,
+                match attempt(ctx, i, item) {
+                    Ok(r) => (Some(r), Some(failure(true))),
+                    Err(_) => {
+                        *ctx = init();
+                        (None, Some(failure(false)))
+                    }
+                }
+            }
+        })?;
+        Ok(Self::collect_report(rows))
+    }
+
+    /// Fault-tolerant [`run_machines`](Self::run_machines): pooled
+    /// machines, per-item fault boundary, one retry per failing item on
+    /// a brand-new (never pooled) machine.
+    ///
+    /// Any machine that was live during a failure — first attempt or
+    /// retry — is quarantined and never returned to the pool, so
+    /// subsequent shards cannot inherit poisoned state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] only for infrastructure panics; simulation
+    /// failures land in the report.
+    pub fn run_machines_report<T, R>(
+        &self,
+        config: &MachineConfig,
+        items: &[T],
+        work: impl Fn(&mut Machine, usize, &T) -> Result<R, SimError> + Sync,
+    ) -> Result<RunReport<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let pool = MachinePool::new(config);
+        let attempt =
+            |pooled: &mut PooledMachine<'_>, i: usize, item: &T| -> Result<R, FailureCause> {
+                match catch_unwind(AssertUnwindSafe(|| work(pooled.machine(), i, item))) {
+                    Ok(Ok(r)) => Ok(r),
+                    Ok(Err(e)) => Err(FailureCause::Sim(e)),
+                    Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
+                }
+            };
+        let rows = self.run(
+            items,
+            || pool.checkout(),
+            |pooled, i, item| match attempt(pooled, i, item) {
+                Ok(r) => (Some(r), None),
+                Err(cause) => {
+                    pooled.replace_with_fresh();
+                    let failure = |recovered| ItemFailure {
+                        item: i,
+                        cause: cause.clone(),
+                        recovered,
+                    };
+                    match attempt(pooled, i, item) {
+                        Ok(r) => (Some(r), Some(failure(true))),
+                        Err(_) => {
+                            pooled.replace_with_fresh();
+                            (None, Some(failure(false)))
+                        }
+                    }
                 }
             },
-            |pooled, i, item| {
-                work(
-                    pooled.machine.as_mut().expect("checked-out machine"),
-                    i,
-                    item,
-                )
-            },
-        )
+        )?;
+        Ok(Self::collect_report(rows))
+    }
+
+    /// Splits per-item `(result, failure)` rows into a [`RunReport`].
+    /// Rows arrive in item order (the deterministic merge), so the
+    /// failure list is ordered by item index with no extra sort.
+    fn collect_report<R>(rows: Vec<(Option<R>, Option<ItemFailure>)>) -> RunReport<R> {
+        let mut results = Vec::with_capacity(rows.len());
+        let mut failures = Vec::new();
+        for (result, failure) in rows {
+            results.push(result);
+            failures.extend(failure);
+        }
+        RunReport { results, failures }
     }
 }
 
@@ -437,6 +719,152 @@ mod tests {
             )
             .unwrap();
         assert_eq!(got, vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shard_panic_quarantines_the_machine() {
+        // Regression: a machine checked out by a panicking shard used to
+        // be pushed back to the free pool on drop, mid-run state and
+        // all. It must be quarantined, and the next checkout must be a
+        // cold-boot-clean machine.
+        let config = MachineConfig::default();
+        let pool = MachinePool::new(&config);
+        let heap_base = {
+            let mut probe = pool.checkout();
+            probe.machine().alloc(8)
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut pooled = pool.checkout();
+            pooled.machine().alloc(4096); // dirty mid-run state
+            panic!("shard died");
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(
+            lock(&pool.free).len(),
+            0,
+            "panicked machine must not return to the free pool"
+        );
+        assert_eq!(lock(&pool.quarantine).len(), 1, "the panicked machine");
+        let mut pooled = pool.checkout();
+        assert_eq!(
+            pooled.machine().alloc(8),
+            heap_base,
+            "checkout after a shard panic must be cold-boot clean"
+        );
+    }
+
+    #[test]
+    fn faulting_items_degrade_gracefully() {
+        // Items 3 and 7 return typed errors; everything else succeeds.
+        // The report must carry the healthy results bit-identically at
+        // every thread count, with failures ordered by item index.
+        let items: Vec<i64> = (0..10).collect();
+        let run = |threads: usize| {
+            BatchRunner::new(threads)
+                .run_machines_report(&MachineConfig::default(), &items, |m, i, &x| {
+                    let mut b = ProgramBuilder::new();
+                    let top = b.label();
+                    b.mov_imm(X0, x);
+                    b.alu_ri(SAluOp::Mul, X0, X0, 10);
+                    if i == 3 || i == 7 {
+                        // Deterministic fault: spin forever under a
+                        // tiny instruction budget.
+                        b.bind(top);
+                        b.jump(top);
+                        m.core_mut().set_budget(100);
+                    }
+                    b.halt();
+                    let stats = m.run(&b.build().unwrap())?;
+                    Ok((m.core().state().x(X0), stats.cycles))
+                })
+                .unwrap()
+        };
+        let single = run(1);
+        assert_eq!(single.results.len(), 10);
+        assert_eq!(
+            single.failures,
+            vec![
+                ItemFailure {
+                    item: 3,
+                    cause: FailureCause::Sim(SimError::InstLimit { budget: 100 }),
+                    recovered: false,
+                },
+                ItemFailure {
+                    item: 7,
+                    cause: FailureCause::Sim(SimError::InstLimit { budget: 100 }),
+                    recovered: false,
+                },
+            ]
+        );
+        assert!(single.results[3].is_none() && single.results[7].is_none());
+        assert_eq!(single.healthy().count(), 8);
+        for threads in [2, 4] {
+            let multi = run(threads);
+            assert_eq!(single.results, multi.results, "threads={threads}");
+            assert_eq!(single.failures, multi.failures, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_item_is_retried_on_a_fresh_machine() {
+        // Item 2 panics on its first attempt only; the retry must
+        // succeed (recovered=true) and later items must be unaffected.
+        let first_attempt = std::sync::atomic::AtomicBool::new(true);
+        let items: Vec<i64> = (0..5).collect();
+        let report = BatchRunner::new(1)
+            .with_shard_size(5)
+            .run_machines_report(&MachineConfig::default(), &items, |m, i, &x| {
+                if i == 2 && first_attempt.swap(false, Ordering::Relaxed) {
+                    m.alloc(1 << 20); // dirty the machine, then die
+                    panic!("transient fault");
+                }
+                let mut b = ProgramBuilder::new();
+                b.mov_imm(X0, x);
+                b.halt();
+                m.run(&b.build().unwrap())?;
+                Ok(m.core().state().x(X0))
+            })
+            .unwrap();
+        assert_eq!(
+            report.results,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(4)]
+        );
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.item, 2);
+        assert!(failure.recovered);
+        assert_eq!(
+            failure.cause,
+            FailureCause::Panic("transient fault".to_string())
+        );
+        assert_eq!(
+            failure.to_string(),
+            "item 2: panic: transient fault (recovered on retry)"
+        );
+    }
+
+    #[test]
+    fn report_on_clean_batch_matches_run_machines() {
+        let items: Vec<i64> = (1..=6).collect();
+        let work = |m: &mut Machine, x: i64| {
+            let mut b = ProgramBuilder::new();
+            b.mov_imm(X0, x);
+            b.alu_ri(SAluOp::Mul, X0, X0, 7);
+            b.halt();
+            let stats = m.run(&b.build().unwrap()).unwrap();
+            (m.core().state().x(X0), stats.cycles)
+        };
+        let plain = BatchRunner::new(2)
+            .run_machines(&MachineConfig::default(), &items, |m, _i, &x| work(m, x))
+            .unwrap();
+        let report = BatchRunner::new(2)
+            .run_machines_report(&MachineConfig::default(), &items, |m, _i, &x| {
+                Ok(work(m, x))
+            })
+            .unwrap();
+        assert!(report.is_clean());
+        let healthy: Vec<(u64, u64)> = report.healthy().map(|(_, r)| *r).collect();
+        assert_eq!(healthy, plain);
     }
 
     #[test]

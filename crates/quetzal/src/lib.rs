@@ -44,8 +44,10 @@ pub use quetzal_isa as isa;
 pub use quetzal_uarch as uarch;
 
 pub mod batch;
+pub mod fault;
 
-pub use batch::{BatchError, BatchRunner};
+pub use batch::{BatchError, BatchRunner, FailureCause, ItemFailure, RunReport};
+pub use fault::{FaultPlan, Mutation};
 pub use quetzal_accel::{PortCount, QzConfig};
 pub use quetzal_isa::Program;
 pub use quetzal_uarch::{

@@ -19,6 +19,14 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> fault-injection sweep (release + debug assertions, fixed seed)"
+# Release speed with overflow/invariant checks live: any panic escaping
+# the machine boundary — not a typed SimError — fails this step.
+CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true \
+QUETZAL_FAULT_CASES=12000 QUETZAL_FAULT_SEED=0xF4417 \
+    cargo test -q --offline --release -p quetzal-integration \
+    --test fault_injection
+
 echo "==> smoke: run_all at reduced scale, 1 vs N threads byte-identical"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT

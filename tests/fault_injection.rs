@@ -1,0 +1,127 @@
+//! Fault-injection sweep: the machine boundary must turn every
+//! adversarial input into a typed [`SimError`] (or a successful run) —
+//! never a panic, never a hang.
+//!
+//! Each case is a pure function of `(seed, case index)` via
+//! [`FaultPlan`], so any failure replays exactly from the printed case
+//! number. CI runs this sweep in release with debug assertions enabled
+//! (`CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true`), so internal
+//! invariant checks and integer-overflow panics are live.
+//!
+//! Environment knobs:
+//! - `QUETZAL_FAULT_CASES` — number of cases (default 12 000).
+//! - `QUETZAL_FAULT_SEED` — sweep seed (default `0xF4417`).
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use quetzal::{FaultPlan, Machine, MachineConfig, RunStats, SimError};
+
+const DEFAULT_CASES: u64 = 12_000;
+const DEFAULT_SEED: u64 = 0xF4417;
+
+/// Staged machines allocate a few KiB (tens of pages at most); a wild
+/// store loop sweeping a large stride must exhaust this budget — and
+/// surface `MemoryFault` — well before the instruction budget does.
+const PAGE_BUDGET: usize = 512;
+const INST_BUDGET: u64 = 20_000;
+const CYCLE_BUDGET: u64 = 2_000_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| {
+            if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                v.parse().ok()
+            }
+        })
+        .unwrap_or(default)
+}
+
+fn variant_name(e: &SimError) -> &'static str {
+    match e {
+        SimError::InstLimit { .. } => "InstLimit",
+        SimError::CycleLimit { .. } => "CycleLimit",
+        SimError::InvalidQzConf { .. } => "InvalidQzConf",
+        SimError::DecodeError { .. } => "DecodeError",
+        SimError::InvalidRegister { .. } => "InvalidRegister",
+        SimError::MemoryFault { .. } => "MemoryFault",
+        SimError::QBufferIndexOutOfRange { .. } => "QBufferIndexOutOfRange",
+    }
+}
+
+/// Runs one case; `Err` carries the payload of an escaped panic.
+fn run_case(plan: &FaultPlan, case: u64) -> Result<Result<RunStats, SimError>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut machine = Machine::new(MachineConfig::default());
+        let (program, _) = plan.stage(case, &mut machine);
+        machine
+            .core_mut()
+            .state_mut()
+            .mem
+            .set_page_budget(PAGE_BUDGET);
+        machine.core_mut().set_budget(INST_BUDGET);
+        machine.core_mut().set_cycle_budget(CYCLE_BUDGET);
+        machine.run(&program)
+    }))
+    .map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+#[test]
+fn sweep_never_panics_and_always_terminates() {
+    let cases = env_u64("QUETZAL_FAULT_CASES", DEFAULT_CASES);
+    let seed = env_u64("QUETZAL_FAULT_SEED", DEFAULT_SEED);
+    let plan = FaultPlan::new(seed);
+
+    let mut ok = 0u64;
+    let mut errors: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for case in 0..cases {
+        match run_case(&plan, case) {
+            Ok(Ok(_)) => ok += 1,
+            Ok(Err(e)) => *errors.entry(variant_name(&e)).or_insert(0) += 1,
+            Err(panic_msg) => panic!(
+                "case {case} (seed {seed:#x}) escaped the machine boundary \
+                 as a panic: {panic_msg}\n\
+                 replay with QUETZAL_FAULT_SEED={seed:#x} QUETZAL_FAULT_CASES={}",
+                case + 1
+            ),
+        }
+    }
+
+    let faulted: u64 = errors.values().sum();
+    eprintln!("fault sweep: {cases} cases, {ok} clean, {faulted} typed errors {errors:?}");
+    assert!(ok > 0, "sweep produced no clean runs — generator is broken");
+    assert!(
+        faulted > 0,
+        "sweep produced no faults — mutations are not adversarial"
+    );
+    assert!(
+        errors.len() >= 3,
+        "expected >= 3 distinct SimError variants, saw {errors:?}"
+    );
+}
+
+#[test]
+fn sweep_outcomes_are_deterministic() {
+    let seed = env_u64("QUETZAL_FAULT_SEED", DEFAULT_SEED);
+    let plan = FaultPlan::new(seed);
+    let describe = |case: u64| match run_case(&plan, case) {
+        Ok(Ok(stats)) => format!("ok cycles={} insts={}", stats.cycles, stats.instructions),
+        Ok(Err(e)) => format!("err {e}"),
+        Err(p) => format!("panic {p}"),
+    };
+    for case in 0..200 {
+        let first = describe(case);
+        let second = describe(case);
+        assert_eq!(first, second, "case {case} diverged between runs");
+        assert!(!first.starts_with("panic"), "case {case}: {first}");
+    }
+}

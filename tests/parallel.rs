@@ -96,6 +96,69 @@ fn pipeline_is_thread_invariant() {
     assert_eq!(r1.accepted + r1.rejected, 8);
 }
 
+/// Graceful degradation is thread-invariant: with K of N items
+/// faulting, the healthy items' per-item `RunStats` and their merged
+/// total are bit-identical between 1 and 4 threads, and the failure
+/// list is stable, ordered by item index, and carries the typed cause.
+#[test]
+fn faulting_items_are_thread_invariant() {
+    use quetzal::{FailureCause, ItemFailure, SimError};
+    use quetzal_isa::{ProgramBuilder, SAluOp, X0};
+
+    let cfg = MachineConfig::default();
+    let items: Vec<i64> = (0..12).collect();
+    let faulty = |i: usize| i % 5 == 3; // items 3 and 8
+    let run = |threads: usize| {
+        BatchRunner::new(threads)
+            .run_machines_report(&cfg, &items, |m, i, &x| {
+                let mut b = ProgramBuilder::new();
+                let top = b.label();
+                b.mov_imm(X0, x);
+                b.alu_ri(SAluOp::Mul, X0, X0, 3);
+                if faulty(i) {
+                    b.bind(top);
+                    b.jump(top); // spin until the instruction budget
+                    m.core_mut().set_budget(64);
+                }
+                b.halt();
+                let stats = m.run(&b.build().expect("kernel"))?;
+                Ok((m.core().state().x(X0), stats))
+            })
+            .expect("infrastructure")
+    };
+
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.results, parallel.results, "per-item results diverge");
+    assert_eq!(serial.failures, parallel.failures, "failure lists diverge");
+
+    // Healthy items: present, correct, and merged totals identical.
+    let healthy_stats = |report: &quetzal::RunReport<(u64, RunStats)>| {
+        report
+            .healthy()
+            .map(|(_, (_, s))| s.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(serial.healthy().count(), 10);
+    for (i, (value, _)) in serial.healthy() {
+        assert_eq!(*value, 3 * i as u64, "healthy item {i} result");
+    }
+    assert_eq!(
+        RunStats::merged(&healthy_stats(&serial)),
+        RunStats::merged(&healthy_stats(&parallel)),
+        "merged healthy totals diverge"
+    );
+
+    // Failures: ordered by item index with the typed cause.
+    let expect_failure = |item: usize| ItemFailure {
+        item,
+        cause: FailureCause::Sim(SimError::InstLimit { budget: 64 }),
+        recovered: false,
+    };
+    assert_eq!(serial.failures, vec![expect_failure(3), expect_failure(8)]);
+    assert!(serial.results[3].is_none() && serial.results[8].is_none());
+}
+
 /// Golden snapshot: every statistic of the canonical kernel (WFA at
 /// QUETZAL+C tier, first 100 bp Table II pair, default machine). If an
 /// intentional simulator change moves these numbers, re-record them —
