@@ -20,7 +20,7 @@
 
 // Guest-reachable paths must return typed errors, never unwrap (see
 // DESIGN.md "Failure model & fault injection"); tests are exempt.
-#![warn(clippy::unwrap_used)]
+#![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod area;

@@ -1,0 +1,112 @@
+//! Static verification gate over every in-tree kernel.
+//!
+//! Installs the ISA-level build observer
+//! ([`quetzal_isa::set_build_observer`]), replays the full experiment
+//! grid (`experiments::run_all` at `QUETZAL_SCALE`), and runs
+//! `quetzal-verify` over every program the replay built — the
+//! tables, the fig03–fig15 figures, and through them every
+//! `quetzal-algos` kernel tier the experiments stage. Experiment
+//! tables are swallowed; what this binary reports is the *verifier's*
+//! view of the kernels.
+//!
+//! Exit status is the CI contract: `0` iff every collected program
+//! verified fully `Clean`. A warning is a failure here on purpose —
+//! in-tree kernels are held to the strictest bar the verifier has, so
+//! any regression (an undefined read, an unprovable QBUFFER index, a
+//! config conflict) shows up as a red build, with the diagnostics
+//! printed next to the kernel that caused them.
+//!
+//! Usage: `qzverify [--verbose]`
+//! - `--verbose` prints every diagnostic of every program, clean or
+//!   not, instead of only the offenders.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use quetzal::verify::{self, Verdict};
+use quetzal_isa::{set_build_observer, Program};
+
+/// Every program built during the grid replay, in build order.
+static COLLECTED: Mutex<Vec<Program>> = Mutex::new(Vec::new());
+
+fn main() {
+    let verbose = std::env::args()
+        .skip(1)
+        .any(|a| a == "--verbose" || a == "-v");
+    let installed = set_build_observer(|program| {
+        COLLECTED
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(program.clone());
+    });
+    assert!(installed, "first observer in the process");
+
+    let scale = quetzal_bench::scale_from_env();
+    eprintln!("qzverify: replaying the experiment grid at scale {scale} to collect kernels ...");
+    let tables = quetzal_bench::experiments::run_all(scale);
+    let programs = std::mem::take(&mut *COLLECTED.lock().unwrap_or_else(|e| e.into_inner()));
+    eprintln!(
+        "qzverify: {} experiments staged {} program builds",
+        tables.len(),
+        programs.len()
+    );
+
+    // Verify every build, aggregated per kernel name. A kernel that is
+    // rebuilt per workload size is verified per build (the images can
+    // differ), but reported once with its worst verdict.
+    struct Row {
+        builds: usize,
+        worst: Verdict,
+        reports: Vec<verify::Report>,
+    }
+    let mut rows: BTreeMap<String, Row> = BTreeMap::new();
+    for program in &programs {
+        let report = verify::verify(program);
+        let verdict = report.verdict();
+        let row = rows.entry(program.name().to_string()).or_insert(Row {
+            builds: 0,
+            worst: Verdict::Clean,
+            reports: Vec::new(),
+        });
+        row.builds += 1;
+        row.worst = row.worst.max(verdict);
+        if verdict != Verdict::Clean || verbose {
+            row.reports.push(report);
+        }
+    }
+
+    let mut failed = 0usize;
+    for (name, row) in &rows {
+        let tag = match row.worst {
+            Verdict::Clean => "clean",
+            Verdict::Warnings => "WARNINGS",
+            Verdict::Fatal => "FATAL",
+        };
+        println!(
+            "{tag:>8}  {name} ({} build{})",
+            row.builds,
+            if row.builds == 1 { "" } else { "s" }
+        );
+        if row.worst != Verdict::Clean {
+            failed += 1;
+        }
+        for report in &row.reports {
+            if report.is_empty() && !verbose {
+                continue;
+            }
+            for line in report.to_string().lines() {
+                println!("          {line}");
+            }
+        }
+    }
+    println!(
+        "qzverify: {} kernels, {} builds, {} non-clean",
+        rows.len(),
+        programs.len(),
+        failed
+    );
+    if failed > 0 {
+        eprintln!("qzverify: FAILED — {failed} kernel(s) did not verify Clean");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Control-flow graph recovery from resolved branch targets.
+//!
+//! Programs in this ISA carry resolved instruction-index targets, so
+//! the CFG is recoverable without symbolic execution: block leaders are
+//! the entry, every in-range branch/jump target, and every instruction
+//! after a control transfer. The graph deliberately models *leaving the
+//! program* as an explicit successor ([`Succ::OutOfProgram`]) rather
+//! than dropping the edge — running off the end of a truncated image or
+//! taking a corrupted target is exactly what the simulator surfaces as
+//! `SimError::DecodeError`, and the `quetzal-verify` dataflow pass
+//! turns these edges into source-located diagnostics.
+
+use crate::inst::Instruction;
+use crate::program::Program;
+
+/// A successor edge of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Succ {
+    /// Control continues at the start of another block (index into
+    /// [`Cfg::blocks`]).
+    Block(usize),
+    /// Control leaves the program: the next program counter is outside
+    /// `0..len`, which decodes to a runtime fault.
+    OutOfProgram {
+        /// The out-of-range program counter.
+        target: usize,
+    },
+}
+
+/// A maximal straight-line instruction sequence `start..end` (end
+/// exclusive) with control entering only at `start` and leaving only
+/// after `end - 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgBlock {
+    /// First instruction index of the block.
+    pub start: usize,
+    /// One past the last instruction index of the block.
+    pub end: usize,
+    /// Successor edges out of the block's last instruction.
+    pub succs: Vec<Succ>,
+}
+
+impl CfgBlock {
+    /// The program counters the block covers.
+    pub fn pcs(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The recovered control-flow graph of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<CfgBlock>,
+    /// `block_of[pc]` = index of the block containing `pc`.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Recovers the CFG of an instruction image. An empty image yields
+    /// an empty graph.
+    pub fn of(insts: &[Instruction]) -> Cfg {
+        let len = insts.len();
+        if len == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+
+        // Leaders: entry, in-range targets, instruction after control.
+        let mut leader = vec![false; len];
+        leader[0] = true;
+        for (pc, inst) in insts.iter().enumerate() {
+            if inst.is_control() {
+                if pc + 1 < len {
+                    leader[pc + 1] = true;
+                }
+                if let Some(target) = inst.branch_target() {
+                    if target < len {
+                        leader[target] = true;
+                    }
+                }
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; len];
+        let mut start = 0;
+        for pc in 0..len {
+            block_of[pc] = blocks.len();
+            let last_of_block = pc + 1 == len || leader[pc + 1];
+            if last_of_block {
+                blocks.push(CfgBlock {
+                    start,
+                    end: pc + 1,
+                    succs: Vec::new(),
+                });
+                start = pc + 1;
+            }
+        }
+
+        // Successor edges from each block's terminating instruction.
+        let edge = |target: usize| {
+            if target < len {
+                Succ::Block(block_of[target])
+            } else {
+                Succ::OutOfProgram { target }
+            }
+        };
+        for block in &mut blocks {
+            let last = block.end - 1;
+            match insts[last] {
+                Instruction::Halt => {}
+                Instruction::Jump { target } => block.succs.push(edge(target)),
+                Instruction::Branch { target, .. } => {
+                    block.succs.push(edge(last + 1));
+                    let taken = edge(target);
+                    if block.succs[0] != taken {
+                        block.succs.push(taken);
+                    }
+                }
+                _ => block.succs.push(edge(last + 1)),
+            }
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// Recovers the CFG of a program.
+    pub fn build(program: &Program) -> Cfg {
+        Cfg::of(program.instructions())
+    }
+
+    /// The basic blocks, ordered by start pc.
+    pub fn blocks(&self) -> &[CfgBlock] {
+        &self.blocks
+    }
+
+    /// The index of the block containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Per-block reachability from the entry block (block 0). Empty for
+    /// an empty program.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut reached = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return reached;
+        }
+        let mut stack = vec![0usize];
+        reached[0] = true;
+        while let Some(b) = stack.pop() {
+            for succ in &self.blocks[b].succs {
+                if let Succ::Block(s) = *succ {
+                    if !reached[s] {
+                        reached[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::reg::aliases::*;
+    use crate::{BranchCond, SAluOp};
+
+    fn loop_program() -> Program {
+        // 0: mov x0, #0
+        // 1: mov x2, #10      <- loop head (leader)
+        // 2: add x0, x0, #1   (same block as 1)
+        // 3: b.lt x0, x2, @1
+        // 4: halt
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.mov_imm(X0, 0);
+        b.bind(top);
+        b.mov_imm(X2, 10);
+        b.alu_ri(SAluOp::Add, X0, X0, 1);
+        b.branch(BranchCond::Lt, X0, X2, top);
+        b.halt();
+        b.build().expect("loop kernel")
+    }
+
+    #[test]
+    fn loop_blocks_and_edges() {
+        let cfg = Cfg::build(&loop_program());
+        let blocks = cfg.blocks();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!((blocks[0].start, blocks[0].end), (0, 1));
+        assert_eq!((blocks[1].start, blocks[1].end), (1, 4));
+        assert_eq!((blocks[2].start, blocks[2].end), (4, 5));
+        assert_eq!(blocks[0].succs, vec![Succ::Block(1)]);
+        assert_eq!(blocks[1].succs, vec![Succ::Block(2), Succ::Block(1)]);
+        assert!(blocks[2].succs.is_empty());
+        assert_eq!(cfg.block_of(2), 1);
+        assert_eq!(cfg.reachable(), vec![true; 3]);
+    }
+
+    #[test]
+    fn truncated_image_falls_off_the_end() {
+        let p = Program::from_raw(
+            vec![Instruction::MovImm { rd: X0, imm: 1 }],
+            "truncated-cfg",
+        );
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(
+            cfg.blocks()[0].succs,
+            vec![Succ::OutOfProgram { target: 1 }]
+        );
+    }
+
+    #[test]
+    fn out_of_range_target_is_an_explicit_edge() {
+        let p = Program::from_raw(
+            vec![Instruction::Jump { target: 7 }, Instruction::Halt],
+            "wild-jump",
+        );
+        let cfg = Cfg::build(&p);
+        assert_eq!(
+            cfg.blocks()[0].succs,
+            vec![Succ::OutOfProgram { target: 7 }]
+        );
+        // The halt after the jump is its own, unreachable block.
+        assert_eq!(cfg.reachable(), vec![true, false]);
+    }
+
+    #[test]
+    fn empty_image_has_no_blocks() {
+        let cfg = Cfg::of(&[]);
+        assert!(cfg.blocks().is_empty());
+        assert!(cfg.reachable().is_empty());
+    }
+
+    #[test]
+    fn branch_with_equal_targets_dedupes_edges() {
+        // A branch whose taken target is the fallthrough.
+        let p = Program::from_raw(
+            vec![
+                Instruction::Branch {
+                    cond: BranchCond::Eq,
+                    rn: X0,
+                    rm: X0,
+                    target: 1,
+                },
+                Instruction::Halt,
+            ],
+            "self-fallthrough",
+        );
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks()[0].succs, vec![Succ::Block(1)]);
+    }
+}

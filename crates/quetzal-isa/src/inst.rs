@@ -34,6 +34,34 @@ pub enum SAluOp {
     SetEq,
 }
 
+impl SAluOp {
+    /// The architectural semantics of the operation on two 64-bit
+    /// register values (wrapping arithmetic, 6-bit shift amounts,
+    /// signed comparisons).
+    ///
+    /// This is the single definition shared by the simulator's
+    /// interpreter and the static verifier's constant propagation —
+    /// keeping them one routine is what makes a verifier-proven
+    /// constant trustworthy at runtime.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            SAluOp::Add => a.wrapping_add(b),
+            SAluOp::Sub => a.wrapping_sub(b),
+            SAluOp::Mul => a.wrapping_mul(b),
+            SAluOp::And => a & b,
+            SAluOp::Or => a | b,
+            SAluOp::Xor => a ^ b,
+            SAluOp::Shl => a.wrapping_shl(b as u32 & 63),
+            SAluOp::Shr => a.wrapping_shr(b as u32 & 63),
+            SAluOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+            SAluOp::Min => (a as i64).min(b as i64) as u64,
+            SAluOp::Max => (a as i64).max(b as i64) as u64,
+            SAluOp::SetLt => u64::from((a as i64) < (b as i64)),
+            SAluOp::SetEq => u64::from(a == b),
+        }
+    }
+}
+
 /// Vector ALU operation (elementwise, predicated).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VAluOp {
@@ -883,6 +911,15 @@ impl Instruction {
             QzLoad { vd, .. } | QzMhm { vd, .. } | QzMm { vd, .. } | QzCount { vd, .. } => {
                 f(vd.into())
             }
+        }
+    }
+
+    /// The resolved control-transfer target, if this instruction has
+    /// one (`Branch`/`Jump`).
+    pub fn branch_target(&self) -> Option<usize> {
+        match *self {
+            Instruction::Branch { target, .. } | Instruction::Jump { target } => Some(target),
+            _ => None,
         }
     }
 

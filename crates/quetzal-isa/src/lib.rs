@@ -26,13 +26,20 @@
 //! # Ok::<(), quetzal_isa::BuildError>(())
 //! ```
 
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod cfg;
 pub mod inst;
 pub mod program;
 pub mod reg;
 pub mod types;
 
+pub use cfg::{Cfg, CfgBlock, Succ};
 pub use inst::{BranchCond, InstClass, Instruction, QzOp, RedOp, SAluOp, VAluOp};
-pub use program::{BuildError, Label, Program, ProgramBuilder};
+pub use program::{
+    image_faults, set_build_observer, BuildError, ImageFault, Label, Program, ProgramBuilder,
+};
 pub use reg::{PReg, Reg, VReg, XReg};
 pub use types::{ElemSize, EncSize, MemSize, QBufSel, LANES_64, VLEN_BITS, VLEN_BYTES};
 

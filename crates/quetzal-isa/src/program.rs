@@ -33,6 +33,90 @@ impl Eq for Program {}
 /// Source of build-time program identities.
 static NEXT_PROGRAM_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
+/// Process-wide observer invoked on every constructed [`Program`]
+/// (builder-finalised or raw). Tooling seam: the `qzverify` gate
+/// installs a collector here and replays the experiment harness, so
+/// every kernel the experiments actually stage flows through static
+/// verification.
+type BuildObserver = Box<dyn Fn(&Program) + Send + Sync>;
+static BUILD_OBSERVER: std::sync::OnceLock<BuildObserver> = std::sync::OnceLock::new();
+
+/// Installs a process-wide observer called once for each program
+/// constructed from now on (via [`ProgramBuilder::build`],
+/// [`Program::from_raw`] or [`Program::from_raw_checked`]). Returns
+/// `false` if an observer was already installed (the first one wins).
+///
+/// The observer runs on whichever thread constructs the program and
+/// must not itself construct programs (it would recurse).
+pub fn set_build_observer(observer: impl Fn(&Program) + Send + Sync + 'static) -> bool {
+    BUILD_OBSERVER.set(Box::new(observer)).is_ok()
+}
+
+fn notify_observer(program: &Program) {
+    if let Some(observer) = BUILD_OBSERVER.get() {
+        observer(program);
+    }
+}
+
+/// A structural defect of a raw instruction image — the statically
+/// decodable subset of what the simulator would surface as
+/// `SimError::DecodeError` at runtime.
+///
+/// This is the **single** decode-validation routine of the workspace
+/// (see [`image_faults`]): [`ProgramBuilder::build`],
+/// [`Program::from_raw_checked`] and the `quetzal-verify` structural
+/// pass all share it, so "builder-valid", "image-valid" and
+/// "verifier-structurally-clean" can never diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageFault {
+    /// The image contains no instructions: the entry fetch at pc 0
+    /// already leaves the program.
+    Empty,
+    /// A branch or jump encodes a target outside the instruction
+    /// stream; taking it raises a decode fault.
+    TargetOutOfRange {
+        /// Program counter of the branch/jump.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+}
+
+impl std::fmt::Display for ImageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageFault::Empty => f.write_str("empty program image"),
+            ImageFault::TargetOutOfRange { pc, target } => {
+                write!(f, "branch at pc {pc} targets {target}, outside the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageFault {}
+
+/// Scans an instruction image for structural decode faults: an empty
+/// image, or branch/jump targets outside `0..insts.len()`.
+///
+/// Falling off the end of the image (a path reaching `pc == len`
+/// without `halt`) is deliberately *not* an image fault — it depends on
+/// control flow and is reported by the `quetzal-verify` dataflow pass
+/// instead.
+pub fn image_faults(insts: &[Instruction]) -> Vec<ImageFault> {
+    let mut faults = Vec::new();
+    if insts.is_empty() {
+        faults.push(ImageFault::Empty);
+    }
+    for (pc, inst) in insts.iter().enumerate() {
+        if let Some(target) = inst.branch_target() {
+            if target >= insts.len() {
+                faults.push(ImageFault::TargetOutOfRange { pc, target });
+            }
+        }
+    }
+    faults
+}
+
 impl Program {
     /// The instructions.
     pub fn instructions(&self) -> &[Instruction] {
@@ -63,11 +147,40 @@ impl Program {
     /// guarantees. Gets a fresh process-unique identity like any built
     /// program.
     pub fn from_raw(insts: Vec<Instruction>, name: impl Into<String>) -> Program {
-        Program {
+        let program = Program {
             insts,
             name: name.into(),
             id: NEXT_PROGRAM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        };
+        notify_observer(&program);
+        program
+    }
+
+    /// [`from_raw`](Self::from_raw) with the shared structural
+    /// validation ([`image_faults`]) applied first — for callers
+    /// accepting untrusted images that should be rejected up front
+    /// rather than fault at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns the image's structural faults if there are any; the
+    /// program is not constructed.
+    pub fn from_raw_checked(
+        insts: Vec<Instruction>,
+        name: impl Into<String>,
+    ) -> Result<Program, Vec<ImageFault>> {
+        let faults = image_faults(&insts);
+        if faults.is_empty() {
+            Ok(Program::from_raw(insts, name))
+        } else {
+            Err(faults)
         }
+    }
+
+    /// The shared structural decode validation ([`image_faults`]) over
+    /// this program's instructions.
+    pub fn image_faults(&self) -> Vec<ImageFault> {
+        image_faults(&self.insts)
     }
 
     /// Number of instructions.
@@ -119,6 +232,13 @@ pub enum BuildError {
     },
     /// The program does not end in `halt` (or contains none at all).
     MissingHalt,
+    /// The finalised image failed the shared structural validation
+    /// ([`image_faults`]) — e.g. a label bound past the last
+    /// instruction, leaving a branch targeting `len`.
+    BadImage {
+        /// The first structural fault found.
+        fault: ImageFault,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -129,6 +249,7 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::ReboundLabel { label } => write!(f, "label L{} bound twice", label.0),
             BuildError::MissingHalt => f.write_str("program contains no halt instruction"),
+            BuildError::BadImage { fault } => write!(f, "structurally invalid image: {fault}"),
         }
     }
 }
@@ -630,11 +751,19 @@ impl ProgramBuilder {
         if !insts.iter().any(|i| matches!(i, Instruction::Halt)) {
             return Err(BuildError::MissingHalt);
         }
-        Ok(Program {
+        // The shared decode validation: label resolution guarantees
+        // targets <= len, but a label bound after the last instruction
+        // still yields target == len — a decode fault when taken.
+        if let Some(&fault) = image_faults(&insts).first() {
+            return Err(BuildError::BadImage { fault });
+        }
+        let program = Program {
             insts,
             name: self.name.clone(),
             id: NEXT_PROGRAM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-        })
+        };
+        notify_observer(&program);
+        Ok(program)
     }
 }
 

@@ -120,21 +120,9 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 fn scalar_alu(op: SAluOp, a: u64, b: u64) -> u64 {
-    match op {
-        SAluOp::Add => a.wrapping_add(b),
-        SAluOp::Sub => a.wrapping_sub(b),
-        SAluOp::Mul => a.wrapping_mul(b),
-        SAluOp::And => a & b,
-        SAluOp::Or => a | b,
-        SAluOp::Xor => a ^ b,
-        SAluOp::Shl => a.wrapping_shl(b as u32 & 63),
-        SAluOp::Shr => a.wrapping_shr(b as u32 & 63),
-        SAluOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
-        SAluOp::Min => (a as i64).min(b as i64) as u64,
-        SAluOp::Max => (a as i64).max(b as i64) as u64,
-        SAluOp::SetLt => u64::from((a as i64) < (b as i64)),
-        SAluOp::SetEq => u64::from(a == b),
-    }
+    // Single shared semantics: `quetzal-verify`'s constant propagation
+    // folds through the same routine the interpreter executes.
+    op.eval(a, b)
 }
 
 fn vector_alu(op: VAluOp, a: i64, b: i64, esize: ElemSize) -> u64 {

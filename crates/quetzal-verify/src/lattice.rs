@@ -1,0 +1,336 @@
+//! Abstract domains for the dataflow pass.
+//!
+//! Three small lattices, chosen so that the properties the runtime
+//! actually faults on are provable for real kernels:
+//!
+//! * [`AbsVal`] — scalar congruence constants: either an exact 64-bit
+//!   value or `value ≡ r (mod 2^t)`. Restricting moduli to powers of
+//!   two is what keeps the domain sound under the ISA's wrapping
+//!   arithmetic (congruences mod `2^t` survive reduction mod `2^64`;
+//!   congruences mod other numbers do not), and it is exactly enough
+//!   to prove `qzencode` element-index alignment through `idx += 32`
+//!   style loops.
+//! * [`VAbs`] — vectors as splat/iota shapes, for static QBUFFER
+//!   index-range warnings.
+//! * [`EncState`] — the QBUFFER element-size configuration set by
+//!   `qzconf`, which gates `qzencode` alignment faults.
+
+use quetzal_isa::SAluOp;
+
+/// Abstract 64-bit scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unreachable / no value yet.
+    Bot,
+    /// `m == 0`: the value is exactly `r`. Otherwise `m` is a power of
+    /// two and the value is congruent to `r` modulo `m` (`m == 1` means
+    /// any value, i.e. top).
+    Mod {
+        /// Power-of-two modulus, or 0 for an exact constant.
+        m: u64,
+        /// Residue (`r < m` unless `m == 0`).
+        r: u64,
+    },
+}
+
+/// Largest power of two dividing `g` (`g != 0`).
+fn low_bit(g: u64) -> u64 {
+    g & g.wrapping_neg()
+}
+
+impl AbsVal {
+    /// The unconstrained value.
+    pub const TOP: AbsVal = AbsVal::Mod { m: 1, r: 0 };
+
+    /// An exact constant.
+    pub fn constant(v: u64) -> AbsVal {
+        AbsVal::Mod { m: 0, r: v }
+    }
+
+    /// The exact value, if known.
+    pub fn as_const(self) -> Option<u64> {
+        match self {
+            AbsVal::Mod { m: 0, r } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The value modulo `align` (a power of two), if decidable.
+    pub fn residue(self, align: u64) -> Option<u64> {
+        debug_assert!(align.is_power_of_two());
+        match self {
+            AbsVal::Bot => None,
+            AbsVal::Mod { m: 0, r } => Some(r & (align - 1)),
+            AbsVal::Mod { m, r } if m >= align => Some(r & (align - 1)),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound of two abstract values.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        let (Mod { m: m1, r: r1 }, Mod { m: m2, r: r2 }) = (self, other) else {
+            return if self == Bot { other } else { self };
+        };
+        if self == other {
+            return self;
+        }
+        // gcd over {m1, m2, r1 - r2}, with 0 as the gcd identity; the
+        // largest power of two dividing it is a sound common modulus.
+        let mut g = gcd(m1, m2);
+        g = gcd(g, r1.wrapping_sub(r2));
+        if g == 0 {
+            // Only possible when both are the same constant — handled above.
+            return self;
+        }
+        let m = low_bit(g);
+        if m == 1 {
+            AbsVal::TOP
+        } else {
+            Mod { m, r: r1 & (m - 1) }
+        }
+    }
+
+    /// Abstract transfer of a scalar ALU op. Constant × constant folds
+    /// through [`SAluOp::eval`] — the interpreter's own semantics — so
+    /// a verifier-proven constant is the value the machine computes.
+    pub fn transfer(op: SAluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        let (Mod { m: m1, r: r1 }, Mod { m: m2, r: r2 }) = (a, b) else {
+            return Bot;
+        };
+        if m1 == 0 && m2 == 0 {
+            return AbsVal::constant(op.eval(r1, r2));
+        }
+        match op {
+            // Ring and bitwise ops act locally on low bits: inputs
+            // congruent mod 2^t give outputs congruent mod 2^t.
+            SAluOp::Add | SAluOp::Sub | SAluOp::Mul | SAluOp::And | SAluOp::Or | SAluOp::Xor => {
+                let m = match (m1, m2) {
+                    (0, m) | (m, 0) => m,
+                    _ => m1.min(m2),
+                };
+                if m == 1 {
+                    AbsVal::TOP
+                } else {
+                    Mod {
+                        m,
+                        r: op.eval(r1, r2) & (m - 1),
+                    }
+                }
+            }
+            // Left shift by a known amount widens the known-low-bits
+            // window; if it reaches 64 bits the result is exact.
+            SAluOp::Shl if m2 == 0 => {
+                let s = (r2 & 63) as u32;
+                // `a` is not constant here (both-const handled above).
+                let t = m1.trailing_zeros();
+                if t + s >= 64 {
+                    AbsVal::constant(r1.wrapping_shl(s))
+                } else {
+                    let m = m1 << s;
+                    Mod {
+                        m,
+                        r: r1.wrapping_shl(s) & (m - 1),
+                    }
+                }
+            }
+            _ => AbsVal::TOP,
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Abstract 512-bit vector, tracked only in the shapes QBUFFER index
+/// operands actually take in kernels (64-bit-lane splats and iotas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VAbs {
+    /// Unreachable / no value yet.
+    Bot,
+    /// Every 64-bit lane holds the same known value.
+    Splat(u64),
+    /// Lane `i` holds `start + i * step` over 64-bit lanes.
+    Iota {
+        /// Lane 0 value.
+        start: u64,
+        /// Per-lane increment.
+        step: i64,
+    },
+    /// Anything.
+    Top,
+}
+
+impl VAbs {
+    /// Least upper bound.
+    pub fn join(self, other: VAbs) -> VAbs {
+        match (self, other) {
+            (VAbs::Bot, x) | (x, VAbs::Bot) => x,
+            (a, b) if a == b => a,
+            _ => VAbs::Top,
+        }
+    }
+
+    /// The eight 64-bit lane values, if they are all known.
+    pub fn lanes64(self) -> Option<[u64; 8]> {
+        match self {
+            VAbs::Splat(v) => Some([v; 8]),
+            VAbs::Iota { start, step } => {
+                let mut lanes = [0u64; 8];
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    *lane = start.wrapping_add((step as u64).wrapping_mul(i as u64));
+                }
+                Some(lanes)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The QBUFFER element-size configuration, as set by `qzconf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncState {
+    /// Unreachable.
+    Bot,
+    /// Exactly this configuration (field value 0/1/2).
+    Known(quetzal_isa::EncSize),
+    /// Some valid configuration, unknown which (a `qzconf` with an
+    /// unprovable element-size operand executed).
+    AnyValid,
+    /// Different known configurations merge here — reachable accesses
+    /// see an ambiguous element width.
+    Conflicting,
+}
+
+impl EncState {
+    /// Least upper bound.
+    pub fn join(self, other: EncState) -> EncState {
+        use EncState::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Known(a), Known(b)) if a == b => Known(a),
+            (Known(_), Known(_)) | (Conflicting, _) | (_, Conflicting) => Conflicting,
+            (AnyValid, _) | (_, AnyValid) => AnyValid,
+        }
+    }
+}
+
+/// Three-value def-before-use state of one architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Def {
+    /// Never written on any path to here.
+    Undef,
+    /// Written on every path to here.
+    Defined,
+    /// Written on some paths only.
+    Maybe,
+}
+
+impl Def {
+    /// Least upper bound.
+    pub fn join(self, other: Def) -> Def {
+        if self == other {
+            self
+        } else {
+            Def::Maybe
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal_isa::EncSize;
+
+    #[test]
+    fn join_of_loop_counter_keeps_alignment() {
+        // idx = 0 joined with idx = 32, 64, … stays ≡ 0 (mod 32).
+        let mut v = AbsVal::constant(0);
+        for k in 1..5u64 {
+            v = v.join(AbsVal::constant(32 * k));
+        }
+        assert_eq!(v.residue(32), Some(0));
+        assert_eq!(v.as_const(), None);
+        // And survives another `idx += 32`.
+        let v = AbsVal::transfer(SAluOp::Add, v, AbsVal::constant(32));
+        assert_eq!(v.residue(32), Some(0));
+    }
+
+    #[test]
+    fn join_of_misaligned_constants_is_decidably_misaligned() {
+        let v = AbsVal::constant(7).join(AbsVal::constant(39));
+        // 7 ≡ 39 (mod 32): still provably ≢ 0 (mod 32).
+        assert_eq!(v.residue(32), Some(7));
+    }
+
+    #[test]
+    fn constant_folding_matches_interpreter_semantics() {
+        let a = AbsVal::constant(u64::MAX);
+        let b = AbsVal::constant(3);
+        assert_eq!(
+            AbsVal::transfer(SAluOp::Add, a, b).as_const(),
+            Some(u64::MAX.wrapping_add(3))
+        );
+        assert_eq!(AbsVal::transfer(SAluOp::SetLt, a, b).as_const(), Some(1));
+    }
+
+    #[test]
+    fn wrapping_join_is_sound() {
+        // 0 and 2^63 differ by 2^63: congruent mod 2^63, not equal.
+        let v = AbsVal::constant(0).join(AbsVal::constant(1u64 << 63));
+        assert_eq!(v.residue(32), Some(0));
+        assert_eq!(v.as_const(), None);
+    }
+
+    #[test]
+    fn shift_widens_to_exact() {
+        // (x mod 2) << 63 determines the full value.
+        let half = AbsVal::constant(1).join(AbsVal::constant(3));
+        assert_eq!(half.residue(2), Some(1));
+        let v = AbsVal::transfer(SAluOp::Shl, half, AbsVal::constant(63));
+        assert_eq!(v.as_const(), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn unknown_operands_give_top() {
+        let v = AbsVal::transfer(SAluOp::Shr, AbsVal::TOP, AbsVal::constant(3));
+        assert_eq!(v, AbsVal::TOP);
+        assert_eq!(v.residue(8), None);
+    }
+
+    #[test]
+    fn vector_shapes() {
+        let i = VAbs::Iota { start: 8, step: 8 };
+        assert_eq!(i.lanes64(), Some([8, 16, 24, 32, 40, 48, 56, 64]));
+        assert_eq!(i.join(i), i);
+        assert_eq!(i.join(VAbs::Splat(0)), VAbs::Top);
+        assert_eq!(VAbs::Bot.join(i), i);
+    }
+
+    #[test]
+    fn enc_join_orders() {
+        use EncState::*;
+        assert_eq!(
+            Known(EncSize::E2).join(Known(EncSize::E2)),
+            Known(EncSize::E2)
+        );
+        assert_eq!(Known(EncSize::E2).join(Known(EncSize::E8)), Conflicting);
+        assert_eq!(Known(EncSize::E2).join(AnyValid), AnyValid);
+        assert_eq!(Conflicting.join(AnyValid), Conflicting);
+        assert_eq!(Bot.join(Known(EncSize::E64)), Known(EncSize::E64));
+    }
+
+    #[test]
+    fn def_join() {
+        assert_eq!(Def::Undef.join(Def::Defined), Def::Maybe);
+        assert_eq!(Def::Defined.join(Def::Defined), Def::Defined);
+        assert_eq!(Def::Maybe.join(Def::Undef), Def::Maybe);
+    }
+}

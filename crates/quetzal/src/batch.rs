@@ -44,6 +44,15 @@
 //! have unwound mid-simulation and [`Machine::reset`]'s cold-boot
 //! guarantee is only pinned for machines that completed their runs.
 //!
+//! The `*_verified` variants
+//! ([`run_report_verified`](BatchRunner::run_report_verified),
+//! [`run_machines_report_verified`](BatchRunner::run_machines_report_verified))
+//! put a static gate in front of the fault boundary: each item's guest
+//! program is checked by `quetzal-verify` first, and programs the
+//! verifier can *prove* will fault are rejected up front
+//! ([`FailureCause::Rejected`]) without ever checking a machine out of
+//! the pool.
+//!
 //! ```
 //! use quetzal::{BatchRunner, Machine, MachineConfig};
 //!
@@ -56,6 +65,9 @@
 //! ```
 
 use crate::{Machine, MachineConfig, PredecodeRegistry, SimError};
+use quetzal_isa::Program;
+use quetzal_verify::{Report as VerifyReport, Verdict};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -204,6 +216,10 @@ pub enum FailureCause {
     Sim(SimError),
     /// The work closure panicked; the payload, if it was a string.
     Panic(String),
+    /// The `*_verified` entry points rejected the item's program before
+    /// any simulation ran: `quetzal-verify` proved it would fault. The
+    /// full static report says where and why.
+    Rejected(VerifyReport),
 }
 
 impl std::fmt::Display for FailureCause {
@@ -211,6 +227,12 @@ impl std::fmt::Display for FailureCause {
         match self {
             FailureCause::Sim(e) => write!(f, "simulation error: {e}"),
             FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureCause::Rejected(report) => write!(
+                f,
+                "statically rejected: program '{}' has {} diagnostic(s)",
+                report.name(),
+                report.diagnostics().len()
+            ),
         }
     }
 }
@@ -562,6 +584,169 @@ impl BatchRunner {
         Ok(Self::collect_report(rows))
     }
 
+    /// [`run_report`](Self::run_report) with a static pre-verification
+    /// gate: before any simulation, every item's [`Program`] (extracted
+    /// by `program_of`, deduplicated by [`Program::id`]) runs through
+    /// [`quetzal_verify::verify`]. Items whose program has a
+    /// [`Verdict::Fatal`] report are rejected up front — they land in
+    /// the failure log as [`FailureCause::Rejected`] and `work` is never
+    /// called for them, so a program the verifier can prove will fault
+    /// costs neither a simulation nor a retry.
+    ///
+    /// Contexts are built lazily: a shard whose items are all rejected
+    /// never calls `init`. Warning-only reports do **not** reject — the
+    /// verifier's soundness contract covers only its fatal findings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] only for infrastructure panics; rejections
+    /// and simulation failures land in the report.
+    pub fn run_report_verified<C, T, R>(
+        &self,
+        items: &[T],
+        program_of: impl Fn(&T) -> &Program + Sync,
+        init: impl Fn() -> C + Sync,
+        work: impl Fn(&mut C, usize, &T) -> Result<R, SimError> + Sync,
+    ) -> Result<RunReport<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let rejected = Self::reject_set(items, &program_of);
+        let attempt = |ctx: &mut C, i: usize, item: &T| -> Result<R, FailureCause> {
+            match catch_unwind(AssertUnwindSafe(|| work(ctx, i, item))) {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(e)) => Err(FailureCause::Sim(e)),
+                Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
+            }
+        };
+        let rows = self.run(
+            items,
+            || None::<C>,
+            |slot, i, item| {
+                if let Some(report) = rejected.get(&program_of(item).id()) {
+                    return (None, Some(Self::rejection(i, report)));
+                }
+                let ctx = slot.get_or_insert_with(&init);
+                match attempt(ctx, i, item) {
+                    Ok(r) => (Some(r), None),
+                    Err(cause) => {
+                        *ctx = init();
+                        let failure = |recovered| ItemFailure {
+                            item: i,
+                            cause: cause.clone(),
+                            recovered,
+                        };
+                        match attempt(ctx, i, item) {
+                            Ok(r) => (Some(r), Some(failure(true))),
+                            Err(_) => {
+                                *ctx = init();
+                                (None, Some(failure(false)))
+                            }
+                        }
+                    }
+                }
+            },
+        )?;
+        Ok(Self::collect_report(rows))
+    }
+
+    /// [`run_machines_report`](Self::run_machines_report) with the same
+    /// static pre-verification gate as
+    /// [`run_report_verified`](Self::run_report_verified): statically
+    /// fatal programs are rejected before any machine is checked out of
+    /// the pool, so they burn neither a simulation nor a pooled machine
+    /// (a shard of nothing but rejected items never touches the pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] only for infrastructure panics; rejections
+    /// and simulation failures land in the report.
+    pub fn run_machines_report_verified<T, R>(
+        &self,
+        config: &MachineConfig,
+        items: &[T],
+        program_of: impl Fn(&T) -> &Program + Sync,
+        work: impl Fn(&mut Machine, usize, &T) -> Result<R, SimError> + Sync,
+    ) -> Result<RunReport<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let pool = MachinePool::new(config);
+        let rejected = Self::reject_set(items, &program_of);
+        let attempt =
+            |pooled: &mut PooledMachine<'_>, i: usize, item: &T| -> Result<R, FailureCause> {
+                match catch_unwind(AssertUnwindSafe(|| work(pooled.machine(), i, item))) {
+                    Ok(Ok(r)) => Ok(r),
+                    Ok(Err(e)) => Err(FailureCause::Sim(e)),
+                    Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
+                }
+            };
+        let rows = self.run(
+            items,
+            || None::<PooledMachine<'_>>,
+            |slot, i, item| {
+                if let Some(report) = rejected.get(&program_of(item).id()) {
+                    return (None, Some(Self::rejection(i, report)));
+                }
+                let pooled = slot.get_or_insert_with(|| pool.checkout());
+                match attempt(pooled, i, item) {
+                    Ok(r) => (Some(r), None),
+                    Err(cause) => {
+                        pooled.replace_with_fresh();
+                        let failure = |recovered| ItemFailure {
+                            item: i,
+                            cause: cause.clone(),
+                            recovered,
+                        };
+                        match attempt(pooled, i, item) {
+                            Ok(r) => (Some(r), Some(failure(true))),
+                            Err(_) => {
+                                pooled.replace_with_fresh();
+                                (None, Some(failure(false)))
+                            }
+                        }
+                    }
+                }
+            },
+        )?;
+        Ok(Self::collect_report(rows))
+    }
+
+    /// Verifies every distinct program among `items` (deduplicated by
+    /// [`Program::id`], so a program shared by a thousand items is
+    /// analysed once) and keeps the reports that came back
+    /// [`Verdict::Fatal`].
+    fn reject_set<T>(
+        items: &[T],
+        program_of: &(impl Fn(&T) -> &Program + Sync),
+    ) -> HashMap<u64, VerifyReport> {
+        let mut verdicts: HashMap<u64, Option<VerifyReport>> = HashMap::new();
+        for item in items {
+            let program = program_of(item);
+            verdicts.entry(program.id()).or_insert_with(|| {
+                let report = quetzal_verify::verify(program);
+                (report.verdict() == Verdict::Fatal).then_some(report)
+            });
+        }
+        verdicts
+            .into_iter()
+            .filter_map(|(id, report)| report.map(|r| (id, r)))
+            .collect()
+    }
+
+    /// The failure-log entry of a statically rejected item. `recovered`
+    /// is always `false`: the verdict is a property of the program, so
+    /// a retry could only re-prove it.
+    fn rejection(item: usize, report: &VerifyReport) -> ItemFailure {
+        ItemFailure {
+            item,
+            cause: FailureCause::Rejected(report.clone()),
+            recovered: false,
+        }
+    }
+
     /// Splits per-item `(result, failure)` rows into a [`RunReport`].
     /// Rows arrive in item order (the deterministic merge), so the
     /// failure list is ordered by item index with no extra sort.
@@ -865,6 +1050,99 @@ mod tests {
         assert!(report.is_clean());
         let healthy: Vec<(u64, u64)> = report.healthy().map(|(_, r)| *r).collect();
         assert_eq!(healthy, plain);
+    }
+
+    #[test]
+    fn pre_verification_rejects_fatal_programs_without_simulating() {
+        // Item 1's program provably falls off the end of its image; the
+        // verifier must reject it before the work closure ever runs,
+        // and the healthy neighbours must be unaffected.
+        let good = |x: i64| {
+            let mut b = ProgramBuilder::new();
+            b.mov_imm(X0, x);
+            b.halt();
+            b.build().unwrap()
+        };
+        let bad = Program::from_raw(vec![Instruction::MovImm { rd: X0, imm: 7 }], "falls-off");
+        let items = [good(1), bad, good(3)];
+        for threads in [1, 4] {
+            let simulated = AtomicUsize::new(0);
+            let report = BatchRunner::new(threads)
+                .run_machines_report_verified(
+                    &MachineConfig::default(),
+                    &items,
+                    |p| p,
+                    |m, _i, p| {
+                        simulated.fetch_add(1, Ordering::Relaxed);
+                        m.run(p)?;
+                        Ok(m.core().state().x(X0))
+                    },
+                )
+                .unwrap();
+            assert_eq!(simulated.load(Ordering::Relaxed), 2, "threads={threads}");
+            assert_eq!(report.results, vec![Some(1), None, Some(3)]);
+            assert_eq!(report.failures.len(), 1);
+            let failure = &report.failures[0];
+            assert_eq!(failure.item, 1);
+            assert!(!failure.recovered);
+            let FailureCause::Rejected(verify) = &failure.cause else {
+                panic!("expected a static rejection, got {}", failure.cause);
+            };
+            assert_eq!(verify.verdict(), Verdict::Fatal);
+            assert!(failure.to_string().contains("statically rejected"));
+        }
+    }
+
+    #[test]
+    fn warning_only_programs_are_not_rejected() {
+        // Reads an uninitialised register: a warning, not a fatal
+        // finding — the item must still simulate (registers are
+        // architecturally zero at reset, so it runs fine).
+        let mut b = ProgramBuilder::new();
+        b.alu_ri(SAluOp::Add, X0, X10, 5);
+        b.halt();
+        let program = b.build().unwrap();
+        let report = quetzal_verify::verify(&program);
+        assert_eq!(report.verdict(), quetzal_verify::Verdict::Warnings);
+        let items = [program];
+        let run = BatchRunner::new(1)
+            .run_machines_report_verified(
+                &MachineConfig::default(),
+                &items,
+                |p| p,
+                |m, _i, p| {
+                    m.run(p)?;
+                    Ok(m.core().state().x(X0))
+                },
+            )
+            .unwrap();
+        assert!(run.is_clean());
+        assert_eq!(run.results, vec![Some(5)]);
+    }
+
+    #[test]
+    fn verified_generic_contexts_are_built_lazily() {
+        // Every item is rejected, so `init` must never run: a batch of
+        // provably fatal programs costs zero contexts.
+        let bad = Program::from_raw(vec![Instruction::MovImm { rd: X0, imm: 7 }], "falls-off");
+        let items = [bad.clone(), bad];
+        let inits = AtomicUsize::new(0);
+        let report = BatchRunner::new(1)
+            .with_shard_size(2)
+            .run_report_verified(
+                &items,
+                |p| p,
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_, _, _| Ok(0u64),
+            )
+            .unwrap();
+        assert_eq!(
+            inits.load(Ordering::Relaxed),
+            0,
+            "no context for rejected-only shards"
+        );
+        assert_eq!(report.results, vec![None, None]);
+        assert_eq!(report.failures.len(), 2);
     }
 
     #[test]

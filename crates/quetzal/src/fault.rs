@@ -114,7 +114,11 @@ fn imm(rng: &mut SplitMix64) -> i64 {
 /// the element count, QBUFFER indices may be misaligned. `len` bounds
 /// the *plausible* branch-target range (targets up to `2 * len` are
 /// drawn, so roughly half are out of range).
-fn random_inst(rng: &mut SplitMix64, len: usize) -> Instruction {
+///
+/// Public so the verifier's property fuzz can generate whole random
+/// programs from the same instruction distribution the sweep mutates
+/// with.
+pub fn random_instruction(rng: &mut SplitMix64, len: usize) -> Instruction {
     let target_range = (2 * len.max(1)) as u64;
     match rng.below(24) {
         0 => Instruction::MovImm {
@@ -442,12 +446,12 @@ impl FaultPlan {
             }
             1 => {
                 let at = rng.below(insts.len() as u64) as usize;
-                insts[at] = random_inst(&mut rng, insts.len());
+                insts[at] = random_instruction(&mut rng, insts.len());
                 Mutation::Mutated
             }
             2 => {
                 let at = rng.below(insts.len() as u64 + 1) as usize;
-                let inst = random_inst(&mut rng, insts.len() + 1);
+                let inst = random_instruction(&mut rng, insts.len() + 1);
                 insts.insert(at, inst);
                 Mutation::Inserted
             }

@@ -42,6 +42,7 @@ pub use quetzal_accel as accel;
 pub use quetzal_genomics as genomics;
 pub use quetzal_isa as isa;
 pub use quetzal_uarch as uarch;
+pub use quetzal_verify as verify;
 
 pub mod batch;
 pub mod fault;

@@ -27,6 +27,14 @@ QUETZAL_FAULT_CASES=12000 QUETZAL_FAULT_SEED=0xF4417 \
     cargo test -q --offline --release -p quetzal-integration \
     --test fault_injection
 
+echo "==> qzverify: every in-tree kernel verifies statically Clean"
+# Replays the experiment grid with the build observer installed and
+# runs quetzal-verify over every program it stages; any verdict below
+# Clean (warnings included) fails the gate.
+QUETZAL_SCALE=0.25 \
+    cargo run -q --release --offline -p quetzal-bench --bin qzverify \
+    > /dev/null
+
 echo "==> smoke: run_all at reduced scale, 1 vs N threads byte-identical"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT

@@ -8,17 +8,36 @@
 //! (`CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true`), so internal
 //! invariant checks and integer-overflow panics are live.
 //!
+//! The sweep doubles as the **differential oracle for `quetzal-verify`**:
+//! every mutant program is also run through the static verifier, and
+//! [`assert_verdict_consistent`] pins the two directions of its
+//! contract against the observed runtime outcome —
+//!
+//! * *soundness*: a `Clean` verdict forbids the statically decidable
+//!   [`SimError`] variants (`DecodeError`, `InvalidRegister`,
+//!   `InvalidQzConf`, `QBufferIndexOutOfRange`) from occurring;
+//! * *completeness on decidable faults*: when the runtime does raise
+//!   one of those variants, the verifier must have flagged that kind
+//!   (at the faulting pc, for the pc-precise kinds).
+//!
 //! Environment knobs:
 //! - `QUETZAL_FAULT_CASES` — number of cases (default 12 000).
 //! - `QUETZAL_FAULT_SEED` — sweep seed (default `0xF4417`).
+//! - `QUETZAL_VERIFY_FUZZ_CASES` — random whole programs for the
+//!   verifier property fuzz (default 4 000).
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use quetzal::{FaultPlan, Machine, MachineConfig, RunStats, SimError};
+use quetzal::fault::random_instruction;
+use quetzal::genomics::rng::SplitMix64;
+use quetzal::isa::Instruction;
+use quetzal::verify::{self, DiagKind, Verdict};
+use quetzal::{FaultPlan, Machine, MachineConfig, Program, RunStats, SimError};
 
 const DEFAULT_CASES: u64 = 12_000;
 const DEFAULT_SEED: u64 = 0xF4417;
+const DEFAULT_FUZZ_CASES: u64 = 4_000;
 
 /// Staged machines allocate a few KiB (tens of pages at most); a wild
 /// store loop sweeping a large stride must exhaust this budget — and
@@ -52,27 +71,87 @@ fn variant_name(e: &SimError) -> &'static str {
     }
 }
 
-/// Runs one case; `Err` carries the payload of an escaped panic.
-fn run_case(plan: &FaultPlan, case: u64) -> Result<Result<RunStats, SimError>, String> {
+fn set_budgets(machine: &mut Machine) {
+    machine
+        .core_mut()
+        .state_mut()
+        .mem
+        .set_page_budget(PAGE_BUDGET);
+    machine.core_mut().set_budget(INST_BUDGET);
+    machine.core_mut().set_cycle_budget(CYCLE_BUDGET);
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Runs one case and hands the mutant program back for static
+/// cross-validation; `Err` carries the payload of an escaped panic.
+fn run_case(plan: &FaultPlan, case: u64) -> Result<(Program, Result<RunStats, SimError>), String> {
     catch_unwind(AssertUnwindSafe(|| {
         let mut machine = Machine::new(MachineConfig::default());
         let (program, _) = plan.stage(case, &mut machine);
-        machine
-            .core_mut()
-            .state_mut()
-            .mem
-            .set_page_budget(PAGE_BUDGET);
-        machine.core_mut().set_budget(INST_BUDGET);
-        machine.core_mut().set_cycle_budget(CYCLE_BUDGET);
-        machine.run(&program)
+        set_budgets(&mut machine);
+        let outcome = machine.run(&program);
+        (program, outcome)
     }))
-    .map_err(|payload| {
-        payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string())
-    })
+    .map_err(panic_text)
+}
+
+/// Cross-validates the static verdict on `program` against its runtime
+/// outcome. `context` prefixes every assertion message with replay
+/// instructions.
+///
+/// Both directions are checked: a `Clean` verdict must rule out the
+/// statically decidable fault variants, and any decidable fault the
+/// runtime raised must appear in the report — at the faulting pc for
+/// `InvalidRegister` / `InvalidQzConf` / `QBufferIndexOutOfRange`
+/// (those are properties of one instruction site), at any pc for
+/// `DecodeError` (the runtime reports the out-of-range pc itself, the
+/// verifier the instruction that leads there).
+///
+/// The reverse of soundness is deliberately *not* asserted: a `Fatal`
+/// verdict need not fault at runtime, because the poisoned instruction
+/// may sit behind a conditional branch the injected inputs never take.
+fn assert_verdict_consistent(
+    context: &str,
+    program: &Program,
+    outcome: &Result<RunStats, SimError>,
+) -> Verdict {
+    let report = verify::verify(program);
+    if let Err(e) = outcome {
+        let decidable = matches!(
+            e,
+            SimError::DecodeError { .. }
+                | SimError::InvalidRegister { .. }
+                | SimError::InvalidQzConf { .. }
+                | SimError::QBufferIndexOutOfRange { .. }
+        );
+        assert!(
+            !(report.is_clean() && decidable),
+            "{context}: verifier said Clean but runtime raised {e}\n{report}"
+        );
+        let flagged = match e {
+            SimError::DecodeError { .. } => report.has_fatal_kind(DiagKind::DecodeError),
+            SimError::InvalidRegister { pc, .. } => {
+                report.has_kind_at(DiagKind::InvalidRegister, *pc)
+            }
+            SimError::InvalidQzConf { pc, .. } => report.has_kind_at(DiagKind::InvalidQzConf, *pc),
+            SimError::QBufferIndexOutOfRange { pc, .. } => {
+                report.has_kind_at(DiagKind::QBufferIndexOutOfRange, *pc)
+            }
+            _ => true,
+        };
+        assert!(
+            flagged,
+            "{context}: runtime raised {e} but the verifier did not flag it\n{report}"
+        );
+    }
+    report.verdict()
 }
 
 #[test]
@@ -83,10 +162,28 @@ fn sweep_never_panics_and_always_terminates() {
 
     let mut ok = 0u64;
     let mut errors: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut verdicts: BTreeMap<&'static str, u64> = BTreeMap::new();
     for case in 0..cases {
         match run_case(&plan, case) {
-            Ok(Ok(_)) => ok += 1,
-            Ok(Err(e)) => *errors.entry(variant_name(&e)).or_insert(0) += 1,
+            Ok((program, outcome)) => {
+                let context = format!(
+                    "case {case} (replay with QUETZAL_FAULT_SEED={seed:#x} \
+                     QUETZAL_FAULT_CASES={})",
+                    case + 1
+                );
+                let verdict = assert_verdict_consistent(&context, &program, &outcome);
+                *verdicts
+                    .entry(match verdict {
+                        Verdict::Clean => "Clean",
+                        Verdict::Warnings => "Warnings",
+                        Verdict::Fatal => "Fatal",
+                    })
+                    .or_insert(0) += 1;
+                match outcome {
+                    Ok(_) => ok += 1,
+                    Err(e) => *errors.entry(variant_name(&e)).or_insert(0) += 1,
+                }
+            }
             Err(panic_msg) => panic!(
                 "case {case} (seed {seed:#x}) escaped the machine boundary \
                  as a panic: {panic_msg}\n\
@@ -98,6 +195,7 @@ fn sweep_never_panics_and_always_terminates() {
 
     let faulted: u64 = errors.values().sum();
     eprintln!("fault sweep: {cases} cases, {ok} clean, {faulted} typed errors {errors:?}");
+    eprintln!("fault sweep: static verdicts {verdicts:?}");
     assert!(ok > 0, "sweep produced no clean runs — generator is broken");
     assert!(
         faulted > 0,
@@ -107,6 +205,10 @@ fn sweep_never_panics_and_always_terminates() {
         errors.len() >= 3,
         "expected >= 3 distinct SimError variants, saw {errors:?}"
     );
+    assert!(
+        verdicts.contains_key("Fatal"),
+        "12k adversarial mutants should include statically provable faults, saw {verdicts:?}"
+    );
 }
 
 #[test]
@@ -114,8 +216,8 @@ fn sweep_outcomes_are_deterministic() {
     let seed = env_u64("QUETZAL_FAULT_SEED", DEFAULT_SEED);
     let plan = FaultPlan::new(seed);
     let describe = |case: u64| match run_case(&plan, case) {
-        Ok(Ok(stats)) => format!("ok cycles={} insts={}", stats.cycles, stats.instructions),
-        Ok(Err(e)) => format!("err {e}"),
+        Ok((_, Ok(stats))) => format!("ok cycles={} insts={}", stats.cycles, stats.instructions),
+        Ok((_, Err(e))) => format!("err {e}"),
         Err(p) => format!("panic {p}"),
     };
     for case in 0..200 {
@@ -123,5 +225,101 @@ fn sweep_outcomes_are_deterministic() {
         let second = describe(case);
         assert_eq!(first, second, "case {case} diverged between runs");
         assert!(!first.starts_with("panic"), "case {case}: {first}");
+    }
+}
+
+/// Property fuzz for the verifier itself: whole random programs (drawn
+/// from the same instruction distribution the sweep mutates with, plus
+/// a trailing `Halt` so a straight-line fall-through is well-formed)
+/// are verified and then executed. [`assert_verdict_consistent`] pins
+/// the same two-directional contract as the sweep — in particular,
+/// programs the verifier passes as `Clean` must never raise
+/// `DecodeError`, `InvalidRegister`, `InvalidQzConf`, or
+/// `QBufferIndexOutOfRange` at runtime.
+#[test]
+fn verifier_verdicts_match_runtime_on_random_programs() {
+    let cases = env_u64("QUETZAL_VERIFY_FUZZ_CASES", DEFAULT_FUZZ_CASES);
+    let seed = env_u64("QUETZAL_FAULT_SEED", DEFAULT_SEED);
+    let mut verdicts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(
+            seed ^ case
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(0x5EED),
+        );
+        let body = 3 + rng.below(13) as usize;
+        // Half the corpus gets a prologue defining every architectural
+        // register with a small constant. Without it, almost every
+        // random program reads an undefined register and lands in
+        // `Warnings`; with it, straight-line bodies routinely verify
+        // fully `Clean`, which is what makes the soundness direction of
+        // the contract non-vacuous. (The prologue constants also feed
+        // the verifier's constant propagation, so lane indices, element
+        // sizes, and branch bounds in the body become decidable.)
+        let mut insts: Vec<Instruction> = Vec::new();
+        if rng.chance(0.5) {
+            for i in 0..quetzal::isa::reg::NUM_XREGS {
+                insts.push(Instruction::MovImm {
+                    rd: quetzal::isa::XReg::new(i),
+                    imm: rng.i64_in(0, 64),
+                });
+            }
+            for i in 0..quetzal::isa::reg::NUM_VREGS {
+                insts.push(Instruction::DupImm {
+                    vd: quetzal::isa::VReg::new(i),
+                    imm: rng.i64_in(0, 64),
+                    esize: quetzal::isa::ElemSize::B64,
+                });
+            }
+            for i in 0..quetzal::isa::reg::NUM_PREGS {
+                insts.push(Instruction::PTrue {
+                    pd: quetzal::isa::PReg::new(i),
+                    esize: quetzal::isa::ElemSize::B64,
+                });
+            }
+        }
+        let prologue = insts.len();
+        let len = prologue + body + 1;
+        // Branch targets are drawn in `[0, 2 * len)`: about half the
+        // branchy programs are decode-fatal, the rest exercise real
+        // control flow (including jumps back into the prologue).
+        insts.extend((0..body).map(|_| random_instruction(&mut rng, len)));
+        insts.push(Instruction::Halt);
+        let program = Program::from_raw(insts, format!("fuzz-{case}"));
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut machine = Machine::new(MachineConfig::default());
+            set_budgets(&mut machine);
+            machine.run(&program)
+        }))
+        .unwrap_or_else(|payload| {
+            panic!(
+                "fuzz case {case} (seed {seed:#x}) escaped as a panic: {}",
+                panic_text(payload)
+            )
+        });
+
+        let context = format!("fuzz case {case} (seed {seed:#x})");
+        let verdict = assert_verdict_consistent(&context, &program, &outcome);
+        *verdicts
+            .entry(match verdict {
+                Verdict::Clean => "Clean",
+                Verdict::Warnings => "Warnings",
+                Verdict::Fatal => "Fatal",
+            })
+            .or_insert(0) += 1;
+    }
+    eprintln!("verifier fuzz: {cases} programs, verdicts {verdicts:?}");
+    if cases == DEFAULT_FUZZ_CASES && seed == DEFAULT_SEED {
+        // With the default corpus the soundness direction must not be
+        // vacuous: some random programs do verify fully Clean.
+        assert!(
+            verdicts.contains_key("Clean"),
+            "no random program verified Clean — soundness check is vacuous: {verdicts:?}"
+        );
+        assert!(
+            verdicts.contains_key("Fatal"),
+            "no fatal verdicts: {verdicts:?}"
+        );
     }
 }
