@@ -10,14 +10,14 @@
 //! depend on the host's core count.
 
 use quetzal::uarch::RunStats;
-use quetzal::{BatchRunner, Machine, MachineConfig, Probe, SimError};
+use quetzal::{BatchRunner, Machine, MachineConfig, MachinePool, Probe, SimError};
 use quetzal_algos::biwfa::biwfa_sim;
 use quetzal_algos::dp_sim::LinearCosts;
 use quetzal_algos::nw::nw_sim;
 use quetzal_algos::sneakysnake::ss_sim;
 use quetzal_algos::swg::{default_band, swg_sim};
 use quetzal_algos::wfa_sim::wfa_sim;
-use quetzal_algos::Tier;
+use quetzal_algos::{SimOutcome, Tier};
 use quetzal_genomics::dataset::{DatasetSpec, SeqPair};
 
 /// Deterministic seed for every experiment.
@@ -251,10 +251,31 @@ pub fn run_algo_pairs(
     wl: &Workload,
     tier: Tier,
 ) -> Vec<RunStats> {
+    let pool = MachinePool::new(cfg, runner.exec_mode());
+    run_algo_pairs_pooled(runner, &pool, algo, wl, tier)
+}
+
+/// [`run_algo_pairs`] over a caller-owned [`MachinePool`]: repeated
+/// runs of one kernel (e.g. the throughput trajectory's timing samples)
+/// reuse the pool's machines instead of rebuilding them per run.
+/// Checkout resets every recycled machine to cold-boot state, so the
+/// per-pair statistics are bit-identical to a per-call pool.
+///
+/// # Panics
+///
+/// Panics only on simulation-infrastructure failure (a panic outside
+/// the per-item fault boundary).
+pub fn run_algo_pairs_pooled(
+    runner: &BatchRunner,
+    pool: &MachinePool<'_>,
+    algo: Algo,
+    wl: &Workload,
+    tier: Tier,
+) -> Vec<RunStats> {
     let threshold = wl.ss_threshold();
     let alphabet = wl.spec.alphabet;
     let report = runner
-        .run_machines_report(cfg, &wl.pairs, |machine, _i, pair| {
+        .run_machines_report_pooled(pool, &wl.pairs, |machine, _i, pair| {
             try_simulate_pair(machine, algo, alphabet, threshold, pair, tier)
         })
         .expect("simulation infrastructure panicked");
@@ -310,6 +331,27 @@ pub fn try_simulate_pair<P: Probe>(
     pair: &SeqPair,
     tier: Tier,
 ) -> Result<RunStats, SimError> {
+    try_simulate_pair_outcome(machine, algo, alphabet, ss_threshold, pair, tier)
+        .map(|outcome| outcome.stats)
+}
+
+/// [`try_simulate_pair`], but returning the full [`SimOutcome`] — the
+/// algorithm's architectural result (alignment score, filter verdict)
+/// alongside the statistics. The differential oracle in
+/// `tests/functional_equiv.rs` compares this value between the
+/// cycle-level and functional execution tiers.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the simulated kernel faults.
+pub fn try_simulate_pair_outcome<P: Probe>(
+    machine: &mut Machine<P>,
+    algo: Algo,
+    alphabet: quetzal_genomics::Alphabet,
+    ss_threshold: u32,
+    pair: &SeqPair,
+    tier: Tier,
+) -> Result<SimOutcome, SimError> {
     use quetzal_algos::wfa_sim::WfaSimError;
     let unwrap_wfa = |r: Result<quetzal_algos::SimOutcome, WfaSimError>| match r {
         Ok(outcome) => Ok(outcome),
@@ -337,7 +379,7 @@ pub fn try_simulate_pair<P: Probe>(
             nw_sim(machine, pw, tw, LinearCosts::UNIT, tier)?
         }
     };
-    Ok(outcome.stats)
+    Ok(outcome)
 }
 
 /// Base pairs processed by one run of `algo` over `wl` (for throughput

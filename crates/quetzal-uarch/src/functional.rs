@@ -1,0 +1,1079 @@
+//! Compiled functional execution tier (no timing model).
+//!
+//! The cycle-level engine interprets one instruction at a time and
+//! streams it through the out-of-order timing model. This module is the
+//! *second*, independent engine: it lifts each basic block of the
+//! recovered CFG ([`quetzal_isa::cfg`]) into **flat step tables** —
+//! contiguous arrays of `(pc, Instruction)` records dispatched by a
+//! direct match, with no per-step heap allocation — and chains blocks
+//! connected by unconditional control flow into **superblocks**
+//! dispatched with a single lookup. Compiled programs are cached per
+//! [`Program::id`] alongside the predecode tables, so steady-state
+//! execution touches no decoder at all.
+//!
+//! The tier is architecturally exact: it produces bit-identical
+//! register, memory and QBUFFER state to the interpreter, enforces the
+//! same instruction budget with the same error-ordering semantics
+//! ([`SimError::InstLimit`] before [`SimError::DecodeError`] when the
+//! budget expires exactly at an out-of-program target), and surfaces
+//! the identical typed [`SimError`] taxonomy — everything except the
+//! clock, which it does not model ([`SimError::CycleLimit`] cannot
+//! occur here). `tests/functional_equiv.rs` and the fault-injection
+//! sweep pin this equivalence differentially against the cycle-level
+//! core.
+//!
+//! Lane loops reuse the interpreter's shared ALU routines
+//! ([`vector_alu`], [`scalar_alu`]), so per-lane arithmetic cannot
+//! drift between the engines; what the differential oracle therefore
+//! independently exercises is decode, dispatch, control flow, predication,
+//! budget accounting and the memory/QBUFFER access paths.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::interp::{active_lane_pairs, scalar_alu, vector_alu, SimError};
+use crate::predecode::Predecode;
+use crate::state::{truncate, ArchState};
+use quetzal_accel::count_alu::qzcount_vector;
+use quetzal_isa::cfg::Cfg;
+use quetzal_isa::{
+    BranchCond, ElemSize, InstClass, Instruction, Program, RedOp, XReg, LANES_64, VLEN_BYTES,
+};
+
+/// Which execution engine [`Core::run`](crate::Core::run) drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The cycle-level out-of-order engine (timing ground truth).
+    #[default]
+    Cycle,
+    /// The compiled functional tier: identical architectural results,
+    /// no clock — `RunStats` carries only the instruction count.
+    Functional,
+}
+
+/// One compiled instruction: the decoded [`Instruction`] plus the pc it
+/// sits at, captured for fault attribution. Steps are `Copy` and stored
+/// flat, so compiling a superblock costs one `Vec` allocation total —
+/// not one boxed closure per instruction, which on a slow allocator
+/// costs more than actually *running* the kernel (compilation went from
+/// hundreds of microseconds to single digits per program when the
+/// closure representation was replaced by this table).
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    pc: u32,
+    inst: Instruction,
+}
+
+/// Where control goes after a superblock.
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    /// Another superblock (index into [`CompiledProgram::blocks`]).
+    Block(usize),
+    /// An out-of-program pc — a typed decode fault at dispatch time.
+    Out(usize),
+}
+
+/// How a superblock ends. `Halt` and `Branch` are *counted*
+/// instructions (the interpreter executes them); `Goto` is free — the
+/// jump or fallthrough that produced it was already compiled as a step.
+enum Terminator {
+    /// The program halts.
+    Halt,
+    /// A conditional branch: evaluate and pick an edge.
+    Branch {
+        cond: BranchCond,
+        rn: XReg,
+        rm: XReg,
+        taken: Target,
+        fall: Target,
+    },
+    /// Unconditional transfer (jump or fallthrough out of the chain).
+    Goto(Target),
+}
+
+/// A chain of basic blocks entered only at the top and executed
+/// straight through: every inner block transfers unconditionally to the
+/// next ([`Cfg::chain_from`]), so one dispatch covers the whole chain.
+struct Superblock {
+    steps: Vec<Step>,
+    term: Terminator,
+    /// Dynamic instructions one full pass consumes (steps plus a
+    /// counted terminator). Always ≥ 1, so dispatch cannot livelock.
+    insts: u64,
+}
+
+/// A program compiled to superblocks, indexed like the CFG's blocks
+/// (superblock `i` starts at basic block `i`; tail duplication means a
+/// block's steps may also appear inside earlier chains).
+pub(crate) struct CompiledProgram {
+    blocks: Vec<Superblock>,
+}
+
+impl std::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("superblocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+/// Longest block chain folded into one superblock. Bounds tail
+/// duplication (a block may be re-compiled into many chains) while
+/// still covering the unrolled straight-line bodies the kernel
+/// builders emit.
+const MAX_CHAIN: usize = 16;
+
+/// Compiles `program` into superblocks. `pre` must be the program's
+/// predecode table: terminators are classified from its [`MicroOp`]
+/// records rather than re-inspecting raw instructions.
+///
+/// [`MicroOp`]: crate::predecode::MicroOp
+pub(crate) fn compile(program: &Program, pre: &Predecode) -> CompiledProgram {
+    debug_assert_eq!(pre.len(), program.len(), "predecode table mismatch");
+    let insts = program.instructions();
+    let len = insts.len();
+    let cfg = Cfg::of(insts);
+    let target = |pc: usize| {
+        if pc < len {
+            Target::Block(cfg.block_of(pc))
+        } else {
+            Target::Out(pc)
+        }
+    };
+
+    let mut blocks = Vec::with_capacity(cfg.blocks().len());
+    for b in 0..cfg.blocks().len() {
+        let chain = cfg.chain_from(b, insts, MAX_CHAIN);
+        let chain_insts: usize = chain.iter().map(|&cb| cfg.blocks()[cb].pcs().len()).sum();
+        let mut steps = Vec::with_capacity(chain_insts);
+        let mut n_insts = 0u64;
+        // Always overwritten: every chain ends with a terminal
+        // instruction (blocks are non-empty by construction).
+        let mut term = Terminator::Halt;
+        for (ci, &cb) in chain.iter().enumerate() {
+            let block = &cfg.blocks()[cb];
+            let last_in_chain = ci + 1 == chain.len();
+            for pc in block.pcs() {
+                let inst = insts[pc];
+                n_insts += 1;
+                if !(last_in_chain && pc + 1 == block.end) {
+                    // Interior of the chain: straight-line step. A
+                    // chained jump executes (it is counted) but
+                    // transfers nowhere — the chain already continues
+                    // at its target.
+                    steps.push(Step {
+                        pc: pc as u32,
+                        inst,
+                    });
+                    continue;
+                }
+                let uop = pre.op(pc);
+                term = match inst {
+                    _ if uop.class == InstClass::Halt => Terminator::Halt,
+                    Instruction::Branch {
+                        cond,
+                        rn,
+                        rm,
+                        target: t,
+                    } => {
+                        debug_assert!(uop.is_cond_branch);
+                        Terminator::Branch {
+                            cond,
+                            rn,
+                            rm,
+                            taken: target(t),
+                            fall: target(pc + 1),
+                        }
+                    }
+                    Instruction::Jump { target: t } => {
+                        debug_assert!(uop.class == InstClass::Branch && !uop.is_cond_branch);
+                        steps.push(Step {
+                            pc: pc as u32,
+                            inst,
+                        });
+                        Terminator::Goto(target(t))
+                    }
+                    _ => {
+                        steps.push(Step {
+                            pc: pc as u32,
+                            inst,
+                        });
+                        Terminator::Goto(target(pc + 1))
+                    }
+                };
+            }
+        }
+        let counted_term = matches!(term, Terminator::Halt | Terminator::Branch { .. }) as u64;
+        debug_assert_eq!(n_insts, steps.len() as u64 + counted_term);
+        blocks.push(Superblock {
+            steps,
+            term,
+            insts: n_insts,
+        });
+    }
+    CompiledProgram { blocks }
+}
+
+/// Dispatches a superblock edge: in-program targets continue at their
+/// block; out-of-program targets fault with the interpreter's exact
+/// ordering (budget exhaustion wins over the decode fault).
+fn dispatch(t: Target, remaining: u64, budget: u64) -> Result<usize, SimError> {
+    match t {
+        Target::Block(b) => Ok(b),
+        Target::Out(pc) => {
+            if remaining == 0 {
+                Err(SimError::InstLimit { budget })
+            } else {
+                Err(SimError::DecodeError { pc })
+            }
+        }
+    }
+}
+
+/// Runs a compiled program against `state` under the same instruction
+/// budget the interpreter enforces. Returns the executed instruction
+/// count (halt included), exactly as [`crate::interp::execute`] does.
+///
+/// Budget accounting is superblock-granular on the fast path: when the
+/// whole chain fits in the remaining budget it is debited up front —
+/// observationally identical, because no guest-visible effect reads the
+/// count mid-chain. Only when the budget could expire inside the chain
+/// does dispatch fall back to per-instruction checks.
+pub(crate) fn run_compiled(
+    cp: &CompiledProgram,
+    state: &mut ArchState,
+    budget: u64,
+) -> Result<u64, SimError> {
+    if cp.blocks.is_empty() {
+        // Empty image: pc 0 is already outside the program, but the
+        // interpreter checks the budget first.
+        return if budget == 0 {
+            Err(SimError::InstLimit { budget })
+        } else {
+            Err(SimError::DecodeError { pc: 0 })
+        };
+    }
+    let mut remaining = budget;
+    let mut block = 0usize;
+    loop {
+        let sb = &cp.blocks[block];
+        block = if remaining >= sb.insts {
+            remaining -= sb.insts;
+            for step in &sb.steps {
+                exec_step(step.pc as usize, step.inst, state)?;
+            }
+            match sb.term {
+                Terminator::Halt => return Ok(budget - remaining),
+                Terminator::Goto(t) => dispatch(t, remaining, budget)?,
+                Terminator::Branch {
+                    cond,
+                    rn,
+                    rm,
+                    taken,
+                    fall,
+                } => {
+                    let t = if cond.eval(state.x(rn) as i64, state.x(rm) as i64) {
+                        taken
+                    } else {
+                        fall
+                    };
+                    dispatch(t, remaining, budget)?
+                }
+            }
+        } else {
+            // The budget expires somewhere in this chain: mirror the
+            // interpreter's check-fetch-execute order per instruction.
+            for step in &sb.steps {
+                if remaining == 0 {
+                    return Err(SimError::InstLimit { budget });
+                }
+                remaining -= 1;
+                exec_step(step.pc as usize, step.inst, state)?;
+            }
+            match sb.term {
+                Terminator::Goto(t) => dispatch(t, remaining, budget)?,
+                Terminator::Halt => {
+                    if remaining == 0 {
+                        return Err(SimError::InstLimit { budget });
+                    }
+                    remaining -= 1;
+                    return Ok(budget - remaining);
+                }
+                Terminator::Branch {
+                    cond,
+                    rn,
+                    rm,
+                    taken,
+                    fall,
+                } => {
+                    if remaining == 0 {
+                        return Err(SimError::InstLimit { budget });
+                    }
+                    remaining -= 1;
+                    let t = if cond.eval(state.x(rn) as i64, state.x(rm) as i64) {
+                        taken
+                    } else {
+                        fall
+                    };
+                    dispatch(t, remaining, budget)?
+                }
+            }
+        };
+    }
+}
+
+/// Executes one compiled step against `state`. Semantics mirror the
+/// interpreter's match in [`crate::interp`] arm for arm (shared ALU
+/// helpers included); the sink-only fields (`d.mem`, `d.taken`,
+/// `d.qz_latency`) have no functional analogue and are simply absent.
+/// `pc` is the step's program counter, used only for fault attribution.
+#[allow(clippy::too_many_lines)]
+#[inline]
+fn exec_step(pc: usize, inst: Instruction, s: &mut ArchState) -> Result<(), SimError> {
+    match inst {
+        Instruction::MovImm { rd, imm } => {
+            s.set_x(rd, imm as u64);
+            Ok(())
+        }
+        Instruction::AluRR { op, rd, rn, rm } => {
+            let v = scalar_alu(op, s.x(rn), s.x(rm));
+            s.set_x(rd, v);
+            Ok(())
+        }
+        Instruction::AluRI { op, rd, rn, imm } => {
+            let v = scalar_alu(op, s.x(rn), imm as u64);
+            s.set_x(rd, v);
+            Ok(())
+        }
+        Instruction::Load {
+            rd,
+            rn,
+            offset,
+            size,
+        } => {
+            let addr = s.x(rn).wrapping_add_signed(offset);
+            let v = s.mem.read_le(addr, size.bytes());
+            s.set_x(rd, v);
+            Ok(())
+        }
+        Instruction::Store {
+            rs,
+            rn,
+            offset,
+            size,
+        } => {
+            let addr = s.x(rn).wrapping_add_signed(offset);
+            if s.mem.try_write_le(addr, s.x(rs), size.bytes()).is_err() {
+                return Err(SimError::MemoryFault { addr, pc });
+            }
+            Ok(())
+        }
+        Instruction::Jump { .. } => {
+            // Counted no-op: the superblock chain or `Goto` terminator
+            // already encodes the transfer.
+            Ok(())
+        }
+        Instruction::Halt | Instruction::Branch { .. } => {
+            // Structurally unreachable: `compile` turns these into
+            // superblock terminators. Surface a typed fault (never a
+            // panic) if a compiler bug ever emits one as a step.
+            debug_assert!(false, "terminator compiled as a step at pc {pc}");
+            Err(SimError::DecodeError { pc })
+        }
+
+        Instruction::Dup { vd, rn, esize } => {
+            let lanes = esize.lanes();
+            let v = s.x(rn);
+            for i in 0..lanes {
+                s.set_v_elem(vd, i, esize, v);
+            }
+            Ok(())
+        }
+        Instruction::DupImm { vd, imm, esize } => {
+            let lanes = esize.lanes();
+            for i in 0..lanes {
+                s.set_v_elem(vd, i, esize, imm as u64);
+            }
+            Ok(())
+        }
+        Instruction::Index {
+            vd,
+            rn,
+            step: stride,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            let start = s.x(rn) as i64;
+            for i in 0..lanes {
+                let v = start.wrapping_add(stride.wrapping_mul(i as i64));
+                s.set_v_elem(vd, i, esize, truncate(v, esize));
+            }
+            Ok(())
+        }
+        Instruction::VAluVV {
+            op,
+            vd,
+            vn,
+            vm,
+            pg,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let a = s.v_elem_i64(vn, i, esize);
+                    let b = s.v_elem_i64(vm, i, esize);
+                    s.set_v_elem(vd, i, esize, vector_alu(op, a, b, esize));
+                }
+            }
+            Ok(())
+        }
+        Instruction::VAluVI {
+            op,
+            vd,
+            vn,
+            imm,
+            pg,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let a = s.v_elem_i64(vn, i, esize);
+                    s.set_v_elem(vd, i, esize, vector_alu(op, a, imm, esize));
+                }
+            }
+            Ok(())
+        }
+        Instruction::VCmpVV {
+            cond,
+            pd,
+            vn,
+            vm,
+            pg,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            let mut p = 0u64;
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let a = s.v_elem_i64(vn, i, esize);
+                    let b = s.v_elem_i64(vm, i, esize);
+                    if cond.eval(a, b) {
+                        p |= 1 << (i * esize.bytes());
+                    }
+                }
+            }
+            s.set_p(pd, p);
+            Ok(())
+        }
+        Instruction::VCmpVI {
+            cond,
+            pd,
+            vn,
+            imm,
+            pg,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            let mut p = 0u64;
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let a = s.v_elem_i64(vn, i, esize);
+                    if cond.eval(a, imm) {
+                        p |= 1 << (i * esize.bytes());
+                    }
+                }
+            }
+            s.set_p(pd, p);
+            Ok(())
+        }
+        Instruction::VSel {
+            vd,
+            pg,
+            vn,
+            vm,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            for i in 0..lanes {
+                let v = if s.lane_active(pg, i, esize) {
+                    s.v_elem(vn, i, esize)
+                } else {
+                    s.v_elem(vm, i, esize)
+                };
+                s.set_v_elem(vd, i, esize, v);
+            }
+            Ok(())
+        }
+        Instruction::VLoad { vd, rn, pg, esize } => {
+            let lanes = esize.lanes();
+            let base = s.x(rn);
+            for i in 0..lanes {
+                let v = if s.lane_active(pg, i, esize) {
+                    let addr = base.wrapping_add((i * esize.bytes()) as u64);
+                    s.mem.read_le(addr, esize.bytes())
+                } else {
+                    0
+                };
+                s.set_v_elem(vd, i, esize, v);
+            }
+            Ok(())
+        }
+        Instruction::VLoadN {
+            vd,
+            rn,
+            pg,
+            esize,
+            msize,
+        } => {
+            let lanes = esize.lanes();
+            let base = s.x(rn);
+            for i in 0..lanes {
+                let v = if s.lane_active(pg, i, esize) {
+                    let addr = base.wrapping_add((i * msize.bytes()) as u64);
+                    s.mem.read_le(addr, msize.bytes())
+                } else {
+                    0
+                };
+                s.set_v_elem(vd, i, esize, v);
+            }
+            Ok(())
+        }
+        Instruction::VStore { vs, rn, pg, esize } => {
+            let lanes = esize.lanes();
+            let base = s.x(rn);
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let v = s.v_elem(vs, i, esize);
+                    let addr = base.wrapping_add((i * esize.bytes()) as u64);
+                    if s.mem.try_write_le(addr, v, esize.bytes()).is_err() {
+                        return Err(SimError::MemoryFault { addr, pc });
+                    }
+                }
+            }
+            Ok(())
+        }
+        Instruction::VGather {
+            vd,
+            rn,
+            idx,
+            pg,
+            esize,
+            msize,
+            scale,
+        } => {
+            let lanes = esize.lanes();
+            let base = s.x(rn);
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let off = s.v_elem_i64(idx, i, esize);
+                    let addr = base.wrapping_add_signed(off.wrapping_mul(scale as i64));
+                    let v = s.mem.read_le(addr, msize.bytes());
+                    s.set_v_elem(vd, i, esize, v);
+                } else {
+                    s.set_v_elem(vd, i, esize, 0);
+                }
+            }
+            Ok(())
+        }
+        Instruction::VScatter {
+            vs,
+            rn,
+            idx,
+            pg,
+            esize,
+            msize,
+            scale,
+        } => {
+            let lanes = esize.lanes();
+            let base = s.x(rn);
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let off = s.v_elem_i64(idx, i, esize);
+                    let addr = base.wrapping_add_signed(off.wrapping_mul(scale as i64));
+                    if s.mem
+                        .try_write_le(addr, s.v_elem(vs, i, esize), msize.bytes())
+                        .is_err()
+                    {
+                        return Err(SimError::MemoryFault { addr, pc });
+                    }
+                }
+            }
+            Ok(())
+        }
+        Instruction::VReduce {
+            op,
+            rd,
+            vn,
+            pg,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            let empty = match op {
+                RedOp::Add => 0,
+                RedOp::Min => i64::MAX,
+                RedOp::Max => i64::MIN,
+            };
+            let mut acc: Option<i64> = None;
+            for i in 0..lanes {
+                if s.lane_active(pg, i, esize) {
+                    let v = s.v_elem_i64(vn, i, esize);
+                    acc = Some(match (acc, op) {
+                        (None, _) => v,
+                        (Some(a), RedOp::Add) => a.wrapping_add(v),
+                        (Some(a), RedOp::Min) => a.min(v),
+                        (Some(a), RedOp::Max) => a.max(v),
+                    });
+                }
+            }
+            s.set_x(rd, acc.unwrap_or(empty) as u64);
+            Ok(())
+        }
+        Instruction::VExtract {
+            rd,
+            vn,
+            lane,
+            esize,
+        } => {
+            if lane as usize >= esize.lanes() {
+                // The fault is decidable from instruction fields alone.
+                return Err(SimError::InvalidRegister { index: lane, pc });
+            }
+            let v = s.v_elem(vn, lane as usize, esize);
+            s.set_x(rd, v);
+            Ok(())
+        }
+        Instruction::VInsert {
+            vd,
+            rn,
+            lane,
+            esize,
+        } => {
+            if lane as usize >= esize.lanes() {
+                return Err(SimError::InvalidRegister { index: lane, pc });
+            }
+            let v = s.x(rn);
+            s.set_v_elem(vd, lane as usize, esize, v);
+            Ok(())
+        }
+        Instruction::VSlideDown {
+            vd,
+            vn,
+            amount,
+            esize,
+        } => {
+            let lanes = esize.lanes();
+            let mut buf = [0u64; VLEN_BYTES];
+            let tmp = &mut buf[..lanes];
+            for (i, item) in tmp.iter_mut().enumerate() {
+                let src = i + amount as usize;
+                *item = if src < lanes {
+                    s.v_elem(vn, src, esize)
+                } else {
+                    0
+                };
+            }
+            for (i, &v) in tmp.iter().enumerate() {
+                s.set_v_elem(vd, i, esize, v);
+            }
+            Ok(())
+        }
+        Instruction::VSlide1Up { vd, vn, rn, esize } => {
+            let lanes = esize.lanes();
+            let mut buf = [0u64; VLEN_BYTES];
+            let tmp = &mut buf[..lanes];
+            tmp[0] = s.x(rn);
+            for (i, item) in tmp.iter_mut().enumerate().skip(1) {
+                *item = s.v_elem(vn, i - 1, esize);
+            }
+            for (i, &v) in tmp.iter().enumerate() {
+                s.set_v_elem(vd, i, esize, v);
+            }
+            Ok(())
+        }
+
+        Instruction::PTrue { pd, esize } => {
+            let word = ArchState::pred_first_n(esize.lanes(), esize);
+            s.set_p(pd, word);
+            Ok(())
+        }
+        Instruction::PWhileLt { pd, rn, esize } => {
+            let lanes = esize.lanes();
+            let n = s.x(rn) as i64;
+            let n = n.clamp(0, lanes as i64) as usize;
+            s.set_p(pd, ArchState::pred_first_n(n, esize));
+            Ok(())
+        }
+        Instruction::PFalse { pd } => {
+            s.set_p(pd, 0);
+            Ok(())
+        }
+        Instruction::PAnd { pd, pn, pm } => {
+            s.set_p(pd, s.p(pn) & s.p(pm));
+            Ok(())
+        }
+        Instruction::POr { pd, pn, pm } => {
+            s.set_p(pd, s.p(pn) | s.p(pm));
+            Ok(())
+        }
+        Instruction::PBic { pd, pn, pm } => {
+            s.set_p(pd, s.p(pn) & !s.p(pm));
+            Ok(())
+        }
+        Instruction::PCount { rd, pn, esize } => {
+            let c = s.pred_count(pn, esize);
+            s.set_x(rd, c);
+            Ok(())
+        }
+
+        Instruction::QzConf { eb0, eb1, esiz } => {
+            let esiz_v = s.x(esiz);
+            if !s.qz.conf(s.x(eb0), s.x(eb1), esiz_v) {
+                return Err(SimError::InvalidQzConf { esiz: esiz_v, pc });
+            }
+            Ok(())
+        }
+        Instruction::QzEncode { sel, val, idx } => {
+            let chars = *s.v(val);
+            let at = s.x(idx);
+            match s.qz.encode(sel.index(), &chars, at) {
+                Ok(_) => Ok(()),
+                Err(_) => Err(SimError::QBufferIndexOutOfRange { idx: at, pc }),
+            }
+        }
+        Instruction::QzStore { val, idx, sel, pg } => {
+            let mut buf = [(0u64, 0u64); LANES_64];
+            let lanes = active_lane_pairs(s, pg, idx, val, &mut buf);
+            s.qz.store(sel.index(), lanes);
+            Ok(())
+        }
+        Instruction::QzUpdate {
+            op,
+            val,
+            idx,
+            sel,
+            pg,
+        } => {
+            let mut buf = [(0u64, 0u64); LANES_64];
+            let lanes = active_lane_pairs(s, pg, idx, val, &mut buf);
+            s.qz.update(sel.index(), op, lanes);
+            Ok(())
+        }
+        Instruction::QzLoad { vd, idx, sel, pg } => {
+            let mask = s.mask64(pg);
+            let idxs = s.v_lanes64(idx);
+            let (vals, _) = s.qz.load(sel.index(), &idxs, &mask);
+            for (i, &v) in vals.iter().enumerate() {
+                s.set_v_elem(vd, i, ElemSize::B64, v);
+            }
+            Ok(())
+        }
+        Instruction::QzMhm {
+            op,
+            vd,
+            idx0,
+            idx1,
+            pg,
+        } => {
+            let mask = s.mask64(pg);
+            let i0 = s.v_lanes64(idx0);
+            let i1 = s.v_lanes64(idx1);
+            let (vals, _) = s.qz.mhm(op, &i0, &i1, &mask);
+            for (i, &v) in vals.iter().enumerate() {
+                s.set_v_elem(vd, i, ElemSize::B64, v);
+            }
+            Ok(())
+        }
+        Instruction::QzMm {
+            op,
+            vd,
+            val,
+            idx,
+            sel,
+            pg,
+        } => {
+            let mask = s.mask64(pg);
+            let vv = s.v_lanes64(val);
+            let ii = s.v_lanes64(idx);
+            let (vals, _) = s.qz.mm(op, sel.index(), &vv, &ii, &mask);
+            for (i, &v) in vals.iter().enumerate() {
+                s.set_v_elem(vd, i, ElemSize::B64, v);
+            }
+            Ok(())
+        }
+        Instruction::QzCount { vd, vn, vm } => {
+            let a = s.v_lanes64(vn);
+            let b = s.v_lanes64(vm);
+            let counts = qzcount_vector(&a, &b, s.qz.esize);
+            for (i, &c) in counts.iter().enumerate() {
+                s.set_v_elem(vd, i, ElemSize::B64, c);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Per-core cache of compiled programs, keyed by [`Program::id`] — the
+/// functional analogue of [`crate::predecode::DecodeCache`], with the
+/// same wholesale-flush bound.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompiledCache {
+    map: HashMap<u64, Arc<CompiledProgram>>,
+}
+
+impl CompiledCache {
+    /// Matches `DecodeCache::CAPACITY`: far above any driver's working
+    /// set, small enough that eviction is a non-event.
+    const CAPACITY: usize = 64;
+
+    /// The compiled form of `program`, compiling on first sight.
+    pub(crate) fn get(&mut self, program: &Program, pre: &Predecode) -> Arc<CompiledProgram> {
+        if self.map.len() >= Self::CAPACITY && !self.map.contains_key(&program.id()) {
+            self.map.clear();
+        }
+        Arc::clone(
+            self.map
+                .entry(program.id())
+                .or_insert_with(|| Arc::new(compile(program, pre))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute;
+    use crate::ooo::NullSink;
+    use quetzal_accel::QzConfig;
+    use quetzal_isa::*;
+
+    fn compile_program(p: &Program) -> CompiledProgram {
+        compile(p, &Predecode::of(p))
+    }
+
+    /// Runs `p` through both engines from identical cold states and
+    /// asserts the full results — executed counts or errors, plus an
+    /// architectural digest — are bit-equal.
+    fn assert_engines_agree(p: &Program, budget: u64) {
+        let mut si = ArchState::new(QzConfig::QZ_8P);
+        let mut sc = ArchState::new(QzConfig::QZ_8P);
+        let ri = execute(&mut si, p, &mut NullSink, budget);
+        let rc = run_compiled(&compile_program(p), &mut sc, budget);
+        assert_eq!(ri, rc, "engines disagree at budget {budget}");
+        for i in 0..32 {
+            assert_eq!(
+                si.x(XReg::new(i)),
+                sc.x(XReg::new(i)),
+                "x{i} diverged at budget {budget}"
+            );
+            assert_eq!(
+                si.v_lanes64(VReg::new(i)),
+                sc.v_lanes64(VReg::new(i)),
+                "v{i} diverged at budget {budget}"
+            );
+        }
+        for i in 0..8 {
+            assert_eq!(si.p(PReg::new(i)), sc.p(PReg::new(i)), "p{i} diverged");
+        }
+        assert_eq!(si.mem.resident_pages(), sc.mem.resident_pages());
+        assert_eq!(si.qz.buf(0).words(), sc.qz.buf(0).words());
+    }
+
+    fn loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.mov_imm(X0, 0);
+        b.mov_imm(X1, 0);
+        b.mov_imm(X2, 10);
+        b.bind(top);
+        b.alu_rr(SAluOp::Add, X1, X1, X0);
+        b.alu_ri(SAluOp::Add, X0, X0, 1);
+        b.branch(BranchCond::Lt, X0, X2, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compiled_loop_matches_interpreter_at_every_budget() {
+        // Sweeping the budget over the whole run length pins the exact
+        // InstLimit boundary semantics, including the halt edge case.
+        let p = loop_program();
+        let mut s = ArchState::new(QzConfig::QZ_8P);
+        let total = run_compiled(&compile_program(&p), &mut s, u64::MAX).unwrap();
+        for budget in 0..=total + 1 {
+            assert_engines_agree(&p, budget);
+        }
+    }
+
+    #[test]
+    fn compiled_vector_kernel_matches_interpreter() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X0, 0x2000);
+        b.mov_imm(X1, 7);
+        b.ptrue(P0, ElemSize::B64);
+        b.index(V0, X0, 3, ElemSize::B64);
+        b.dup(V1, X1, ElemSize::B64);
+        b.valu_vv(VAluOp::Add, V2, V0, V1, P0, ElemSize::B64);
+        b.vstore(V2, X0, P0, ElemSize::B64);
+        b.vload(V3, X0, P0, ElemSize::B64);
+        b.vreduce(RedOp::Add, X2, V3, P0, ElemSize::B64);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_engines_agree(&p, u64::MAX);
+    }
+
+    #[test]
+    fn out_of_program_targets_fault_identically() {
+        // Falling off the end.
+        let trunc = Program::from_raw(vec![Instruction::MovImm { rd: X0, imm: 1 }], "trunc");
+        for budget in 0..4 {
+            assert_engines_agree(&trunc, budget);
+        }
+        // A wild jump target.
+        let wild = Program::from_raw(
+            vec![Instruction::Jump { target: 99 }, Instruction::Halt],
+            "wild",
+        );
+        for budget in 0..4 {
+            assert_engines_agree(&wild, budget);
+        }
+        // A wild branch target, taken and not taken.
+        for imm in [0, 1] {
+            let p = Program::from_raw(
+                vec![
+                    Instruction::MovImm { rd: X0, imm },
+                    Instruction::MovImm { rd: X1, imm: 1 },
+                    Instruction::Branch {
+                        cond: BranchCond::Eq,
+                        rn: X0,
+                        rm: X1,
+                        target: 77,
+                    },
+                    Instruction::Halt,
+                ],
+                "wild-branch",
+            );
+            for budget in 0..6 {
+                assert_engines_agree(&p, budget);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program_faults_identically() {
+        let p = Program::from_raw(Vec::new(), "empty");
+        assert_engines_agree(&p, 0);
+        assert_engines_agree(&p, 5);
+    }
+
+    #[test]
+    fn static_lane_fault_matches_interpreter() {
+        let p = Program::from_raw(
+            vec![
+                Instruction::VExtract {
+                    rd: X0,
+                    vn: V0,
+                    lane: 63,
+                    esize: ElemSize::B64,
+                },
+                Instruction::Halt,
+            ],
+            "bad-lane",
+        );
+        assert_engines_agree(&p, u64::MAX);
+    }
+
+    #[test]
+    fn page_budget_fault_matches_interpreter() {
+        // A store loop that touches a new page per iteration.
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.mov_imm(X0, 0x10_0000);
+        b.mov_imm(X1, 0x10_0000 + 4096 * 64);
+        b.bind(top);
+        b.store(X0, X0, 0, MemSize::B8);
+        b.alu_ri(SAluOp::Add, X0, X0, 4096);
+        b.branch(BranchCond::Lt, X0, X1, top);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut si = ArchState::new(QzConfig::QZ_8P);
+        let mut sc = ArchState::new(QzConfig::QZ_8P);
+        si.mem.set_page_budget(8);
+        sc.mem.set_page_budget(8);
+        let ri = execute(&mut si, &p, &mut NullSink, u64::MAX);
+        let rc = run_compiled(&compile_program(&p), &mut sc, u64::MAX);
+        assert!(matches!(ri, Err(SimError::MemoryFault { .. })));
+        assert_eq!(ri, rc);
+    }
+
+    #[test]
+    fn qbuffer_kernel_matches_interpreter() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X4, 128);
+        b.mov_imm(X5, 2);
+        b.qzconf(X4, X4, X5);
+        b.ptrue(P0, ElemSize::B64);
+        b.index(V0, X6, 1, ElemSize::B64);
+        b.dup_imm(V1, 9, ElemSize::B64);
+        b.qzstore(V1, V0, QBufSel::Q0, P0);
+        b.qzupdate(QzOp::Add, V1, V0, QBufSel::Q0, P0);
+        b.qzload(V2, V0, QBufSel::Q0, P0);
+        b.qzmhm(QzOp::Count, V3, V0, V0, P0);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_engines_agree(&p, u64::MAX);
+    }
+
+    #[test]
+    fn invalid_qzconf_faults_identically() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(X4, 128);
+        b.mov_imm(X5, 777);
+        b.qzconf(X4, X4, X5);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_engines_agree(&p, u64::MAX);
+    }
+
+    #[test]
+    fn superblocks_chain_across_unconditional_edges() {
+        // mov / jump / mov / jump / ... — one entry superblock should
+        // swallow the whole chain.
+        let p = Program::from_raw(
+            vec![
+                Instruction::MovImm { rd: X0, imm: 1 },
+                Instruction::Jump { target: 2 },
+                Instruction::MovImm { rd: X1, imm: 2 },
+                Instruction::Jump { target: 4 },
+                Instruction::Halt,
+            ],
+            "chain",
+        );
+        let cp = compile_program(&p);
+        assert_eq!(cp.blocks[0].insts, 5, "entry superblock covers the chain");
+        assert!(matches!(cp.blocks[0].term, Terminator::Halt));
+        for budget in 0..7 {
+            assert_engines_agree(&p, budget);
+        }
+    }
+
+    #[test]
+    fn compiled_cache_reuses_and_bounds_entries() {
+        let p = loop_program();
+        let mut cache = CompiledCache::default();
+        let a = cache.get(&p, &Predecode::of(&p));
+        let b = cache.get(&p, &Predecode::of(&p));
+        assert!(Arc::ptr_eq(&a, &b), "same program id must hit the cache");
+
+        for i in 0..(CompiledCache::CAPACITY * 2) {
+            let mut pb = ProgramBuilder::new();
+            pb.mov_imm(X0, i as i64);
+            pb.halt();
+            let q = pb.build().unwrap();
+            cache.get(&q, &Predecode::of(&q));
+        }
+        assert!(cache.map.len() <= CompiledCache::CAPACITY);
+    }
+}

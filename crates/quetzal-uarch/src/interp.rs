@@ -9,7 +9,8 @@
 //! used by correctness tests.
 
 use crate::config::CoreConfig;
-use crate::ooo::{DynInst, ExecSink, NullSink, OooTiming};
+use crate::functional::{CompiledCache, ExecMode};
+use crate::ooo::{DynInst, ExecSink, OooTiming};
 use crate::predecode::{DecodeCache, MicroOp, Predecode};
 use crate::probe::{NullProbe, Probe};
 use crate::state::{truncate, ArchState};
@@ -119,13 +120,13 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-fn scalar_alu(op: SAluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn scalar_alu(op: SAluOp, a: u64, b: u64) -> u64 {
     // Single shared semantics: `quetzal-verify`'s constant propagation
     // folds through the same routine the interpreter executes.
     op.eval(a, b)
 }
 
-fn vector_alu(op: VAluOp, a: i64, b: i64, esize: ElemSize) -> u64 {
+pub(crate) fn vector_alu(op: VAluOp, a: i64, b: i64, esize: ElemSize) -> u64 {
     let r = match op {
         VAluOp::Add => a.wrapping_add(b),
         VAluOp::Sub => a.wrapping_sub(b),
@@ -152,7 +153,7 @@ fn mask_of(esize: ElemSize) -> u64 {
 /// Packs the active `(index, value)` lane pairs of a predicated QBUFFER
 /// write into caller-provided stack scratch, returning the live prefix
 /// (replaces a per-instruction `Vec` allocation on the hot path).
-fn active_lane_pairs<'a>(
+pub(crate) fn active_lane_pairs<'a>(
     state: &ArchState,
     pg: PReg,
     idx: VReg,
@@ -738,6 +739,11 @@ pub struct Core<P: Probe = NullProbe> {
     budget: u64,
     /// Per-program predecode tables, keyed by [`Program::id`].
     decode: DecodeCache,
+    /// Per-program compiled superblocks for the functional tier, keyed
+    /// by [`Program::id`] alongside the predecode tables.
+    compiled: CompiledCache,
+    /// Which engine [`run`](Core::run) drives (default: cycle-level).
+    mode: ExecMode,
     /// Recycled dynamic-instruction record; its `mem` buffer keeps its
     /// capacity across runs, so steady-state simulation allocates
     /// nothing per instruction.
@@ -765,6 +771,8 @@ impl<P: Probe> Core<P> {
             timing: OooTiming::with_probe(cfg, probe),
             budget: Self::DEFAULT_BUDGET,
             decode: DecodeCache::default(),
+            compiled: CompiledCache::default(),
+            mode: ExecMode::default(),
             scratch: DynInst::default(),
             reference_path: false,
         }
@@ -810,6 +818,26 @@ impl<P: Probe> Core<P> {
         self.timing.reset();
         self.budget = Self::DEFAULT_BUDGET;
         self.reference_path = false;
+        // Cold boot selects the timing engine; batch pools re-apply
+        // their configured mode after every reset. The compiled cache
+        // survives for the same reason the decode cache does:
+        // compilation is pure.
+        self.mode = ExecMode::default();
+    }
+
+    /// Selects which engine [`run`](Core::run) drives: the cycle-level
+    /// out-of-order model (default) or the compiled functional tier,
+    /// which produces bit-identical architectural results under the
+    /// same instruction and page budgets but models no clock — its
+    /// [`RunStats`] carries only the instruction count.
+    /// [`reset`](Core::reset) restores the default.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The currently selected execution engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Architectural state (registers, memory, QBUFFERs).
@@ -843,6 +871,16 @@ impl<P: Probe> Core<P> {
     ///
     /// Returns [`SimError`] on budget exhaustion or invalid `qzconf`.
     pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        if self.mode == ExecMode::Functional {
+            // The functional tier has no clock and no observability:
+            // probes, timing state and every `RunStats` field except
+            // the retired-instruction count stay untouched.
+            let instructions = self.run_functional(program)?;
+            return Ok(RunStats {
+                instructions,
+                ..RunStats::default()
+            });
+        }
         if self.reference_path {
             return self.run_reference(program);
         }
@@ -885,8 +923,14 @@ impl<P: Probe> Core<P> {
         Ok(self.timing.end_run())
     }
 
-    /// Runs a program functionally only (no timing — fast path for
-    /// correctness tests). Returns the executed instruction count.
+    /// Runs a program on the compiled functional tier (no timing): each
+    /// basic block of the recovered CFG is lifted to a flat step table
+    /// over the predecode records, chained into superblocks, and
+    /// cached per [`Program::id`] alongside the decode cache (see
+    /// [`crate::functional`]). Architectural results, the instruction
+    /// budget and the typed error taxonomy are bit-identical to a timed
+    /// run; only the clock is absent. Returns the executed instruction
+    /// count.
     ///
     /// # Errors
     ///
@@ -896,14 +940,12 @@ impl<P: Probe> Core<P> {
             state,
             budget,
             decode,
-            scratch,
+            compiled,
             ..
         } = self;
         let pre = decode.get(program);
-        let mut sink = NullSink;
-        execute_impl(state, program, &mut sink, *budget, scratch, |pc, _inst| {
-            *pre.op(pc)
-        })
+        let cp = compiled.get(program, pre);
+        crate::functional::run_compiled(&cp, state, *budget)
     }
 }
 

@@ -49,6 +49,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod functional;
 pub mod interp;
 pub mod multicore;
 pub mod ooo;
@@ -58,6 +59,7 @@ pub mod state;
 pub mod stats;
 
 pub use config::{CacheConfig, CoreConfig, MemConfig};
+pub use functional::ExecMode;
 pub use interp::{Core, SimError};
 pub use predecode::{DecodeCache, MicroOp, Predecode, PredecodeRegistry};
 pub use probe::{MemLevelMix, NullProbe, Probe, RetireEvent};

@@ -4,9 +4,48 @@ use quetzal_accel::{QBuffers, QzConfig};
 use quetzal_isa::{ElemSize, PReg, VReg, XReg, VLEN_BYTES};
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Pages kept on the free list across [`SimMemory::clear`] calls
+/// (16 MiB): enough to recycle every page the repo's workloads touch
+/// per pair, small enough that a one-off large run does not pin its
+/// peak footprint forever.
+const PAGE_POOL_CAP: usize = 4096;
+
+/// Multiplicative hasher for the `u64` page-number keys.
+///
+/// The default SipHash costs more than the page access it guards —
+/// every guest load and store in *both* execution engines pays it.
+/// Page numbers are small and dense, so one odd-constant multiply
+/// (Fibonacci hashing) spreads them across the table at a fraction of
+/// the cost while keeping high bits well mixed for the control bytes.
+#[derive(Default)]
+struct PageNoHasher(u64);
+
+impl Hasher for PageNoHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64 keys below).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageNoHasher>>;
 
 /// Default resident-page budget: 2^16 pages = 256 MiB of simulated
 /// memory — far above any workload in the repo, far below what an
@@ -28,15 +67,20 @@ pub struct PageBudgetExceeded;
 /// without bound.
 #[derive(Debug, Clone)]
 pub struct SimMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
     page_budget: usize,
+    /// Recycled page allocations ([`clear`](Self::clear) parks pages
+    /// here instead of freeing them). Invisible to guests: pooled pages
+    /// are re-zeroed before reuse.
+    pool: Vec<Box<[u8; PAGE_SIZE]>>,
 }
 
 impl Default for SimMemory {
     fn default() -> SimMemory {
         SimMemory {
-            pages: HashMap::new(),
+            pages: PageMap::default(),
             page_budget: DEFAULT_PAGE_BUDGET,
+            pool: Vec::new(),
         }
     }
 }
@@ -67,7 +111,14 @@ impl SimMemory {
                 if resident >= self.page_budget {
                     return Err(PageBudgetExceeded);
                 }
-                Ok(v.insert(Box::new([0u8; PAGE_SIZE])))
+                let page = match self.pool.pop() {
+                    Some(mut p) => {
+                        p.fill(0);
+                        p
+                    }
+                    None => Box::new([0u8; PAGE_SIZE]),
+                };
+                Ok(v.insert(page))
             }
         }
     }
@@ -214,11 +265,17 @@ impl SimMemory {
 
     /// Drops every page: all addresses read as zero again, as in a
     /// fresh memory. Keeps the page-table capacity so a pooled machine
-    /// does not re-grow the map from scratch; pages themselves are
-    /// freed, so retained footprint does not accumulate across
-    /// workloads.
+    /// does not re-grow the map from scratch, and parks up to
+    /// [`PAGE_POOL_CAP`] page allocations on a free list for reuse —
+    /// per-pair page allocation was a measurable slice of pooled batch
+    /// runs. Pages beyond the cap are freed, so retained footprint
+    /// stays bounded across workloads.
     pub fn clear(&mut self) {
-        self.pages.clear();
+        for (_, page) in self.pages.drain() {
+            if self.pool.len() < PAGE_POOL_CAP {
+                self.pool.push(page);
+            }
+        }
     }
 }
 

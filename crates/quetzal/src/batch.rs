@@ -64,7 +64,7 @@
 //! assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
 //! ```
 
-use crate::{Machine, MachineConfig, PredecodeRegistry, SimError};
+use crate::{ExecMode, Machine, MachineConfig, PredecodeRegistry, SimError};
 use quetzal_isa::Program;
 use quetzal_verify::{Report as VerifyReport, Verdict};
 use std::collections::HashMap;
@@ -90,7 +90,7 @@ fn lock(list: &Mutex<Vec<Machine>>) -> std::sync::MutexGuard<'_, Vec<Machine>> {
     list.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// The per-run machine pool behind [`BatchRunner::run_machines`] and
+/// The machine pool behind [`BatchRunner::run_machines`] and
 /// [`BatchRunner::run_machines_report`].
 ///
 /// Machines are recycled through `free` (reset-on-checkout), except
@@ -99,28 +99,47 @@ fn lock(list: &Mutex<Vec<Machine>>) -> std::sync::MutexGuard<'_, Vec<Machine>> {
 /// unwound mid-run may violate the invariants [`Machine::reset`]
 /// assumes, and a machine involved in a fault is cheaper to replace
 /// than to prove clean.
-struct MachinePool<'a> {
+///
+/// The machine-pooled [`BatchRunner`] entry points build a pool per
+/// call; callers that run many batches over the same configuration
+/// (e.g. repeated timing samples of one kernel) can instead build one
+/// pool up front and pass it to
+/// [`run_machines_report_pooled`](BatchRunner::run_machines_report_pooled),
+/// amortising machine construction (multi-megabyte cache tag arrays)
+/// across batches. Checkout resets every recycled machine to cold-boot
+/// state (reset ≡ fresh is pinned by `tests/parallel.rs`), so results
+/// are bit-identical to per-call pools.
+pub struct MachinePool<'a> {
     config: &'a MachineConfig,
     registry: PredecodeRegistry,
+    /// Engine every pooled machine runs on. Applied after construction
+    /// *and* after every reset ([`Machine::reset`] restores the
+    /// cold-boot default, [`ExecMode::Cycle`]).
+    exec_mode: ExecMode,
     free: Mutex<Vec<Machine>>,
     quarantine: Mutex<Vec<Machine>>,
 }
 
 impl<'a> MachinePool<'a> {
-    fn new(config: &'a MachineConfig) -> MachinePool<'a> {
+    /// Creates an empty pool over `config`; every machine it hands out
+    /// runs on `exec_mode` (applied after construction and after every
+    /// reset-on-checkout).
+    pub fn new(config: &'a MachineConfig, exec_mode: ExecMode) -> MachinePool<'a> {
         MachinePool {
             config,
             registry: PredecodeRegistry::new(),
+            exec_mode,
             free: Mutex::new(Vec::new()),
             quarantine: Mutex::new(Vec::new()),
         }
     }
 
     /// A brand-new machine (never pooled) sharing the run's predecode
-    /// registry.
+    /// registry and execution mode.
     fn fresh(&self) -> Machine {
         let mut machine = Machine::new(self.config.clone());
         machine.set_predecode_registry(self.registry.clone());
+        machine.set_exec_mode(self.exec_mode);
         machine
     }
 
@@ -130,6 +149,7 @@ impl<'a> MachinePool<'a> {
         let machine = match lock(&self.free).pop() {
             Some(mut machine) => {
                 machine.reset();
+                machine.set_exec_mode(self.exec_mode);
                 machine
             }
             None => self.fresh(),
@@ -305,6 +325,7 @@ impl<R> RunReport<R> {
 pub struct BatchRunner {
     threads: usize,
     shard_size: usize,
+    exec_mode: ExecMode,
 }
 
 impl BatchRunner {
@@ -318,6 +339,7 @@ impl BatchRunner {
         BatchRunner {
             threads,
             shard_size: 1,
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -350,9 +372,29 @@ impl BatchRunner {
         self
     }
 
+    /// Selects the execution engine the machine-pooled entry points
+    /// drive: the cycle-level timing model (default) or the compiled
+    /// functional tier. The pool applies the mode to every machine it
+    /// hands out — fresh, recycled and fault-replaced alike — so a
+    /// whole batch runs on one engine regardless of sharding.
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> BatchRunner {
+        self.exec_mode = mode;
+        self
+    }
+
     /// The worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The execution engine the machine-pooled entry points drive (see
+    /// [`with_exec_mode`](Self::with_exec_mode)) — also the mode to
+    /// build a caller-owned [`MachinePool`] with so that
+    /// [`run_machines_report_pooled`](Self::run_machines_report_pooled)
+    /// matches the per-call entry points.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Runs `work` over every item, in parallel across shards.
@@ -394,19 +436,30 @@ impl BatchRunner {
             .map_err(panic_message)
         };
 
-        let workers = self.threads.min(shard_count.max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let shard = next.fetch_add(1, Ordering::Relaxed);
-                    if shard >= shard_count {
-                        break;
-                    }
-                    let outcome = run_shard(shard);
-                    *slots[shard].lock().expect("result slot") = Some(outcome);
-                });
+        let worker = || loop {
+            let shard = next.fetch_add(1, Ordering::Relaxed);
+            if shard >= shard_count {
+                break;
             }
-        });
+            let outcome = run_shard(shard);
+            *slots[shard].lock().expect("result slot") = Some(outcome);
+        };
+        let workers = self.threads.min(shard_count.max(1));
+        if workers == 1 {
+            // A single worker drains the shards on the calling thread:
+            // spawning even one OS thread costs hundreds of
+            // microseconds on syscall-intercepting sandboxes, which
+            // would dominate short serial batches. Shard claiming,
+            // per-shard panic capture and the merge below are shared
+            // with the parallel path, so results are bit-identical.
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
 
         // Deterministic merge: shard order, first failure wins.
         let mut out = Vec::with_capacity(items.len());
@@ -467,7 +520,7 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
-        let pool = MachinePool::new(config);
+        let pool = MachinePool::new(config, self.exec_mode);
         self.run(
             items,
             || pool.checkout(),
@@ -550,7 +603,32 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
-        let pool = MachinePool::new(config);
+        let pool = MachinePool::new(config, self.exec_mode);
+        self.run_machines_report_pooled(&pool, items, work)
+    }
+
+    /// [`run_machines_report`](Self::run_machines_report) over a
+    /// caller-owned [`MachinePool`]: machines (and the pool's shared
+    /// predecode registry) survive across calls, so repeated batches on
+    /// one configuration pay machine construction once instead of once
+    /// per call. The pool's [`ExecMode`] governs every checkout;
+    /// recycled machines are reset to cold-boot state, keeping results
+    /// bit-identical to a per-call pool at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] only for infrastructure panics; simulation
+    /// failures land in the report.
+    pub fn run_machines_report_pooled<T, R>(
+        &self,
+        pool: &MachinePool<'_>,
+        items: &[T],
+        work: impl Fn(&mut Machine, usize, &T) -> Result<R, SimError> + Sync,
+    ) -> Result<RunReport<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
         let attempt =
             |pooled: &mut PooledMachine<'_>, i: usize, item: &T| -> Result<R, FailureCause> {
                 match catch_unwind(AssertUnwindSafe(|| work(pooled.machine(), i, item))) {
@@ -673,7 +751,7 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
-        let pool = MachinePool::new(config);
+        let pool = MachinePool::new(config, self.exec_mode);
         let rejected = Self::reject_set(items, &program_of);
         let attempt =
             |pooled: &mut PooledMachine<'_>, i: usize, item: &T| -> Result<R, FailureCause> {
@@ -913,7 +991,7 @@ mod tests {
         // all. It must be quarantined, and the next checkout must be a
         // cold-boot-clean machine.
         let config = MachineConfig::default();
-        let pool = MachinePool::new(&config);
+        let pool = MachinePool::new(&config, ExecMode::default());
         let heap_base = {
             let mut probe = pool.checkout();
             probe.machine().alloc(8)

@@ -47,13 +47,13 @@ pub use quetzal_verify as verify;
 pub mod batch;
 pub mod fault;
 
-pub use batch::{BatchError, BatchRunner, FailureCause, ItemFailure, RunReport};
+pub use batch::{BatchError, BatchRunner, FailureCause, ItemFailure, MachinePool, RunReport};
 pub use fault::{FaultPlan, Mutation};
 pub use quetzal_accel::{PortCount, QzConfig};
 pub use quetzal_isa::Program;
 pub use quetzal_uarch::{
-    Core, CoreConfig, MemLevelMix, NullProbe, PredecodeRegistry, Probe, RetireEvent, RunStats,
-    SimError, StallCat,
+    Core, CoreConfig, ExecMode, MemLevelMix, NullProbe, PredecodeRegistry, Probe, RetireEvent,
+    RunStats, SimError, StallCat,
 };
 
 /// Configuration of a simulated [`Machine`].
@@ -166,6 +166,33 @@ impl<P: Probe> Machine<P> {
     /// `qzconf`.
     pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
         self.core.run(program)
+    }
+
+    /// Submits a kernel to the compiled functional tier directly (no
+    /// timing model): bit-identical architectural results and the same
+    /// typed [`SimError`] boundary, budget enforcement included, but no
+    /// clock. Returns the executed instruction count. Unlike
+    /// [`set_exec_mode`](Machine::set_exec_mode) this is a one-off —
+    /// the machine's configured engine is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on instruction-budget exhaustion or invalid
+    /// `qzconf`.
+    pub fn run_functional(&mut self, program: &Program) -> Result<u64, SimError> {
+        self.core.run_functional(program)
+    }
+
+    /// Selects which engine [`run`](Machine::run) drives: the
+    /// cycle-level out-of-order model (default) or the compiled
+    /// functional tier. [`reset`](Machine::reset) restores the default.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.core.set_exec_mode(mode);
+    }
+
+    /// The currently selected execution engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.core.exec_mode()
     }
 
     /// Routes predecode misses through a shared registry, so machines

@@ -7,6 +7,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Keep glibc's allocator off the syscall path: sandboxed CI runners
+# (gVisor-style) make brk/mmap orders of magnitude slower than native,
+# which turns malloc heap-trim churn into the dominant cost of the
+# simulator's per-pair setup. Never return freed heap to the kernel and
+# never route large allocations through mmap; both are pure wall-clock
+# wins here and no-ops on ordinary kernels.
+export MALLOC_TRIM_THRESHOLD_=-1
+export MALLOC_MMAP_THRESHOLD_=1073741824
+export MALLOC_TOP_PAD_=134217728
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -21,11 +31,22 @@ cargo test -q --offline --workspace
 
 echo "==> fault-injection sweep (release + debug assertions, fixed seed)"
 # Release speed with overflow/invariant checks live: any panic escaping
-# the machine boundary — not a typed SimError — fails this step.
+# the machine boundary — not a typed SimError — fails this step. Since
+# PR 6 every case is also replayed on the compiled functional tier and
+# must match the cycle-level outcome bit-exactly (or raise the same
+# typed error), so this sweep doubles as a 12k-case differential gate.
 CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true \
 QUETZAL_FAULT_CASES=12000 QUETZAL_FAULT_SEED=0xF4417 \
     cargo test -q --offline --release -p quetzal-integration \
     --test fault_injection
+
+echo "==> functional tier: differential oracle vs cycle-level engine"
+# The Fig. 3 grid replayed on both execution engines with per-pair
+# architectural-state equality, plus the exhaustive 116k-pair oracle
+# sweep on the functional tier (inside --test properties).
+CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true \
+    cargo test -q --offline --release -p quetzal-integration \
+    --test functional_equiv
 
 echo "==> qzverify: every in-tree kernel verifies statically Clean"
 # Replays the experiment grid with the build observer installed and
@@ -66,8 +87,26 @@ QUETZAL_THREADS=4 \
 cmp results_run_all.txt "$out_dir/full.txt" \
     || { echo "FAIL: results_run_all.txt is stale; regenerate with run_all"; exit 1; }
 
-echo "==> perf trajectory: BENCH_uarch.json (simulated MIPS)"
+echo "==> perf trajectory: BENCH_uarch.json (simulated MIPS, both engines)"
 cargo run -q --release --offline -p quetzal-bench --bin bench_uarch \
     > BENCH_uarch.json
+
+echo "==> functional tier is fast enough to be worth having (>= 2x geomean)"
+# The whole point of the no-timing-model tier: it must beat the
+# cycle-level engine by at least 2x geomean simulated MIPS on the
+# Fig. 3 / Fig. 4 kernel grid, or it is dead weight.
+awk '
+  /"functional_speedup_geomean"/ {
+    gsub(/[^0-9.]/, "", $2); speedup = $2 + 0; found = 1
+  }
+  END {
+    if (!found) { print "FAIL: no functional_speedup_geomean in BENCH_uarch.json"; exit 1 }
+    if (speedup < 2.0) {
+      printf "FAIL: functional tier only %.2fx over cycle-level (need >= 2x)\n", speedup
+      exit 1
+    }
+    printf "functional tier speedup: %.2fx (gate: >= 2x)\n", speedup
+  }
+' BENCH_uarch.json
 
 echo "CI OK"

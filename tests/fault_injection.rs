@@ -20,6 +20,15 @@
 //!   one of those variants, the verifier must have flagged that kind
 //!   (at the faulting pc, for the pc-precise kinds).
 //!
+//! Since PR 6 the sweep is additionally the **differential oracle for
+//! the compiled functional tier**: every case is replayed on
+//! [`ExecMode::Functional`] with the same staging and budgets, and must
+//! either match the cycle-level run bit-exactly (retire count plus the
+//! complete architectural state) or fail with the *identical* typed
+//! [`SimError`]. The only exclusion is `CycleLimit` — a timing budget
+//! the clockless tier cannot enforce — and those cases are counted in
+//! the sweep summary rather than silently skipped.
+//!
 //! Environment knobs:
 //! - `QUETZAL_FAULT_CASES` — number of cases (default 12 000).
 //! - `QUETZAL_FAULT_SEED` — sweep seed (default `0xF4417`).
@@ -33,7 +42,7 @@ use quetzal::fault::random_instruction;
 use quetzal::genomics::rng::SplitMix64;
 use quetzal::isa::Instruction;
 use quetzal::verify::{self, DiagKind, Verdict};
-use quetzal::{FaultPlan, Machine, MachineConfig, Program, RunStats, SimError};
+use quetzal::{ExecMode, FaultPlan, Machine, MachineConfig, Program, RunStats, SimError};
 
 const DEFAULT_CASES: u64 = 12_000;
 const DEFAULT_SEED: u64 = 0xF4417;
@@ -89,15 +98,109 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
-/// Runs one case and hands the mutant program back for static
-/// cross-validation; `Err` carries the payload of an escaped panic.
-fn run_case(plan: &FaultPlan, case: u64) -> Result<(Program, Result<RunStats, SimError>), String> {
+/// How one case's functional-tier replay compared against the
+/// cycle-level outcome.
+enum FunctionalAgreement {
+    /// Bit-equal result (same retire count and architectural state) or
+    /// the identical typed [`SimError`].
+    Match,
+    /// The cycle engine raised `CycleLimit` — a *timing* budget the
+    /// functional tier has no clock to enforce. These cases are
+    /// excluded from the differential (and counted, so the exclusion
+    /// stays visible in the sweep summary).
+    CycleLimitExcluded,
+    /// The engines disagreed; the payload says how.
+    Mismatch(String),
+}
+
+/// Compares the complete architectural state two machines were left in.
+fn arch_state_mismatch(cycle: &Machine, functional: &Machine) -> Option<String> {
+    use quetzal::isa::{PReg, VReg, XReg};
+    let (c, f) = (cycle.core().state(), functional.core().state());
+    for i in 0..quetzal::isa::reg::NUM_XREGS {
+        let r = XReg::new(i);
+        if c.x(r) != f.x(r) {
+            return Some(format!("x{i}: {:#x} vs {:#x}", c.x(r), f.x(r)));
+        }
+    }
+    for i in 0..quetzal::isa::reg::NUM_VREGS {
+        let r = VReg::new(i);
+        if c.v_lanes64(r) != f.v_lanes64(r) {
+            return Some(format!("v{i} lanes diverged"));
+        }
+    }
+    for i in 0..quetzal::isa::reg::NUM_PREGS {
+        let r = PReg::new(i);
+        if c.p(r) != f.p(r) {
+            return Some(format!("p{i}: {:#x} vs {:#x}", c.p(r), f.p(r)));
+        }
+    }
+    if c.mem.resident_pages() != f.mem.resident_pages() {
+        return Some(format!(
+            "resident pages: {} vs {}",
+            c.mem.resident_pages(),
+            f.mem.resident_pages()
+        ));
+    }
+    for sel in 0..2 {
+        if c.qz.buf(sel).words() != f.qz.buf(sel).words() {
+            return Some(format!("qbuffer {sel} diverged"));
+        }
+    }
+    None
+}
+
+/// Replays `outcome`'s case on the functional tier (freshly staged
+/// machine, same budgets) and classifies the agreement.
+fn diff_functional(
+    plan: &FaultPlan,
+    case: u64,
+    cycle_machine: &Machine,
+    outcome: &Result<RunStats, SimError>,
+) -> FunctionalAgreement {
+    if matches!(outcome, Err(SimError::CycleLimit { .. })) {
+        return FunctionalAgreement::CycleLimitExcluded;
+    }
+    let mut machine = Machine::new(MachineConfig::default());
+    let (program, _) = plan.stage(case, &mut machine);
+    set_budgets(&mut machine);
+    machine.set_exec_mode(ExecMode::Functional);
+    let functional = machine.run(&program);
+    match (outcome, &functional) {
+        (Ok(c), Ok(f)) => {
+            if c.instructions != f.instructions {
+                FunctionalAgreement::Mismatch(format!(
+                    "retire counts: cycle {} vs functional {}",
+                    c.instructions, f.instructions
+                ))
+            } else if let Some(diff) = arch_state_mismatch(cycle_machine, &machine) {
+                FunctionalAgreement::Mismatch(diff)
+            } else {
+                FunctionalAgreement::Match
+            }
+        }
+        (Err(ce), Err(fe)) if ce == fe => FunctionalAgreement::Match,
+        (c, f) => {
+            FunctionalAgreement::Mismatch(format!("outcomes: cycle {c:?} vs functional {f:?}"))
+        }
+    }
+}
+
+/// Runs one case on both execution engines and hands the mutant program
+/// back for static cross-validation; `Err` carries the payload of an
+/// escaped panic (from either engine).
+#[allow(clippy::type_complexity)]
+fn run_case(
+    plan: &FaultPlan,
+    case: u64,
+) -> Result<(Program, Result<RunStats, SimError>, FunctionalAgreement), String> {
     catch_unwind(AssertUnwindSafe(|| {
         let mut machine = Machine::new(MachineConfig::default());
         let (program, _) = plan.stage(case, &mut machine);
         set_budgets(&mut machine);
         let outcome = machine.run(&program);
-        (program, outcome)
+        let agreement = diff_functional(plan, case, &machine, &outcome);
+        (program, outcome, agreement)
     }))
     .map_err(panic_text)
 }
@@ -161,16 +264,24 @@ fn sweep_never_panics_and_always_terminates() {
     let plan = FaultPlan::new(seed);
 
     let mut ok = 0u64;
+    let mut excluded = 0u64;
     let mut errors: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut verdicts: BTreeMap<&'static str, u64> = BTreeMap::new();
     for case in 0..cases {
         match run_case(&plan, case) {
-            Ok((program, outcome)) => {
+            Ok((program, outcome, agreement)) => {
                 let context = format!(
                     "case {case} (replay with QUETZAL_FAULT_SEED={seed:#x} \
                      QUETZAL_FAULT_CASES={})",
                     case + 1
                 );
+                match agreement {
+                    FunctionalAgreement::Match => {}
+                    FunctionalAgreement::CycleLimitExcluded => excluded += 1,
+                    FunctionalAgreement::Mismatch(diff) => {
+                        panic!("{context}: functional tier diverged: {diff}")
+                    }
+                }
                 let verdict = assert_verdict_consistent(&context, &program, &outcome);
                 *verdicts
                     .entry(match verdict {
@@ -196,6 +307,11 @@ fn sweep_never_panics_and_always_terminates() {
     let faulted: u64 = errors.values().sum();
     eprintln!("fault sweep: {cases} cases, {ok} clean, {faulted} typed errors {errors:?}");
     eprintln!("fault sweep: static verdicts {verdicts:?}");
+    eprintln!(
+        "fault sweep: functional differential matched {} cases \
+         ({excluded} timing-only CycleLimit cases excluded)",
+        cases - excluded
+    );
     assert!(ok > 0, "sweep produced no clean runs — generator is broken");
     assert!(
         faulted > 0,
@@ -216,8 +332,8 @@ fn sweep_outcomes_are_deterministic() {
     let seed = env_u64("QUETZAL_FAULT_SEED", DEFAULT_SEED);
     let plan = FaultPlan::new(seed);
     let describe = |case: u64| match run_case(&plan, case) {
-        Ok((_, Ok(stats))) => format!("ok cycles={} insts={}", stats.cycles, stats.instructions),
-        Ok((_, Err(e))) => format!("err {e}"),
+        Ok((_, Ok(stats), _)) => format!("ok cycles={} insts={}", stats.cycles, stats.instructions),
+        Ok((_, Err(e), _)) => format!("err {e}"),
         Err(p) => format!("panic {p}"),
     };
     for case in 0..200 {

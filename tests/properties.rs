@@ -11,7 +11,7 @@
 use quetzal::accel::qbuffer::QBuffers;
 use quetzal::accel::QzConfig;
 use quetzal::isa::EncSize;
-use quetzal::{Machine, MachineConfig};
+use quetzal::{ExecMode, Machine, MachineConfig};
 use quetzal_algos::biwfa::biwfa_edit_align;
 use quetzal_algos::dp_sim::LinearCosts;
 use quetzal_algos::nw::nw_align;
@@ -253,28 +253,31 @@ fn cigar_display_parse_round_trip() {
     });
 }
 
+/// Every DNA sequence of length `0..=max_len` (the exhaustive corpora
+/// below enumerate all `sum(4^k) = 341` sequences up to length 4).
+fn all_seqs(max_len: usize) -> Vec<Vec<u8>> {
+    let mut out = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for &b in b"ACGT" {
+                let mut t = s.clone();
+                t.push(b);
+                out.push(t.clone());
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
 /// Edit distances on an exhaustive sweep of all short sequence pairs:
 /// every oracle and the WFA aligner agree on every DNA pair up to
 /// length 4 (341² = 116_281 pairs — small enough to enumerate fully).
 #[test]
 fn distance_oracles_agree_exhaustively_on_short_inputs() {
-    fn all_seqs(max_len: usize) -> Vec<Vec<u8>> {
-        let mut out = vec![Vec::new()];
-        let mut frontier = vec![Vec::new()];
-        for _ in 0..max_len {
-            let mut next = Vec::new();
-            for s in &frontier {
-                for &b in b"ACGT" {
-                    let mut t = s.clone();
-                    t.push(b);
-                    out.push(t.clone());
-                    next.push(t);
-                }
-            }
-            frontier = next;
-        }
-        out
-    }
     let seqs = all_seqs(4);
     for a in &seqs {
         for b in &seqs {
@@ -292,8 +295,9 @@ fn distance_oracles_agree_exhaustively_on_short_inputs() {
     }
 }
 
-/// The full simulated WFA kernel is exact on arbitrary inputs.
-/// Simulated-kernel cases are slower, so fewer run (the ported
+/// The full simulated WFA kernel is exact on arbitrary inputs — on
+/// both execution engines, which must also retire the same instruction
+/// count. Simulated-kernel cases are slower, so fewer run (the ported
 /// configuration used 8).
 #[test]
 fn simulated_wfa_is_exact() {
@@ -315,7 +319,50 @@ fn simulated_wfa_is_exact() {
                 text(&a),
                 text(&b)
             );
+
+            let mut mf = Machine::new(MachineConfig::default());
+            mf.set_exec_mode(ExecMode::Functional);
+            let fun = wfa_sim(&mut mf, &a, &b, Alphabet::Dna, tier).unwrap();
+            assert_eq!(
+                fun.value,
+                d,
+                "functional case {done} ({tier}): a={} b={}",
+                text(&a),
+                text(&b)
+            );
+            assert_eq!(
+                fun.stats.instructions, out.stats.instructions,
+                "case {done} ({tier}): engines retired different counts"
+            );
+            assert_eq!(fun.stats.cycles, 0, "case {done} ({tier})");
         }
         done += 1;
+    }
+}
+
+/// The functional execution tier validated against the *algorithmic*
+/// oracle on the exhaustive short-input space: the simulated WFA kernel
+/// run on the compiled tier computes the Levenshtein distance for every
+/// non-empty DNA pair up to length 4 (340² = 115_600 pairs). This is an
+/// end-to-end independent check — the oracle is host-side DP, not the
+/// cycle-level simulator — so a semantics bug shared by both engines
+/// would still be caught here.
+#[test]
+fn functional_tier_is_exact_on_exhaustive_short_inputs() {
+    let seqs = all_seqs(4);
+    let mut machine = Machine::new(MachineConfig::default());
+    for a in &seqs {
+        for b in &seqs {
+            // The simulated kernel requires non-empty inputs (same
+            // precondition `simulated_wfa_is_exact` applies).
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            let d = levenshtein(a, b) as i64;
+            machine.reset();
+            machine.set_exec_mode(ExecMode::Functional);
+            let out = wfa_sim(&mut machine, a, b, Alphabet::Dna, Tier::Vec).unwrap();
+            assert_eq!(out.value, d, "a={} b={}", text(a), text(b));
+        }
     }
 }
