@@ -1,0 +1,46 @@
+//! OoO design-space sweep: dispatch/commit width × QBUFFER read ports ×
+//! ROB size × store-window depth (72 points), WFA + SneakySnake on the
+//! `100bp_1` dataset at the QUETZAL tier.
+//!
+//! The table goes to stdout and is deterministic (byte-identical across
+//! hosts and `QUETZAL_THREADS` values — all cells are simulated-cycle
+//! ratios). `--json PATH` additionally writes the machine-readable
+//! artifact. Workload sizes scale with `QUETZAL_SCALE`; `scripts/ci.sh`
+//! smokes the full grid at reduced scale.
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("usage: design_space [--json PATH]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: design_space [--json PATH] (unknown argument `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = quetzal_bench::scale_from_env();
+    let points = quetzal_bench::experiments::design_space::grid();
+    eprintln!(
+        "sweeping {} design points at scale {scale} ...",
+        points.len()
+    );
+    let results = quetzal_bench::experiments::design_space::sweep_points(scale, &points);
+    print!(
+        "{}",
+        quetzal_bench::experiments::design_space::table(&results)
+    );
+    if let Some(path) = json_path {
+        let json = quetzal_bench::experiments::design_space::to_json(&results, scale);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! paper's published values. `scale` multiplies workload sizes.
 
 pub mod ablations;
+pub mod design_space;
 pub mod fig03;
 pub mod fig04;
 pub mod fig12;

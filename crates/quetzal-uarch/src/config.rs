@@ -84,6 +84,13 @@ pub struct CoreConfig {
     /// Stride-prefetcher aggressiveness (lines prefetched ahead); 0
     /// disables prefetching.
     pub prefetch_degree: usize,
+    /// Store-to-load forwarding window depth (entries the timing model
+    /// remembers when checking loads against in-flight stores).
+    pub store_ring_slots: usize,
+    /// QUETZAL read-issue ports on the core side (how many `qzload`s
+    /// can start per cycle; the accelerator-internal port count lives
+    /// in [`QzConfig`]).
+    pub qz_read_ports: usize,
 }
 
 impl CoreConfig {
@@ -127,7 +134,47 @@ impl CoreConfig {
             },
             qz: QzConfig::QZ_8P,
             prefetch_degree: 4,
+            store_ring_slots: 40,
+            qz_read_ports: 1,
         }
+    }
+
+    /// Same core with the dispatch/commit width set to `w` and the
+    /// shared FU pools and load/store ports scaled proportionally
+    /// (rounding up, minimum one unit). Used by the `design_space`
+    /// sweep and the wide-config benchmark series.
+    pub fn with_issue_width(mut self, w: u64) -> CoreConfig {
+        let old = self.dispatch_width.max(1);
+        let scale = |n: usize| (n as u64 * w).div_ceil(old).max(1) as usize;
+        self.scalar_alus = scale(self.scalar_alus);
+        self.vector_fus = scale(self.vector_fus);
+        self.load_ports = scale(self.load_ports);
+        self.store_ports = scale(self.store_ports);
+        self.dispatch_width = w;
+        self.commit_width = w;
+        self
+    }
+
+    /// Same core with a different reorder-buffer capacity.
+    pub fn with_rob(mut self, rob: usize) -> CoreConfig {
+        self.rob_size = rob.max(1);
+        self
+    }
+
+    /// Same core with a different store-forwarding window depth.
+    pub fn with_store_ring(mut self, slots: usize) -> CoreConfig {
+        self.store_ring_slots = slots.max(1);
+        self
+    }
+
+    /// The wide 8-issue design point (8-wide dispatch/commit, doubled
+    /// FU pools, 256-entry ROB, 80-entry store window, QZ_8P) used by
+    /// the wide-config series in `BENCH_uarch.json`.
+    pub fn wide8() -> CoreConfig {
+        CoreConfig::a64fx_like()
+            .with_issue_width(8)
+            .with_rob(256)
+            .with_store_ring(80)
     }
 
     /// Same core with a different QUETZAL port configuration (used by
@@ -175,6 +222,22 @@ mod tests {
     fn cache_sets() {
         let c = CoreConfig::a64fx_like();
         assert_eq!(c.l1d.sets(), 64 * 1024 / (8 * 64));
+    }
+
+    #[test]
+    fn issue_width_scales_pools() {
+        let c = CoreConfig::a64fx_like().with_issue_width(8);
+        assert_eq!(c.dispatch_width, 8);
+        assert_eq!(c.commit_width, 8);
+        assert_eq!(c.scalar_alus, 4);
+        assert_eq!(c.vector_fus, 4);
+        assert_eq!(c.load_ports, 4);
+        assert_eq!(c.store_ports, 2);
+        let narrow = CoreConfig::a64fx_like().with_issue_width(1);
+        assert_eq!(narrow.store_ports, 1, "pools never scale below one");
+        let w = CoreConfig::wide8();
+        assert_eq!(w.rob_size, 256);
+        assert_eq!(w.store_ring_slots, 80);
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! contiguous arrays of `(pc, Instruction)` records dispatched by a
 //! direct match, with no per-step heap allocation — and chains blocks
 //! connected by unconditional control flow into **superblocks**
-//! dispatched with a single lookup. Compiled programs are cached per
-//! [`Program::id`] alongside the predecode tables, so steady-state
-//! execution touches no decoder at all.
+//! dispatched with a single lookup. Compiled programs are cached by id
+//! *and by instruction-stream content* alongside the predecode tables
+//! (see [`CompiledCache`]), so steady-state execution touches no
+//! decoder at all — even when a driver stages a fresh `Program` per
+//! sequence pair, identical code compiles exactly once.
 //!
 //! The tier is architecturally exact: it produces bit-identical
 //! register, memory and QBUFFER state to the interpreter, enforces the
@@ -814,12 +816,27 @@ fn exec_step(pc: usize, inst: Instruction, s: &mut ArchState) -> Result<(), SimE
     }
 }
 
-/// Per-core cache of compiled programs, keyed by [`Program::id`] — the
-/// functional analogue of [`crate::predecode::DecodeCache`], with the
-/// same wholesale-flush bound.
+/// Per-core cache of compiled programs — the functional analogue of
+/// [`crate::predecode::DecodeCache`], with the same wholesale-flush
+/// bound.
+///
+/// Two-level keying: a fast path by [`Program::id`], and behind it a
+/// **content index** keyed by the hash of the instruction stream. The
+/// staged alignment drivers build a fresh `Program` (fresh id) per
+/// sequence pair, but pairs with equal lengths and edit distance stage
+/// byte-identical code — the content index lets every such program
+/// share one compiled superblock table across pairs *and across
+/// kernels*, so steady-state batch execution stops recompiling at all.
+/// Hash collisions are guarded by full instruction-stream equality, so
+/// a collision costs a compare, never a wrong program.
+/// One content-index entry: the instruction stream (collision guard)
+/// and its compiled form.
+type ContentEntry = (Arc<[Instruction]>, Arc<CompiledProgram>);
+
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CompiledCache {
-    map: HashMap<u64, Arc<CompiledProgram>>,
+    by_id: HashMap<u64, Arc<CompiledProgram>>,
+    by_content: HashMap<u64, Vec<ContentEntry>>,
 }
 
 impl CompiledCache {
@@ -827,16 +844,31 @@ impl CompiledCache {
     /// set, small enough that eviction is a non-event.
     const CAPACITY: usize = 64;
 
-    /// The compiled form of `program`, compiling on first sight.
+    /// The compiled form of `program`, compiling on first sight of its
+    /// *content* (identical code under a different id hits the cache).
     pub(crate) fn get(&mut self, program: &Program, pre: &Predecode) -> Arc<CompiledProgram> {
-        if self.map.len() >= Self::CAPACITY && !self.map.contains_key(&program.id()) {
-            self.map.clear();
+        if self.by_id.len() >= Self::CAPACITY && !self.by_id.contains_key(&program.id()) {
+            self.by_id.clear();
+            self.by_content.clear();
         }
-        Arc::clone(
-            self.map
-                .entry(program.id())
-                .or_insert_with(|| Arc::new(compile(program, pre))),
-        )
+        if let Some(cp) = self.by_id.get(&program.id()) {
+            return Arc::clone(cp);
+        }
+        let insts = program.instructions();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::hash::Hash::hash(insts, &mut h);
+        let key = std::hash::Hasher::finish(&h);
+        let bucket = self.by_content.entry(key).or_default();
+        let cp = match bucket.iter().find(|(code, _)| code[..] == *insts) {
+            Some((_, cp)) => Arc::clone(cp),
+            None => {
+                let cp = Arc::new(compile(program, pre));
+                bucket.push((insts.into(), Arc::clone(&cp)));
+                cp
+            }
+        };
+        self.by_id.insert(program.id(), Arc::clone(&cp));
+        cp
     }
 }
 
@@ -1074,6 +1106,33 @@ mod tests {
             let q = pb.build().unwrap();
             cache.get(&q, &Predecode::of(&q));
         }
-        assert!(cache.map.len() <= CompiledCache::CAPACITY);
+        assert!(cache.by_id.len() <= CompiledCache::CAPACITY);
+        assert!(cache.by_content.len() <= CompiledCache::CAPACITY);
+    }
+
+    #[test]
+    fn compiled_cache_shares_identical_content_across_program_ids() {
+        // Two programs staged separately (distinct ids) with identical
+        // instruction streams — the per-pair driver pattern — must
+        // share one compiled table.
+        let p = loop_program();
+        let q = loop_program();
+        assert_ne!(p.id(), q.id(), "staged programs get fresh ids");
+        assert_eq!(p.instructions(), q.instructions());
+        let mut cache = CompiledCache::default();
+        let a = cache.get(&p, &Predecode::of(&p));
+        let b = cache.get(&q, &Predecode::of(&q));
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "identical content must share a compiled program across ids"
+        );
+
+        // Different content must not alias.
+        let mut pb = ProgramBuilder::new();
+        pb.mov_imm(X0, 7);
+        pb.halt();
+        let r = pb.build().unwrap();
+        let c = cache.get(&r, &Predecode::of(&r));
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 }

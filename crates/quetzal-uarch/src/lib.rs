@@ -57,6 +57,7 @@ pub mod predecode;
 pub mod probe;
 pub mod state;
 pub mod stats;
+pub mod wheel;
 
 pub use config::{CacheConfig, CoreConfig, MemConfig};
 pub use functional::ExecMode;
@@ -65,3 +66,4 @@ pub use predecode::{DecodeCache, MicroOp, Predecode, PredecodeRegistry};
 pub use probe::{MemLevelMix, NullProbe, Probe, RetireEvent};
 pub use state::{ArchState, SimMemory};
 pub use stats::{RunStats, StallCat};
+pub use wheel::{FreeWheel, RobRing, StoreIndex};

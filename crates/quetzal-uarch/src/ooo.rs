@@ -27,9 +27,8 @@ use crate::config::CoreConfig;
 use crate::predecode::{FuClass, MicroOp, NO_DEF};
 use crate::probe::{MemLevelMix, NullProbe, Probe, RetireEvent};
 use crate::stats::{RunStats, StallCat};
+use crate::wheel::{FreeWheel, RobRing, StoreIndex};
 use quetzal_isa::{InstClass, Reg};
-
-use std::collections::VecDeque;
 
 /// One dynamic instruction record produced by the functional
 /// interpreter.
@@ -86,45 +85,6 @@ impl ExecSink for NullSink {
 
 const BPRED_ENTRIES: usize = 4096;
 
-/// Capacity of the store-to-load forwarding window (entries).
-const STORE_BUFFER_SLOTS: usize = 40;
-
-/// Fixed-capacity ring of the most recent stores, for the forwarding
-/// hazard model. Overwrites the oldest entry when full, so a run of any
-/// length holds peak memory flat (no deque reallocation, no spare
-/// capacity growth). Scan order differs from insertion order once the
-/// ring wraps, but [`OooTiming::forwarding_hazard`] folds entries with
-/// `max`/`or`, which is order-independent.
-#[derive(Debug, Clone)]
-struct StoreRing {
-    /// `(address, bytes, completion cycle)` per slot.
-    slots: [(u64, u32, u64); STORE_BUFFER_SLOTS],
-    /// Live entries (saturates at capacity).
-    len: usize,
-    /// Next slot to overwrite.
-    head: usize,
-}
-
-impl StoreRing {
-    fn new() -> StoreRing {
-        StoreRing {
-            slots: [(0, 0, 0); STORE_BUFFER_SLOTS],
-            len: 0,
-            head: 0,
-        }
-    }
-
-    fn push(&mut self, addr: u64, size: u32, done: u64) {
-        self.slots[self.head] = (addr, size, done);
-        self.head = (self.head + 1) % STORE_BUFFER_SLOTS;
-        self.len = (self.len + 1).min(STORE_BUFFER_SLOTS);
-    }
-
-    fn entries(&self) -> &[(u64, u32, u64)] {
-        &self.slots[..self.len]
-    }
-}
-
 /// The out-of-order timing engine. State (caches, predictor, clock)
 /// persists across kernel submissions so a workload composed of many
 /// kernels sees warm caches, exactly as consecutive function calls on
@@ -143,21 +103,26 @@ pub struct OooTiming<P: Probe = NullProbe> {
     front_cycle: u64,
     front_slots: u64,
     fetch_resume: u64,
-    // Functional units / ports (cycle each becomes free).
-    fu_scalar: Vec<u64>,
-    fu_vector: Vec<u64>,
-    load_ports: Vec<u64>,
-    store_ports: Vec<u64>,
+    // Functional units / ports, tracked as timing wheels of "slot free
+    // at cycle" events (see [`crate::wheel`]); allocation cost is
+    // independent of the configured pool width.
+    fu_scalar: FreeWheel,
+    fu_vector: FreeWheel,
+    load_ports: FreeWheel,
+    store_ports: FreeWheel,
     // Dedicated indexed-access (gather/scatter) pipe: the A64FX cracks
     // memory-indexed SVE operations into a serial element stream through
     // a single pipeline, which is why their latency is >= 19 cycles even
     // on L1 hits (paper SII-G).
     gather_pipe: u64,
-    qz_port: u64,
-    // Recent stores for the store-to-load forwarding hazard model.
-    store_buffer: StoreRing,
-    // In-order commit.
-    rob: VecDeque<u64>,
+    qz_port: FreeWheel,
+    // Recent stores for the store-to-load forwarding hazard model,
+    // granule-indexed so a load consults only the stores near its
+    // address instead of the whole window.
+    store_buffer: StoreIndex,
+    // In-order commit. Capacity rob_size + 1: commit pushes before its
+    // conditional pop, so the ring momentarily holds one extra entry.
+    rob: RobRing,
     commit_cycle: u64,
     commit_slots: u64,
     run_start_cycle: u64,
@@ -181,15 +146,20 @@ impl<P: Probe> OooTiming<P> {
     /// Creates a timing engine with an attached observation probe.
     pub fn with_probe(cfg: CoreConfig, probe: P) -> OooTiming<P> {
         let mem = MemSystem::new(&cfg);
+        // Commit pushes before its conditional pop, so the ring must
+        // hold one entry beyond the architectural ROB size.
+        let rob = RobRing::new(cfg.rob_size.saturating_add(1));
         OooTiming {
-            // A zero-width pool in a hand-built config would deadlock
-            // allocation; clamp to one unit so any config simulates.
-            fu_scalar: vec![0; cfg.scalar_alus.max(1)],
-            fu_vector: vec![0; cfg.vector_fus.max(1)],
-            load_ports: vec![0; cfg.load_ports.max(1)],
-            store_ports: vec![0; cfg.store_ports.max(1)],
+            // Zero-width pools in a hand-built config would deadlock
+            // allocation; `FreeWheel` clamps to one unit so any config
+            // simulates.
+            fu_scalar: FreeWheel::new(cfg.scalar_alus),
+            fu_vector: FreeWheel::new(cfg.vector_fus),
+            load_ports: FreeWheel::new(cfg.load_ports),
+            store_ports: FreeWheel::new(cfg.store_ports),
             gather_pipe: 0,
-            qz_port: 0,
+            qz_port: FreeWheel::new(cfg.qz_read_ports),
+            store_buffer: StoreIndex::new(cfg.store_ring_slots),
             mem,
             cfg,
             reg_ready: [0; Reg::FLAT_COUNT],
@@ -197,8 +167,7 @@ impl<P: Probe> OooTiming<P> {
             front_cycle: 0,
             front_slots: 0,
             fetch_resume: 0,
-            store_buffer: StoreRing::new(),
-            rob: VecDeque::new(),
+            rob,
             commit_cycle: 0,
             commit_slots: 0,
             run_start_cycle: 0,
@@ -274,13 +243,13 @@ impl<P: Probe> OooTiming<P> {
         self.front_cycle = 0;
         self.front_slots = 0;
         self.fetch_resume = 0;
-        self.fu_scalar.fill(0);
-        self.fu_vector.fill(0);
-        self.load_ports.fill(0);
-        self.store_ports.fill(0);
+        self.fu_scalar.reset();
+        self.fu_vector.reset();
+        self.load_ports.reset();
+        self.store_ports.reset();
         self.gather_pipe = 0;
-        self.qz_port = 0;
-        self.store_buffer = StoreRing::new();
+        self.qz_port.reset();
+        self.store_buffer.reset();
         self.rob.clear();
         self.commit_cycle = 0;
         self.commit_slots = 0;
@@ -288,25 +257,6 @@ impl<P: Probe> OooTiming<P> {
         self.cycle_budget = u64::MAX;
         self.bpred.fill(1);
         self.stats = RunStats::default();
-    }
-
-    fn alloc_unit(units: &mut [u64], at: u64, busy: u64) -> u64 {
-        // Manual min-scan: pool vectors are never empty (constructors
-        // clamp widths to >= 1), so `best` always lands on a real slot;
-        // an unexpectedly empty pool issues at `at` instead of panicking.
-        let mut best = 0;
-        for (i, &t) in units.iter().enumerate() {
-            if t < units[best] {
-                best = i;
-            }
-        }
-        let Some(slot) = units.get_mut(best) else {
-            debug_assert!(false, "empty functional-unit pool");
-            return at;
-        };
-        let start = (*slot).max(at);
-        *slot = start + busy;
-        start
     }
 
     fn dispatch(&mut self) -> u64 {
@@ -400,22 +350,27 @@ impl<P: Probe> OooTiming<P> {
     fn forwarding_hazard(&self, addr: u64, size: u32) -> (u64, bool) {
         let mut floor = 0;
         let mut replay = false;
-        for &(sa, ss, done) in self.store_buffer.entries() {
-            // Saturating ends: guest addresses can sit at the top of the
-            // address space, and a wrapped end would miss the overlap.
-            let overlap =
-                addr < sa.saturating_add(ss as u64) && sa < addr.saturating_add(size as u64);
-            if !overlap {
-                continue;
-            }
-            if sa == addr && ss == size {
-                // Clean forward: data available when the store's data is.
-                floor = floor.max(done);
-            } else {
-                floor = floor.max(done + self.cfg.store_fwd_penalty);
-                replay = true;
-            }
-        }
+        let penalty = self.cfg.store_fwd_penalty;
+        // The index may visit a store twice when both it and the load
+        // straddle a granule boundary; the `max`/`or` fold is duplicate-
+        // and order-insensitive, so the result matches a full scan.
+        self.store_buffer
+            .for_each_candidate(addr, size, |sa, ss, done| {
+                // Saturating ends: guest addresses can sit at the top of the
+                // address space, and a wrapped end would miss the overlap.
+                let overlap =
+                    addr < sa.saturating_add(ss as u64) && sa < addr.saturating_add(size as u64);
+                if !overlap {
+                    return;
+                }
+                if sa == addr && ss == size {
+                    // Clean forward: data available when the store's data is.
+                    floor = floor.max(done);
+                } else {
+                    floor = floor.max(done + penalty);
+                    replay = true;
+                }
+            });
         (floor, replay)
     }
 
@@ -433,7 +388,7 @@ impl<P: Probe> OooTiming<P> {
     /// `Program`, however corrupted, so this is an internal invariant
     /// (`debug_assert!`), not a guest-reachable fault. The release
     /// fallback routes to the scalar pool rather than aborting.
-    fn compute_pool(&mut self, fu: FuClass) -> &mut [u64] {
+    fn compute_pool(&mut self, fu: FuClass) -> &mut FreeWheel {
         match fu {
             FuClass::Scalar => &mut self.fu_scalar,
             FuClass::Vector => &mut self.fu_vector,
@@ -494,7 +449,7 @@ impl<P: Probe> ExecSink for OooTiming<P> {
                 } else {
                     self.cfg.scalar_alu_lat
                 };
-                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
+                let start = self.compute_pool(uop.fu).alloc(ready_at, 1);
                 let cat = if ops_ready > dispatched {
                     ops_cat
                 } else {
@@ -504,7 +459,7 @@ impl<P: Probe> ExecSink for OooTiming<P> {
             }
             InstClass::Branch => {
                 self.stats.branches += 1;
-                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
+                let start = self.compute_pool(uop.fu).alloc(ready_at, 1);
                 let completion = start + self.cfg.scalar_alu_lat;
                 if uop.is_cond_branch && !self.predict(d.pc, d.taken) {
                     self.stats.mispredicts += 1;
@@ -518,7 +473,7 @@ impl<P: Probe> ExecSink for OooTiming<P> {
                 (completion, cat, 0, start)
             }
             InstClass::ScalarLoad | InstClass::VectorLoad => {
-                let start = Self::alloc_unit(&mut self.load_ports, ready_at, 1);
+                let start = self.load_ports.alloc(ready_at, 1);
                 let mut done = start;
                 for &(addr, size) in &d.mem {
                     self.stats.mem_requests += 1;
@@ -533,7 +488,7 @@ impl<P: Probe> ExecSink for OooTiming<P> {
                     let (floor, replay) = self.forwarding_hazard(addr, size);
                     if replay {
                         // The replayed access occupies a port slot again.
-                        let r = Self::alloc_unit(&mut self.load_ports, start, 1);
+                        let r = self.load_ports.alloc(start, 1);
                         done = done.max(r + self.mem.l1_latency());
                     }
                     done = done.max(floor);
@@ -545,7 +500,7 @@ impl<P: Probe> ExecSink for OooTiming<P> {
                 (done.max(start + 1), StallCat::Memory, 0, start)
             }
             InstClass::ScalarStore | InstClass::VectorStore => {
-                let start = Self::alloc_unit(&mut self.store_ports, ready_at, 1);
+                let start = self.store_ports.alloc(ready_at, 1);
                 let mut done = start;
                 for &(addr, size) in &d.mem {
                     self.stats.mem_requests += 1;
@@ -599,7 +554,7 @@ impl<P: Probe> ExecSink for OooTiming<P> {
                     InstClass::VectorHorizontal => self.cfg.vector_horiz_lat,
                     _ => self.cfg.vector_alu_lat,
                 };
-                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
+                let start = self.compute_pool(uop.fu).alloc(ready_at, 1);
                 let cat = if ops_ready > dispatched {
                     ops_cat
                 } else {
@@ -608,7 +563,7 @@ impl<P: Probe> ExecSink for OooTiming<P> {
                 (start + lat, cat, 0, start)
             }
             InstClass::Predicate => {
-                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
+                let start = self.compute_pool(uop.fu).alloc(ready_at, 1);
                 let cat = if ops_ready > dispatched {
                     ops_cat
                 } else {
@@ -618,15 +573,14 @@ impl<P: Probe> ExecSink for OooTiming<P> {
             }
             InstClass::QzRead => {
                 self.stats.qz_accesses += 1;
-                let start = self.qz_port.max(ready_at);
-                self.qz_port = start + 1;
+                let start = self.qz_port.alloc(ready_at, 1);
                 if P::ENABLED {
                     pr_qz_wait = start - ready_at;
                 }
                 (start + d.qz_latency, StallCat::Quetzal, 0, start)
             }
             InstClass::QzCountOp => {
-                let start = Self::alloc_unit(self.compute_pool(uop.fu), ready_at, 1);
+                let start = self.compute_pool(uop.fu).alloc(ready_at, 1);
                 (
                     start + d.qz_latency.max(1),
                     StallCat::VectorCompute,
@@ -885,7 +839,11 @@ mod tests {
             d.mem.push((0x4000 + (i % 512) * 8, 8));
             t.retire(&uop, &d);
         }
-        assert_eq!(t.store_buffer.entries().len(), STORE_BUFFER_SLOTS);
+        assert_eq!(t.store_buffer.len(), t.cfg.store_ring_slots);
+        assert!(
+            t.store_buffer.index_node_count() <= 2 * t.cfg.store_ring_slots,
+            "forwarding index bounded by the live window"
+        );
         assert!(t.rob.len() <= t.cfg.rob_size, "rob bounded");
         assert_eq!(t.bpred.len(), BPRED_ENTRIES);
         assert!(
@@ -899,16 +857,17 @@ mod tests {
     }
 
     #[test]
-    fn store_ring_keeps_newest_entries() {
-        let mut r = StoreRing::new();
-        for i in 0..(STORE_BUFFER_SLOTS as u64 * 3) {
+    fn store_window_keeps_newest_entries() {
+        let depth = CoreConfig::a64fx_like().store_ring_slots;
+        let mut r = StoreIndex::new(depth);
+        for i in 0..(depth as u64 * 3) {
             r.push(i, 8, i + 100);
         }
-        assert_eq!(r.entries().len(), STORE_BUFFER_SLOTS);
-        let min_addr = (STORE_BUFFER_SLOTS as u64) * 2;
+        assert_eq!(r.entries().len(), depth);
+        let min_addr = (depth as u64) * 2;
         assert!(
             r.entries().iter().all(|&(a, _, _)| a >= min_addr),
-            "ring must hold exactly the newest {STORE_BUFFER_SLOTS} stores"
+            "window must hold exactly the newest {depth} stores"
         );
     }
 

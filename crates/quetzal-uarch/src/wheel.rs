@@ -1,0 +1,675 @@
+//! Event-keyed free-slot structures for the out-of-order timing engine.
+//!
+//! The seed engine tracked every functional-unit pool as a `Vec<u64>` of
+//! per-slot free times and allocated by **min-scanning** the pool, and
+//! tracked the store-to-load forwarding window as a fixed ring scanned
+//! **in full** on every load. Both costs scale with the configured
+//! structure size, which is exactly the wrong shape for design-space
+//! sweeps over wide (8-/16-issue, deep-ring) configurations.
+//!
+//! This module replaces them with event-keyed equivalents:
+//!
+//! * [`FreeWheel`] — a calendar-queue timing wheel over "unit free at
+//!   cycle *c*" events. Allocation pops the earliest-free bucket and
+//!   re-inserts the slot at its new ready cycle: O(1) amortized,
+//!   independent of pool width.
+//! * [`StoreIndex`] — the same FIFO forwarding window the ring
+//!   implemented, plus a granule-keyed interval index so a load
+//!   consults only the stores that touch its address neighbourhood,
+//!   not the whole ring.
+//! * [`RobRing`] — the reorder buffer as a fixed ring (no deque
+//!   reallocation or spare-capacity bookkeeping on the per-retire
+//!   path).
+//!
+//! # Equivalence contract
+//!
+//! All three structures are **observationally identical** to their
+//! linear-scan predecessors; `RunStats` produced through them is
+//! bit-identical (pinned by `tests/timing_golden.rs` and the randomized
+//! differential suite in `crates/quetzal-uarch/tests/wheel_reference.rs`):
+//!
+//! * A min-scan allocation's start time depends only on the *minimum*
+//!   of the pool's free-time multiset, never on which slot holds it —
+//!   so any structure that maintains the same multiset and extracts its
+//!   minimum allocates identically.
+//! * The forwarding fold ignores non-overlapping stores entirely and
+//!   combines overlapping ones with `max`/`or`, which is order- and
+//!   duplicate-independent — so visiting any **superset** of the
+//!   overlapping live stores (granule-bucket neighbours, hash-collision
+//!   strays, a store visited twice because it and the load both
+//!   straddle a granule boundary) folds to the same result as the full
+//!   ring scan, which visited *every* live store.
+//!
+//! # Wheel geometry, rotation and overflow
+//!
+//! Buckets are one cycle wide ([`FreeWheel::DEFAULT_WINDOW`] of them,
+//! power of two). The wheel covers the half-open cycle window
+//! `[base, base + window)`; `base` — the earliest cycle any free event
+//! can live at — only ever advances (the popped minimum is re-inserted
+//! at a strictly later cycle, so the multiset minimum is monotone).
+//! An occupancy bitmap (one bit per bucket) finds the next occupied
+//! bucket a 64-bucket word at a time, so a pop costs a couple of word
+//! scans rather than a walk over empty buckets. Events keyed beyond
+//! the window spill into a `BinaryHeap` overflow; as `base` rotates
+//! forward, overflow events whose cycle enters the window migrate back
+//! into buckets, and when the wheel goes empty `base` jumps straight to
+//! the overflow minimum.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Calendar-queue tracker of *unit free at cycle* events for a pool of
+/// identical functional units or ports.
+///
+/// Semantics are exactly the seed min-scan with unit busy time: an
+/// allocation at request cycle `at` starts at `max(pool minimum, at)`
+/// and returns the slot to the pool `busy` cycles later.
+#[derive(Debug, Clone)]
+pub struct FreeWheel {
+    /// Free events per cycle, indexed by `cycle & mask`.
+    counts: Box<[u32]>,
+    /// Occupancy bitmap over `counts` (bit set ⇔ bucket non-empty).
+    words: Box<[u64]>,
+    mask: u64,
+    /// Cycle of the earliest possible wheel event; all bucketed events
+    /// lie in `[base, base + window)`, all overflow events at or above
+    /// `base + window` when they spilled.
+    base: u64,
+    /// Events currently bucketed.
+    in_wheel: u32,
+    /// Events beyond the window (rare: a request cycle far above the
+    /// pool minimum, e.g. an operand arriving from a DRAM miss chain).
+    overflow: BinaryHeap<Reverse<u64>>,
+    /// Pool width (total events in wheel + overflow at rest).
+    units: u32,
+}
+
+impl FreeWheel {
+    /// Default bucket count: covers a window far wider than any
+    /// realistic spread between the pool's earliest and latest free
+    /// times (bounded by pool width × the longest operand-arrival gap);
+    /// anything beyond spills to the overflow heap, losslessly.
+    pub const DEFAULT_WINDOW: usize = 1024;
+
+    /// A pool of `units` slots, all free at cycle 0.
+    pub fn new(units: usize) -> FreeWheel {
+        FreeWheel::with_window(units, Self::DEFAULT_WINDOW)
+    }
+
+    /// A pool with an explicit bucket count (rounded up to a power of
+    /// two, minimum 2). Small windows force heavy rotation/overflow
+    /// traffic — the differential tests use this to stress that path.
+    pub fn with_window(units: usize, window: usize) -> FreeWheel {
+        let units = units.max(1);
+        let window = window.max(2).next_power_of_two();
+        let mut counts = vec![0u32; window].into_boxed_slice();
+        counts[0] = units as u32;
+        let mut words = vec![0u64; window.div_ceil(64)].into_boxed_slice();
+        words[0] = 1;
+        FreeWheel {
+            counts,
+            words,
+            mask: (window - 1) as u64,
+            base: 0,
+            in_wheel: units as u32,
+            overflow: BinaryHeap::new(),
+            units: units as u32,
+        }
+    }
+
+    /// Pool width.
+    pub fn units(&self) -> usize {
+        self.units as usize
+    }
+
+    /// Returns every slot to "free at cycle 0" (cold boot). Keeps the
+    /// bucket allocation.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.counts[0] = self.units;
+        self.words.fill(0);
+        self.words[0] = 1;
+        self.base = 0;
+        self.in_wheel = self.units;
+        self.overflow.clear();
+    }
+
+    #[inline]
+    fn bucket(&self, cycle: u64) -> usize {
+        (cycle & self.mask) as usize
+    }
+
+    /// Adds one event to bucket `b`, maintaining the bitmap.
+    #[inline]
+    fn fill_bucket(&mut self, b: usize) {
+        self.counts[b] += 1;
+        self.words[b >> 6] |= 1u64 << (b & 63);
+        self.in_wheel += 1;
+    }
+
+    /// Removes one event from bucket `b`, maintaining the bitmap.
+    #[inline]
+    fn drain_bucket(&mut self, b: usize) {
+        self.counts[b] -= 1;
+        if self.counts[b] == 0 {
+            self.words[b >> 6] &= !(1u64 << (b & 63));
+        }
+        self.in_wheel -= 1;
+    }
+
+    /// Index of the first occupied bucket at or cyclically after
+    /// `start`, found a 64-bucket word at a time. Returns `start` + the
+    /// cyclic distance; caller guarantees the wheel is non-empty.
+    #[inline]
+    fn next_occupied(&self, start: usize) -> usize {
+        let (w0, bit) = (start >> 6, start & 63);
+        // First (partial) word: only bits at or after `start`.
+        let masked = self.words[w0] & (u64::MAX << bit);
+        if masked != 0 {
+            return (w0 << 6) | masked.trailing_zeros() as usize;
+        }
+        let n = self.words.len();
+        for step in 1..=n {
+            let w = (w0 + step) % n;
+            if self.words[w] != 0 {
+                return (w << 6) | self.words[w].trailing_zeros() as usize;
+            }
+        }
+        // Unreachable with in_wheel > 0; fall back to the cursor.
+        debug_assert!(false, "occupancy bitmap empty with events in wheel");
+        start
+    }
+
+    /// Extracts the earliest free event. The pool is never empty
+    /// between operations (every pop is followed by an insert), so this
+    /// always finds one; a corrupted-state fallback returns `base`
+    /// rather than spinning.
+    ///
+    /// After the loop-top migration, any remaining overflow event is at
+    /// or above `base + window` while every bucketed event is below it,
+    /// so the bucketed minimum is the global minimum and `base` can
+    /// jump straight to it (the multiset minimum is monotone, so no
+    /// later event is skipped).
+    fn pop_min(&mut self) -> u64 {
+        let window = self.mask + 1;
+        loop {
+            // Migrate overflow events the advancing window has reached.
+            while let Some(&Reverse(f)) = self.overflow.peek() {
+                if f >= self.base + window {
+                    break;
+                }
+                self.overflow.pop();
+                let b = self.bucket(f);
+                self.fill_bucket(b);
+            }
+            if self.in_wheel == 0 {
+                match self.overflow.peek() {
+                    // Wheel dry, overflow live: jump the window to the
+                    // overflow minimum and let migration pull it in.
+                    Some(&Reverse(f)) => {
+                        self.base = f;
+                        continue;
+                    }
+                    None => {
+                        debug_assert!(false, "empty free-slot pool");
+                        return self.base;
+                    }
+                }
+            }
+            let bb = self.bucket(self.base);
+            let fb = self.next_occupied(bb);
+            let delta = (fb.wrapping_sub(bb) as u64) & self.mask;
+            let min = self.base + delta;
+            self.drain_bucket(fb);
+            self.base = min;
+            return min;
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.base, "free event behind the window");
+        if cycle < self.base + self.mask + 1 {
+            let b = self.bucket(cycle);
+            self.fill_bucket(b);
+        } else {
+            self.overflow.push(Reverse(cycle));
+        }
+    }
+
+    /// Allocates the earliest-free slot for a request at cycle `at`
+    /// occupying the slot for `busy` cycles. Returns the start cycle:
+    /// `max(earliest free, at)`, exactly as the seed min-scan did.
+    #[inline]
+    pub fn alloc(&mut self, at: u64, busy: u64) -> u64 {
+        let min = self.pop_min();
+        let start = min.max(at);
+        self.insert(start + busy);
+        start
+    }
+}
+
+/// Byte shift of the interval-index granule: stores and loads are
+/// indexed by the 64-byte neighbourhoods they touch. 64 bytes is both
+/// the cache-line size and the widest single access the ISA produces
+/// (a full 512-bit unit-stride vector), so any access spans at most two
+/// granules.
+const GRANULE_SHIFT: u32 = 6;
+
+/// Empty link / unlinked-node sentinel for the intrusive chains.
+const NO_NODE: u32 = u32::MAX;
+
+/// FIFO store-to-load forwarding window with a granule-hashed interval
+/// index.
+///
+/// Holds the most recent `depth` stores (overwriting the oldest when
+/// full, exactly like the seed ring). The index hashes each touched
+/// granule into a power-of-two bucket table and chains stores through
+/// two preallocated intrusive nodes per slot (a store spans at most two
+/// granules), so pushes, evictions and candidate walks touch only flat
+/// arrays — no hashing rounds beyond one multiply, no allocation.
+///
+/// A candidate walk yields a **superset** of the stores overlapping the
+/// probed range: everything chained in the probed granules' buckets,
+/// which may include hash-collision strays and a store visited twice
+/// when it and the probe both straddle a granule boundary. All
+/// candidates are live stores, and callers fold with overlap-checked,
+/// duplicate-insensitive operations (`max`, `|=`) — exactly the fold
+/// the seed applied to *every* live store — so the result is
+/// bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct StoreIndex {
+    /// `(address, bytes, completion cycle)` per slot, FIFO by `head`.
+    slots: Vec<(u64, u32, u64)>,
+    /// Live entries (saturates at `depth`).
+    len: usize,
+    /// Next slot to overwrite.
+    head: usize,
+    /// Window capacity.
+    depth: usize,
+    /// Bucket table: first chained node per bucket (power-of-two size).
+    heads: Box<[u32]>,
+    /// Forward links, two nodes per slot (`2 * slot`, `2 * slot + 1`).
+    next: Box<[u32]>,
+    /// Backward links (`NO_NODE` at a chain head).
+    prev: Box<[u32]>,
+    /// Bucket each node is chained in (`NO_NODE` when unlinked).
+    node_bucket: Box<[u32]>,
+    /// `64 - log2(bucket count)`, for the multiply-shift granule hash.
+    shift: u32,
+}
+
+impl StoreIndex {
+    /// An empty window of `depth` entries.
+    pub fn new(depth: usize) -> StoreIndex {
+        let depth = depth.max(1).min(u16::MAX as usize);
+        // 4x oversized table keeps chains near length one.
+        let buckets = (4 * depth).next_power_of_two();
+        StoreIndex {
+            slots: vec![(0, 0, 0); depth],
+            len: 0,
+            head: 0,
+            depth,
+            heads: vec![NO_NODE; buckets].into_boxed_slice(),
+            next: vec![NO_NODE; 2 * depth].into_boxed_slice(),
+            prev: vec![NO_NODE; 2 * depth].into_boxed_slice(),
+            node_bucket: vec![NO_NODE; 2 * depth].into_boxed_slice(),
+            shift: 64 - buckets.trailing_zeros(),
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window holds no stores.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Window capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Nodes currently chained in the index. Bounded by `2 * depth`
+    /// however long the run: each live store owns exactly two
+    /// preallocated nodes and eviction unlinks them.
+    pub fn index_node_count(&self) -> usize {
+        self.node_bucket.iter().filter(|&&b| b != NO_NODE).count()
+    }
+
+    /// The live entries, in no particular order (the forwarding fold is
+    /// order-independent).
+    pub fn entries(&self) -> &[(u64, u32, u64)] {
+        &self.slots[..self.len]
+    }
+
+    /// Empties the window (cold boot).
+    pub fn reset(&mut self) {
+        self.slots[..self.len].fill((0, 0, 0));
+        self.len = 0;
+        self.head = 0;
+        self.heads.fill(NO_NODE);
+        self.node_bucket.fill(NO_NODE);
+    }
+
+    /// Granule range of `[addr, addr + size)` with saturating ends
+    /// (guest addresses can sit at the top of the address space).
+    #[inline]
+    fn granules(addr: u64, size: u32) -> std::ops::RangeInclusive<u64> {
+        let last = addr.saturating_add(size.saturating_sub(1) as u64);
+        (addr >> GRANULE_SHIFT)..=(last >> GRANULE_SHIFT)
+    }
+
+    /// Multiply-shift hash of a granule into a bucket index.
+    #[inline]
+    fn bucket_of(&self, granule: u64) -> usize {
+        (granule.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// Chains `node` at the head of `bucket`.
+    #[inline]
+    fn link(&mut self, node: u32, bucket: usize) {
+        let old = self.heads[bucket];
+        self.next[node as usize] = old;
+        self.prev[node as usize] = NO_NODE;
+        if old != NO_NODE {
+            self.prev[old as usize] = node;
+        }
+        self.heads[bucket] = node;
+        self.node_bucket[node as usize] = bucket as u32;
+    }
+
+    /// Unchains `node` from wherever it is linked (no-op if unlinked).
+    #[inline]
+    fn unlink(&mut self, node: u32) {
+        let bucket = self.node_bucket[node as usize];
+        if bucket == NO_NODE {
+            return;
+        }
+        let (n, p) = (self.next[node as usize], self.prev[node as usize]);
+        if p != NO_NODE {
+            self.next[p as usize] = n;
+        } else {
+            self.heads[bucket as usize] = n;
+        }
+        if n != NO_NODE {
+            self.prev[n as usize] = p;
+        }
+        self.node_bucket[node as usize] = NO_NODE;
+    }
+
+    /// Records a store that completes at cycle `done`, evicting the
+    /// oldest entry when the window is full (its nodes are unlinked and
+    /// reused — the index never grows past `2 * depth` nodes).
+    pub fn push(&mut self, addr: u64, size: u32, done: u64) {
+        let slot = self.head;
+        let (n0, n1) = ((2 * slot) as u32, (2 * slot + 1) as u32);
+        self.unlink(n0);
+        self.unlink(n1);
+        self.slots[slot] = (addr, size, done);
+        self.head = (self.head + 1) % self.depth;
+        self.len = (self.len + 1).min(self.depth);
+        let mut g = Self::granules(addr, size);
+        let first = g.next().unwrap_or(addr >> GRANULE_SHIFT);
+        self.link(n0, self.bucket_of(first));
+        if let Some(second) = g.next() {
+            self.link(n1, self.bucket_of(second));
+        }
+    }
+
+    /// Calls `f(store_addr, store_size, store_done)` for every live
+    /// store chained in a bucket the byte range `[addr, addr+size)`
+    /// hashes to — a superset of the overlapping stores (see the type
+    /// docs). Callers must fold with overlap-checked,
+    /// duplicate-insensitive operations, which is what the
+    /// forwarding-hazard model does.
+    #[inline]
+    pub fn for_each_candidate(&self, addr: u64, size: u32, mut f: impl FnMut(u64, u32, u64)) {
+        for g in Self::granules(addr, size) {
+            let mut node = self.heads[self.bucket_of(g)];
+            while node != NO_NODE {
+                let (sa, ss, done) = self.slots[(node >> 1) as usize];
+                f(sa, ss, done);
+                node = self.next[node as usize];
+            }
+        }
+    }
+}
+
+/// The reorder buffer as a fixed ring of commit cycles: push at the
+/// tail, pop at the head, capacity fixed at construction. Replaces the
+/// seed's `VecDeque` (no growth checks or spare-capacity bookkeeping on
+/// the per-retire path).
+#[derive(Debug, Clone)]
+pub struct RobRing {
+    slots: Box<[u64]>,
+    head: usize,
+    len: usize,
+}
+
+impl RobRing {
+    /// An empty ring holding up to `capacity` entries.
+    pub fn new(capacity: usize) -> RobRing {
+        RobRing {
+            slots: vec![0; capacity.max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the ring.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Appends at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the ring is not full; in release an overfull
+    /// push overwrites the oldest entry (the engine pops before pushing
+    /// at capacity, so this is unreachable from the retire path).
+    #[inline]
+    pub fn push_back(&mut self, v: u64) {
+        debug_assert!(self.len < self.slots.len(), "rob ring overfull");
+        if self.len == self.slots.len() {
+            self.pop_front();
+        }
+        let tail = (self.head + self.len) % self.slots.len();
+        self.slots[tail] = v;
+        self.len += 1;
+    }
+
+    /// Removes and returns the oldest entry.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.slots[self.head];
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seed engine's min-scan pool, verbatim (the reference model).
+    struct LinearPool(Vec<u64>);
+
+    impl LinearPool {
+        fn alloc(&mut self, at: u64, busy: u64) -> u64 {
+            let units = &mut self.0;
+            let mut best = 0;
+            for (i, &t) in units.iter().enumerate() {
+                if t < units[best] {
+                    best = i;
+                }
+            }
+            let start = units[best].max(at);
+            units[best] = start + busy;
+            start
+        }
+    }
+
+    /// SplitMix64 (in-tree RNG; no external dependencies).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    #[test]
+    fn wheel_matches_linear_scan_on_random_schedules() {
+        for units in [1usize, 2, 3, 8, 17] {
+            for window in [2usize, 8, FreeWheel::DEFAULT_WINDOW] {
+                let mut rng = Rng(0xC0FFEE ^ units as u64 ^ (window as u64) << 32);
+                let mut wheel = FreeWheel::with_window(units, window);
+                let mut lin = LinearPool(vec![0; units]);
+                let mut at = 0u64;
+                for step in 0..5000u64 {
+                    // Mixed request pattern: local jitter, occasional
+                    // big forward jumps (operands from a miss chain),
+                    // occasional stale (past) request cycles.
+                    at = match rng.below(10) {
+                        0 => at + rng.below(5000),
+                        1 => at.saturating_sub(rng.below(100)),
+                        _ => at + rng.below(4),
+                    };
+                    let busy = 1 + rng.below(3);
+                    assert_eq!(
+                        wheel.alloc(at, busy),
+                        lin.alloc(at, busy),
+                        "units={units} window={window} step={step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_reset_restores_cold_boot() {
+        let mut w = FreeWheel::new(2);
+        let mut fresh = FreeWheel::new(2);
+        for at in [0, 5, 1_000_000, 3] {
+            w.alloc(at, 1);
+        }
+        w.reset();
+        for at in [0, 7, 2, 900] {
+            assert_eq!(w.alloc(at, 1), fresh.alloc(at, 1));
+        }
+    }
+
+    #[test]
+    fn wheel_zero_width_pool_clamps_to_one() {
+        let mut w = FreeWheel::new(0);
+        assert_eq!(w.units(), 1);
+        assert_eq!(w.alloc(10, 1), 10);
+        assert_eq!(w.alloc(0, 1), 11);
+    }
+
+    #[test]
+    fn wheel_overflow_spill_and_return() {
+        // Window of 2 buckets with jumps far beyond it: every insert
+        // overflows, every pop migrates or rebase-jumps.
+        let mut w = FreeWheel::with_window(1, 2);
+        assert_eq!(w.alloc(1000, 1), 1000);
+        assert_eq!(w.alloc(0, 1), 1001);
+        assert_eq!(w.alloc(5000, 1), 5000);
+        assert_eq!(w.alloc(5001, 1), 5001);
+    }
+
+    #[test]
+    fn store_index_is_fifo_bounded_and_indexed() {
+        let mut s = StoreIndex::new(4);
+        for i in 0..10u64 {
+            s.push(i * 8, 8, i + 100);
+        }
+        assert_eq!(s.len(), 4);
+        // Evicted stores are no longer visible. Candidates are granule
+        // neighbours, not exact overlaps, so dedup before comparing.
+        let mut seen = Vec::new();
+        for a in 0..10u64 {
+            s.for_each_candidate(a * 8, 8, |sa, _, _| seen.push(sa));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![48, 56, 64, 72]);
+        // Bounded index: at most 2 nodes per live store.
+        assert!(s.index_node_count() <= 2 * s.depth());
+        s.reset();
+        assert!(s.is_empty());
+        s.for_each_candidate(0, 1 << 20, |_, _, _| panic!("reset index not empty"));
+    }
+
+    #[test]
+    fn store_index_straddling_accesses_are_found() {
+        let mut s = StoreIndex::new(8);
+        // A store straddling the granule boundary at 64.
+        s.push(60, 8, 42);
+        for probe in [(0u64, 64u32), (64, 8), (56, 8), (60, 1), (67, 1)] {
+            let mut hits = 0;
+            s.for_each_candidate(probe.0, probe.1, |sa, ss, done| {
+                assert_eq!((sa, ss, done), (60, 8, 42));
+                hits += 1;
+            });
+            assert!(hits >= 1, "probe {probe:?} missed the straddling store");
+        }
+    }
+
+    #[test]
+    fn store_index_top_of_address_space() {
+        let mut s = StoreIndex::new(4);
+        s.push(u64::MAX - 3, 8, 7); // saturating end
+        let mut hits = 0;
+        s.for_each_candidate(u64::MAX - 63, 64, |_, _, _| hits += 1);
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn rob_ring_is_a_fifo() {
+        let mut r = RobRing::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.pop_front(), None);
+        r.push_back(1);
+        r.push_back(2);
+        r.push_back(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pop_front(), Some(1));
+        r.push_back(4);
+        assert_eq!(r.pop_front(), Some(2));
+        assert_eq!(r.pop_front(), Some(3));
+        assert_eq!(r.pop_front(), Some(4));
+        assert!(r.is_empty());
+        r.push_back(9);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

@@ -68,6 +68,23 @@ QUETZAL_SCALE=0.25 QUETZAL_THREADS=4 \
 cmp "$out_dir/t1.txt" "$out_dir/t4.txt" \
     || { echo "FAIL: run_all output depends on QUETZAL_THREADS"; exit 1; }
 
+echo "==> smoke: design_space full grid at reduced scale, deterministic"
+# The 72-point OoO design-space sweep (width x QZ ports x ROB x store
+# window) — all cells are simulated-cycle ratios, so both the table and
+# the JSON artifact must be byte-identical across thread counts.
+QUETZAL_SCALE=0.25 QUETZAL_THREADS=1 \
+    cargo run -q --release --offline -p quetzal-bench --bin design_space -- \
+    --json "$out_dir/ds1.json" > "$out_dir/ds1.txt"
+QUETZAL_SCALE=0.25 QUETZAL_THREADS=4 \
+    cargo run -q --release --offline -p quetzal-bench --bin design_space -- \
+    --json "$out_dir/ds4.json" > "$out_dir/ds4.txt"
+cmp "$out_dir/ds1.txt" "$out_dir/ds4.txt" \
+    || { echo "FAIL: design_space table depends on QUETZAL_THREADS"; exit 1; }
+cmp "$out_dir/ds1.json" "$out_dir/ds4.json" \
+    || { echo "FAIL: design_space JSON depends on QUETZAL_THREADS"; exit 1; }
+grep -q '"benchmark": "uarch-design-space"' "$out_dir/ds1.json" \
+    || { echo "FAIL: design_space wrote no JSON artifact"; exit 1; }
+
 echo "==> smoke: trace_run probed replay + Chrome-trace JSON"
 QUETZAL_SCALE=0.25 \
     cargo run -q --release --offline -p quetzal-bench --bin trace_run -- \
@@ -90,6 +107,26 @@ cmp results_run_all.txt "$out_dir/full.txt" \
 echo "==> perf trajectory: BENCH_uarch.json (simulated MIPS, both engines)"
 cargo run -q --release --offline -p quetzal-bench --bin bench_uarch \
     > BENCH_uarch.json
+
+echo "==> cycle engine clears the sim-MIPS floor (timing-wheel perf gate)"
+# The event-driven timing wheel must not cost cycle-engine throughput
+# at the default config. The floor is set well below the measured
+# geomean (12-20 sim-MIPS depending on host load) so it only trips on
+# structural regressions — e.g. reintroducing a per-retire cost that
+# scales with the configured widths — not on a slow runner.
+awk '
+  /"geomean_sim_mips":/ {
+    gsub(/[^0-9.]/, "", $2); geo = $2 + 0; found = 1
+  }
+  END {
+    if (!found) { print "FAIL: no geomean_sim_mips in BENCH_uarch.json"; exit 1 }
+    if (geo < 6.0) {
+      printf "FAIL: cycle engine at %.2f geomean sim-MIPS (floor: 6.0)\n", geo
+      exit 1
+    }
+    printf "cycle engine geomean: %.2f sim-MIPS (floor: 6.0)\n", geo
+  }
+' BENCH_uarch.json
 
 echo "==> functional tier is fast enough to be worth having (>= 2x geomean)"
 # The whole point of the no-timing-model tier: it must beat the
