@@ -267,7 +267,7 @@ pub fn run_algo_pairs(
 /// the per-item fault boundary).
 pub fn run_algo_pairs_pooled(
     runner: &BatchRunner,
-    pool: &MachinePool<'_>,
+    pool: &MachinePool,
     algo: Algo,
     wl: &Workload,
     tier: Tier,

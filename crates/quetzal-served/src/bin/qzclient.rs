@@ -1,0 +1,235 @@
+//! `qzclient` — manual smoke client for `qzserved`.
+//!
+//! ```text
+//! qzclient submit  --addr HOST:PORT [--tenant NAME] [--algo A] [--tier T]
+//!                  [--dataset D] [--pairs N] [--offline]
+//! qzclient fault   --addr HOST:PORT [--tenant NAME] [--seed S] [--cases N]
+//!                  [--offline]
+//! qzclient ping    --addr HOST:PORT
+//! qzclient stats   --addr HOST:PORT
+//! qzclient shutdown --addr HOST:PORT
+//! ```
+//!
+//! `submit` stages a Fig. 3 workload slice (a Table II dataset's
+//! generated pairs) and prints the daemon's streamed report on stdout —
+//! one compact JSON document per item plus the final `done` line.
+//! `--offline` runs the identical job through the in-process
+//! [`BatchRunner`] instead of a daemon; the CI smoke byte-compares the
+//! two outputs.
+
+use quetzal::{BatchRunner, MachineConfig, MachinePool};
+use quetzal_algos::Tier;
+use quetzal_bench::workloads::{Algo, Workload, SEED};
+use quetzal_genomics::DatasetSpec;
+use quetzal_served::{job, render_report, Budgets, Client, JobSpec, SubmitOutcome};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qzclient <submit|fault|ping|stats|shutdown> --addr HOST:PORT\n\
+         \x20 submit: [--tenant NAME] [--algo wfa|biwfa|ss|sw|nw] \
+         [--tier base|vec|quetzal|quetzal+c] [--dataset NAME] [--pairs N] [--offline]\n\
+         \x20 fault:  [--tenant NAME] [--seed S] [--cases N] [--offline]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("qzclient: {msg}");
+    std::process::exit(1);
+}
+
+fn dataset_by_name(name: &str) -> DatasetSpec {
+    match name {
+        "100bp_1" => DatasetSpec::d100(),
+        "250bp_1" => DatasetSpec::d250(),
+        "10Kbp" => DatasetSpec::d10k(),
+        "30Kbp" => DatasetSpec::d30k(),
+        "10Kbp_hifi" => DatasetSpec::d10k_hifi(),
+        other => fail(&format!(
+            "unknown dataset '{other}' (100bp_1|250bp_1|10Kbp|30Kbp|10Kbp_hifi)"
+        )),
+    }
+}
+
+fn parse_algo(code: &str) -> Algo {
+    match code {
+        "wfa" => Algo::Wfa,
+        "biwfa" => Algo::BiWfa,
+        "ss" => Algo::Ss,
+        "sw" => Algo::Sw,
+        "nw" => Algo::Nw,
+        other => fail(&format!("unknown algo '{other}'")),
+    }
+}
+
+fn parse_tier(code: &str) -> Tier {
+    match code {
+        "base" => Tier::Base,
+        "vec" => Tier::Vec,
+        "quetzal" => Tier::Quetzal,
+        "quetzal+c" => Tier::QuetzalC,
+        other => fail(&format!("unknown tier '{other}'")),
+    }
+}
+
+struct Options {
+    addr: Option<String>,
+    tenant: String,
+    algo: Algo,
+    tier: Tier,
+    dataset: String,
+    pairs: usize,
+    seed: u64,
+    cases: u64,
+    offline: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            addr: None,
+            tenant: "default".to_string(),
+            algo: Algo::Ss,
+            tier: Tier::QuetzalC,
+            dataset: "100bp_1".to_string(),
+            pairs: 4,
+            seed: 0xF4417,
+            cases: 16,
+            offline: false,
+        }
+    }
+}
+
+fn next_arg(iter: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    iter.next()
+        .unwrap_or_else(|| fail(&format!("{flag} needs an argument")))
+}
+
+fn parse_options(mut args: impl Iterator<Item = String>) -> Options {
+    let mut opts = Options::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(next_arg(&mut args, "--addr")),
+            "--tenant" => opts.tenant = next_arg(&mut args, "--tenant"),
+            "--algo" => opts.algo = parse_algo(&next_arg(&mut args, "--algo")),
+            "--tier" => opts.tier = parse_tier(&next_arg(&mut args, "--tier")),
+            "--dataset" => opts.dataset = next_arg(&mut args, "--dataset"),
+            "--pairs" => {
+                opts.pairs = next_arg(&mut args, "--pairs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--pairs needs a number"))
+            }
+            "--seed" => {
+                let v = next_arg(&mut args, "--seed");
+                opts.seed = v
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16).ok())
+                    .unwrap_or_else(|| v.parse().ok())
+                    .unwrap_or_else(|| fail("--seed needs a number"));
+            }
+            "--cases" => {
+                opts.cases = next_arg(&mut args, "--cases")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cases needs a number"))
+            }
+            "--offline" => opts.offline = true,
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    opts
+}
+
+/// Stages the Fig. 3 workload slice: `n` generated pairs of the chosen
+/// Table II dataset, with the experiment harness's own SS threshold.
+fn stage_align_job(opts: &Options) -> JobSpec {
+    let spec = dataset_by_name(&opts.dataset);
+    let wl = Workload {
+        pairs: spec.generate_n(SEED, opts.pairs.max(1)),
+        spec,
+    };
+    JobSpec::Align {
+        algo: opts.algo,
+        tier: opts.tier,
+        alphabet: wl.spec.alphabet,
+        ss_threshold: wl.ss_threshold(),
+        budgets: Budgets::default(),
+        pairs: wl.pairs,
+    }
+}
+
+fn run_offline(spec: &JobSpec) -> String {
+    let runner = BatchRunner::from_env();
+    let config = MachineConfig::default();
+    let pool = MachinePool::new(&config, runner.exec_mode());
+    let mut frames = Vec::new();
+    job::execute(&runner, &pool, spec, 16, &mut |f| frames.push(f));
+    render_report(&frames)
+}
+
+fn connect(opts: &Options) -> Client<std::net::TcpStream> {
+    let addr = opts
+        .addr
+        .as_deref()
+        .unwrap_or_else(|| fail("--addr HOST:PORT is required (or use --offline)"));
+    Client::connect(addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")))
+}
+
+fn run_submit(opts: &Options, spec: &JobSpec) {
+    if opts.offline {
+        print!("{}", run_offline(spec));
+        return;
+    }
+    let mut client = connect(opts);
+    match client.submit(&opts.tenant, spec) {
+        Ok(SubmitOutcome::Report(frames)) => {
+            print!("{}", render_report(&frames));
+            if let Some(quetzal_served::Response::Done(s)) = frames.last() {
+                eprintln!(
+                    "qzclient: {} item(s): {} ok, {} failed, {} rejected, {} recovered",
+                    s.items, s.ok, s.failed, s.rejected, s.recovered
+                );
+            }
+        }
+        Ok(SubmitOutcome::Busy { inflight, max }) => {
+            fail(&format!("tenant busy ({inflight}/{max} in flight)"))
+        }
+        Ok(SubmitOutcome::Draining) => fail("daemon is draining for shutdown"),
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    let opts = parse_options(args);
+    match command.as_str() {
+        "submit" => {
+            let spec = stage_align_job(&opts);
+            run_submit(&opts, &spec);
+        }
+        "fault" => {
+            let spec = JobSpec::Fault {
+                seed: opts.seed,
+                cases: (0..opts.cases.max(1)).collect(),
+            };
+            run_submit(&opts, &spec);
+        }
+        "ping" => {
+            let mut client = connect(&opts);
+            client.ping().unwrap_or_else(|e| fail(&e.to_string()));
+            println!("pong");
+        }
+        "stats" => {
+            let mut client = connect(&opts);
+            let stats = client.stats().unwrap_or_else(|e| fail(&e.to_string()));
+            println!("{}", stats.dump());
+        }
+        "shutdown" => {
+            let mut client = connect(&opts);
+            let stats = client.shutdown().unwrap_or_else(|e| fail(&e.to_string()));
+            println!("{}", stats.dump());
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,83 @@
+//! `qzserved` — the alignment-as-a-service daemon.
+//!
+//! ```text
+//! qzserved [--listen ADDR] [--stdio] [--threads N] [--chunk N]
+//!          [--max-inflight N] [--max-tenants N] [--functional]
+//! ```
+//!
+//! TCP mode (default) binds `--listen` (use port 0 for an ephemeral
+//! port), prints `qzserved listening on <addr>` on stdout, and serves
+//! until a client sends a `shutdown` frame. `--stdio` serves one
+//! framed session over stdin/stdout instead (EOF ends it).
+
+use quetzal::ExecMode;
+use quetzal_served::{Daemon, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qzserved [--listen ADDR] [--stdio] [--threads N] [--chunk N] \
+         [--max-inflight N] [--max-tenants N] [--functional]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("qzserved: {flag} needs a numeric argument");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut config = DaemonConfig::default();
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut stdio = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--stdio" => stdio = true,
+            "--threads" => config.threads = parse_num(&mut args, "--threads"),
+            "--chunk" => config.chunk = parse_num(&mut args, "--chunk"),
+            "--max-inflight" => config.max_inflight = parse_num(&mut args, "--max-inflight"),
+            "--max-tenants" => config.max_tenants = parse_num(&mut args, "--max-tenants"),
+            "--functional" => config.exec_mode = ExecMode::Functional,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("qzserved: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if config.threads == 0 || config.chunk == 0 {
+        eprintln!("qzserved: --threads and --chunk must be positive");
+        std::process::exit(2);
+    }
+    if stdio {
+        Daemon::serve_stdio(config);
+        return;
+    }
+    let daemon = match Daemon::bind(&listen, config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("qzserved: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match daemon.local_addr() {
+        Ok(addr) => {
+            // The smoke scripts scrape this line for the ephemeral port.
+            println!("qzserved listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("qzserved: cannot read bound address: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = daemon.run() {
+        eprintln!("qzserved: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

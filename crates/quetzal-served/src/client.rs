@@ -1,0 +1,180 @@
+//! Framed client for the `qzserved` protocol (used by `qzclient`, the
+//! loopback e2e test, and the CI daemon smoke).
+
+use crate::job::JobSpec;
+use crate::protocol::{Request, Response};
+use crate::wire::{self, WireError};
+use quetzal_trace::json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing / transport failure.
+    Wire(WireError),
+    /// The daemon broke protocol (unknown frame, early hangup).
+    Protocol(String),
+    /// The daemon answered with a typed `error` frame.
+    Refused {
+        /// Machine-readable kind from the error frame.
+        kind: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Refused { kind, message } => write!(f, "refused ({kind}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// What a `submit` came back with.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Admitted: the full frame stream (`accepted` … `done`).
+    Report(Vec<Response>),
+    /// Refused on tenant quota — resubmit later.
+    Busy {
+        /// Jobs in flight for the tenant at refusal time.
+        inflight: u64,
+        /// The tenant's quota.
+        max: u64,
+    },
+    /// Refused because the daemon is draining for shutdown.
+    Draining,
+}
+
+/// A framed protocol client over any bidirectional stream.
+#[derive(Debug)]
+pub struct Client<S> {
+    stream: S,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    pub fn connect(addr: &str) -> Result<Client<TcpStream>, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        Ok(Client { stream })
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an existing stream.
+    pub fn new(stream: S) -> Client<S> {
+        Client { stream }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        wire::write_value(&mut self.stream, &request.to_value())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let value = wire::read_value(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("daemon hung up mid-exchange".to_string()))?;
+        Response::from_value(&value).map_err(ClientError::Protocol)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport or protocol failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the daemon's stats object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport or protocol failure.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats(v) => Ok(v),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns the final stats from
+    /// its `bye` frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport or protocol failure.
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::Bye(v) => Ok(v),
+            other => Err(ClientError::Protocol(format!(
+                "expected bye, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a job and collects the streamed report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Refused`] for typed admission errors and
+    /// [`ClientError`] transport/protocol variants otherwise. `Busy`
+    /// and `Draining` are *outcomes*, not errors — they are the
+    /// protocol's backpressure working as designed.
+    pub fn submit(&mut self, tenant: &str, job: &JobSpec) -> Result<SubmitOutcome, ClientError> {
+        self.send(&Request::Submit {
+            tenant: tenant.to_string(),
+            job: job.clone(),
+        })?;
+        let mut frames = Vec::new();
+        match self.recv()? {
+            Response::Busy { inflight, max, .. } => {
+                return Ok(SubmitOutcome::Busy { inflight, max })
+            }
+            Response::Draining => return Ok(SubmitOutcome::Draining),
+            Response::Error { kind, message } => {
+                return Err(ClientError::Refused { kind, message });
+            }
+            accepted @ Response::Accepted { .. } => frames.push(accepted),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected accepted, got {other:?}"
+                )));
+            }
+        }
+        loop {
+            let frame = self.recv()?;
+            let is_done = matches!(frame, Response::Done(_));
+            frames.push(frame);
+            if is_done {
+                return Ok(SubmitOutcome::Report(frames));
+            }
+        }
+    }
+}

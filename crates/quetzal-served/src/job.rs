@@ -1,0 +1,632 @@
+//! Job specifications and the execution core shared by the daemon and
+//! the offline path.
+//!
+//! [`execute`] is the *only* place a job turns into simulations: the
+//! daemon drives it per connection over a tenant's long-lived
+//! [`MachinePool`], and `qzclient --offline` (plus the loopback e2e
+//! test) drives it over a throwaway pool. Both paths therefore emit
+//! byte-identical frame streams for the same job — the equivalence the
+//! service's correctness story rests on.
+//!
+//! Two job kinds exist:
+//!
+//! * **align** — a batch of encoded sequence pairs run through one of
+//!   the five evaluated algorithms at a chosen acceleration tier, with
+//!   optional machine budgets. The in-tree kernels are kept
+//!   statically `Clean` by the `qzverify` CI gate, so admission here is
+//!   input validation (alphabet, lengths) rather than verification.
+//! * **fault** — deterministic mutant programs from the fault-injection
+//!   sweep's [`FaultPlan`], replayed by `(seed, case)`. These are the
+//!   hostile inputs: every staged program runs through
+//!   `quetzal-verify` first, and provably-fatal ones are rejected at
+//!   admission ([`FailureCause::Rejected`]) **before any machine is
+//!   checked out of the tenant's pool**.
+
+use crate::protocol::Response;
+use quetzal::uarch::RunStats;
+use quetzal::{BatchRunner, FailureCause, FaultPlan, Machine, MachinePool, Program, RunReport};
+use quetzal_algos::Tier;
+use quetzal_bench::workloads::try_simulate_pair_outcome;
+use quetzal_genomics::dataset::SeqPair;
+use quetzal_genomics::{Alphabet, Seq};
+use quetzal_trace::json::Value;
+
+/// Fault-job machine budgets — the fault-injection sweep's constants,
+/// so a served fault case reproduces the sweep's outcome exactly.
+pub const FAULT_PAGE_BUDGET: usize = 512;
+/// Instruction budget of a served fault case (sweep constant).
+pub const FAULT_INST_BUDGET: u64 = 20_000;
+/// Cycle budget of a served fault case (sweep constant).
+pub const FAULT_CYCLE_BUDGET: u64 = 2_000_000;
+
+/// Optional per-item machine budgets of an align job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budgets {
+    /// Retired-instruction budget (`SimError::InstLimit` beyond it).
+    pub insts: Option<u64>,
+    /// Cycle budget (`SimError::CycleLimit` beyond it).
+    pub cycles: Option<u64>,
+    /// Page budget (`SimError::MemoryFault` beyond it).
+    pub pages: Option<usize>,
+}
+
+impl Budgets {
+    fn is_default(&self) -> bool {
+        *self == Budgets::default()
+    }
+
+    fn apply(&self, machine: &mut Machine) {
+        if let Some(n) = self.insts {
+            machine.core_mut().set_budget(n);
+        }
+        if let Some(n) = self.cycles {
+            machine.core_mut().set_cycle_budget(n);
+        }
+        if let Some(n) = self.pages {
+            machine.core_mut().state_mut().mem.set_page_budget(n);
+        }
+    }
+}
+
+/// One batch job, as submitted over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Align (or filter) a batch of sequence pairs.
+    Align {
+        /// The algorithm (WFA, BiWFA, SS, SW, NW).
+        algo: quetzal_bench::workloads::Algo,
+        /// The acceleration tier.
+        tier: Tier,
+        /// Sequence alphabet of every pair.
+        alphabet: Alphabet,
+        /// SneakySnake edit threshold (ignored by the other algorithms).
+        ss_threshold: u32,
+        /// Optional machine budgets applied to every item.
+        budgets: Budgets,
+        /// The pairs to process.
+        pairs: Vec<SeqPair>,
+    },
+    /// Replay fault-injection sweep cases (hostile mutant programs).
+    Fault {
+        /// The sweep seed.
+        seed: u64,
+        /// Case indices to replay.
+        cases: Vec<u64>,
+    },
+}
+
+fn algo_code(algo: quetzal_bench::workloads::Algo) -> &'static str {
+    use quetzal_bench::workloads::Algo;
+    match algo {
+        Algo::Wfa => "wfa",
+        Algo::BiWfa => "biwfa",
+        Algo::Ss => "ss",
+        Algo::Sw => "sw",
+        Algo::Nw => "nw",
+    }
+}
+
+fn parse_algo(code: &str) -> Result<quetzal_bench::workloads::Algo, String> {
+    use quetzal_bench::workloads::Algo;
+    match code {
+        "wfa" => Ok(Algo::Wfa),
+        "biwfa" => Ok(Algo::BiWfa),
+        "ss" => Ok(Algo::Ss),
+        "sw" => Ok(Algo::Sw),
+        "nw" => Ok(Algo::Nw),
+        other => Err(format!("unknown algo '{other}' (wfa|biwfa|ss|sw|nw)")),
+    }
+}
+
+fn tier_code(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Base => "base",
+        Tier::Vec => "vec",
+        Tier::Quetzal => "quetzal",
+        Tier::QuetzalC => "quetzal+c",
+    }
+}
+
+fn parse_tier(code: &str) -> Result<Tier, String> {
+    match code {
+        "base" => Ok(Tier::Base),
+        "vec" => Ok(Tier::Vec),
+        "quetzal" => Ok(Tier::Quetzal),
+        "quetzal+c" => Ok(Tier::QuetzalC),
+        other => Err(format!(
+            "unknown tier '{other}' (base|vec|quetzal|quetzal+c)"
+        )),
+    }
+}
+
+fn alphabet_code(alphabet: Alphabet) -> &'static str {
+    match alphabet {
+        Alphabet::Dna => "dna",
+        Alphabet::Rna => "rna",
+        Alphabet::Protein => "protein",
+    }
+}
+
+fn parse_alphabet(code: &str) -> Result<Alphabet, String> {
+    match code {
+        "dna" => Ok(Alphabet::Dna),
+        "rna" => Ok(Alphabet::Rna),
+        "protein" => Ok(Alphabet::Protein),
+        other => Err(format!("unknown alphabet '{other}' (dna|rna|protein)")),
+    }
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+impl JobSpec {
+    /// Parses a job object (the `job` member of a `submit` frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable admission error for anything malformed:
+    /// unknown kind/algo/tier, symbols outside the declared alphabet,
+    /// empty batches, or out-of-range numbers.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        match str_field(v, "kind")? {
+            "align" => {
+                let algo = parse_algo(str_field(v, "algo")?)?;
+                let tier = parse_tier(str_field(v, "tier")?)?;
+                let alphabet = parse_alphabet(str_field(v, "alphabet")?)?;
+                let ss_threshold = match v.get("ss_threshold") {
+                    None => 100,
+                    Some(t) => {
+                        u32::try_from(t.as_u64().ok_or("'ss_threshold' must be an integer")?)
+                            .map_err(|_| "'ss_threshold' out of range".to_string())?
+                    }
+                };
+                let budgets = match v.get("budgets") {
+                    None => Budgets::default(),
+                    Some(b) => Budgets {
+                        insts: b.get("insts").and_then(Value::as_u64),
+                        cycles: b.get("cycles").and_then(Value::as_u64),
+                        pages: b.get("pages").and_then(Value::as_u64).map(|n| n as usize),
+                    },
+                };
+                let raw_pairs = v
+                    .get("pairs")
+                    .and_then(Value::as_array)
+                    .ok_or("missing array field 'pairs'")?;
+                if raw_pairs.is_empty() {
+                    return Err("empty batch".to_string());
+                }
+                let mut pairs = Vec::with_capacity(raw_pairs.len());
+                for (i, p) in raw_pairs.iter().enumerate() {
+                    let pattern = Seq::new(str_field(p, "pattern")?.as_bytes(), alphabet)
+                        .map_err(|e| format!("pair {i} pattern: {e}"))?;
+                    let text = Seq::new(str_field(p, "text")?.as_bytes(), alphabet)
+                        .map_err(|e| format!("pair {i} text: {e}"))?;
+                    pairs.push(SeqPair { pattern, text });
+                }
+                Ok(JobSpec::Align {
+                    algo,
+                    tier,
+                    alphabet,
+                    ss_threshold,
+                    budgets,
+                    pairs,
+                })
+            }
+            "fault" => {
+                let seed = u64_field(v, "seed")?;
+                let raw = v
+                    .get("cases")
+                    .and_then(Value::as_array)
+                    .ok_or("missing array field 'cases'")?;
+                if raw.is_empty() {
+                    return Err("empty batch".to_string());
+                }
+                let cases = raw
+                    .iter()
+                    .map(|c| c.as_u64().ok_or("'cases' must hold integers".to_string()))
+                    .collect::<Result<Vec<u64>, String>>()?;
+                Ok(JobSpec::Fault { seed, cases })
+            }
+            other => Err(format!("unknown job kind '{other}' (align|fault)")),
+        }
+    }
+
+    /// Renders the job back to its wire object (what `qzclient` sends).
+    pub fn to_value(&self) -> Value {
+        match self {
+            JobSpec::Align {
+                algo,
+                tier,
+                alphabet,
+                ss_threshold,
+                budgets,
+                pairs,
+            } => {
+                let pair_values: Vec<Value> = pairs
+                    .iter()
+                    .map(|p| {
+                        [
+                            (
+                                "pattern".to_string(),
+                                Value::from(
+                                    String::from_utf8_lossy(p.pattern.as_bytes()).into_owned(),
+                                ),
+                            ),
+                            (
+                                "text".to_string(),
+                                Value::from(
+                                    String::from_utf8_lossy(p.text.as_bytes()).into_owned(),
+                                ),
+                            ),
+                        ]
+                        .into_iter()
+                        .collect()
+                    })
+                    .collect();
+                let mut fields = vec![
+                    ("kind".to_string(), Value::from("align")),
+                    ("algo".to_string(), Value::from(algo_code(*algo))),
+                    ("tier".to_string(), Value::from(tier_code(*tier))),
+                    (
+                        "alphabet".to_string(),
+                        Value::from(alphabet_code(*alphabet)),
+                    ),
+                    (
+                        "ss_threshold".to_string(),
+                        Value::from(u64::from(*ss_threshold)),
+                    ),
+                    ("pairs".to_string(), Value::Array(pair_values)),
+                ];
+                if !budgets.is_default() {
+                    let mut b = Vec::new();
+                    if let Some(n) = budgets.insts {
+                        b.push(("insts".to_string(), Value::from(n)));
+                    }
+                    if let Some(n) = budgets.cycles {
+                        b.push(("cycles".to_string(), Value::from(n)));
+                    }
+                    if let Some(n) = budgets.pages {
+                        b.push(("pages".to_string(), Value::from(n)));
+                    }
+                    fields.push(("budgets".to_string(), b.into_iter().collect()));
+                }
+                fields.into_iter().collect()
+            }
+            JobSpec::Fault { seed, cases } => [
+                ("kind".to_string(), Value::from("fault")),
+                ("seed".to_string(), Value::from(*seed)),
+                (
+                    "cases".to_string(),
+                    Value::Array(cases.iter().map(|&c| Value::from(c)).collect()),
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// Number of items the job will stream frames for.
+    pub fn items(&self) -> usize {
+        match self {
+            JobSpec::Align { pairs, .. } => pairs.len(),
+            JobSpec::Fault { cases, .. } => cases.len(),
+        }
+    }
+}
+
+/// Aggregate of one executed job — the payload of the final `done`
+/// frame and the increment applied to the daemon's `/stats` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Items in the job.
+    pub items: u64,
+    /// Items that produced a result (first attempt or retry).
+    pub ok: u64,
+    /// Items that failed both attempts at runtime.
+    pub failed: u64,
+    /// Items rejected at admission by the static verifier.
+    pub rejected: u64,
+    /// Items that failed once but recovered on the fresh-machine retry.
+    pub recovered: u64,
+    /// Merged simulated cycles over the healthy items.
+    pub cycles: u64,
+    /// Merged retired instructions over the healthy items.
+    pub instructions: u64,
+}
+
+fn cause_frames(cause: &FailureCause) -> (&'static str, String) {
+    match cause {
+        FailureCause::Sim(e) => ("sim", e.to_string()),
+        FailureCause::Panic(msg) => ("panic", msg.clone()),
+        FailureCause::Rejected(report) => (
+            "rejected",
+            format!(
+                "program '{}' statically rejected with {} diagnostic(s)",
+                report.name(),
+                report.diagnostics().len()
+            ),
+        ),
+    }
+}
+
+/// Streams one chunk's [`RunReport`] as per-item frames, in item order.
+fn emit_report(
+    base: usize,
+    report: &RunReport<(i64, RunStats)>,
+    summary: &mut JobSummary,
+    emit: &mut dyn FnMut(Response),
+) {
+    let mut failures = report.failures.iter().peekable();
+    for (local, slot) in report.results.iter().enumerate() {
+        let failure = failures.next_if(|f| f.item == local);
+        match slot {
+            Some((value, stats)) => {
+                summary.ok += 1;
+                summary.cycles += stats.cycles;
+                summary.instructions += stats.instructions;
+                let recovered = failure.map(|f| {
+                    summary.recovered += 1;
+                    cause_frames(&f.cause)
+                });
+                emit(Response::Item {
+                    item: base + local,
+                    value: *value,
+                    cycles: stats.cycles,
+                    instructions: stats.instructions,
+                    recovered,
+                });
+            }
+            None => {
+                let failure = failure.expect("resultless item has a failure entry");
+                let (cause, message) = cause_frames(&failure.cause);
+                if matches!(failure.cause, FailureCause::Rejected(_)) {
+                    summary.rejected += 1;
+                } else {
+                    summary.failed += 1;
+                }
+                emit(Response::ItemFailed {
+                    item: base + local,
+                    cause,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// Executes one job over a caller-owned pool, streaming per-item frames
+/// through `emit` as chunks complete and finishing with a `done` frame.
+///
+/// Items run in submission order, `chunk` at a time; each chunk goes
+/// through the deterministic [`BatchRunner`] merge, so the frame stream
+/// is **bit-identical for every worker-thread count** — the loopback
+/// e2e test pins daemon-vs-offline equality on exactly this property.
+///
+/// Fault-job programs are staged on a scratch (never pooled) machine
+/// and statically verified before execution: provably-fatal mutants are
+/// rejected without a pool checkout.
+pub fn execute(
+    runner: &BatchRunner,
+    pool: &MachinePool,
+    spec: &JobSpec,
+    chunk: usize,
+    emit: &mut dyn FnMut(Response),
+) -> JobSummary {
+    let chunk = chunk.max(1);
+    let mut summary = JobSummary {
+        items: spec.items() as u64,
+        ..JobSummary::default()
+    };
+    match spec {
+        JobSpec::Align {
+            algo,
+            tier,
+            alphabet,
+            ss_threshold,
+            budgets,
+            pairs,
+        } => {
+            for (index, slice) in pairs.chunks(chunk).enumerate() {
+                let outcome = runner.run_machines_report_pooled(pool, slice, |m, _i, pair| {
+                    budgets.apply(m);
+                    let out =
+                        try_simulate_pair_outcome(m, *algo, *alphabet, *ss_threshold, pair, *tier)?;
+                    Ok((out.value, out.stats))
+                });
+                match outcome {
+                    Ok(report) => emit_report(index * chunk, &report, &mut summary, emit),
+                    Err(e) => {
+                        emit(Response::Error {
+                            kind: "internal",
+                            message: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        JobSpec::Fault { seed, cases } => {
+            let plan = FaultPlan::new(*seed);
+            // Stage each case on a scratch machine (reset ≡ fresh) just
+            // to obtain the mutant program for static admission — the
+            // tenant pool is untouched until a case is admitted.
+            let mut scratch = Machine::new(pool.config().clone());
+            let staged: Vec<(u64, Program)> = cases
+                .iter()
+                .map(|&case| {
+                    scratch.reset();
+                    let (program, _) = plan.stage(case, &mut scratch);
+                    (case, program)
+                })
+                .collect();
+            for (index, slice) in staged.chunks(chunk).enumerate() {
+                let outcome = runner.run_machines_report_verified_pooled(
+                    pool,
+                    slice,
+                    |(_, program)| program,
+                    |m, _i, (case, _)| {
+                        // Re-stage on the pooled machine: staging seeds
+                        // adversarial registers and memory, so the run
+                        // reproduces the sweep's outcome exactly.
+                        let (program, _) = plan.stage(*case, m);
+                        m.core_mut()
+                            .state_mut()
+                            .mem
+                            .set_page_budget(FAULT_PAGE_BUDGET);
+                        m.core_mut().set_budget(FAULT_INST_BUDGET);
+                        m.core_mut().set_cycle_budget(FAULT_CYCLE_BUDGET);
+                        let stats = m.run(&program)?;
+                        Ok((0i64, stats))
+                    },
+                );
+                match outcome {
+                    Ok(report) => emit_report(index * chunk, &report, &mut summary, emit),
+                    Err(e) => {
+                        emit(Response::Error {
+                            kind: "internal",
+                            message: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    emit(Response::Done(summary));
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quetzal::{ExecMode, MachineConfig};
+    use quetzal_bench::workloads::Algo;
+    use quetzal_genomics::dataset::DatasetSpec;
+
+    fn align_spec(n: usize) -> JobSpec {
+        let spec = DatasetSpec::d100();
+        JobSpec::Align {
+            algo: Algo::Ss,
+            tier: Tier::QuetzalC,
+            alphabet: spec.alphabet,
+            ss_threshold: 8,
+            budgets: Budgets::default(),
+            pairs: spec.generate_n(7, n),
+        }
+    }
+
+    #[test]
+    fn job_specs_round_trip_through_json() {
+        let align = align_spec(2);
+        let fault = JobSpec::Fault {
+            seed: 0xF4417,
+            cases: vec![0, 3, 11],
+        };
+        for spec in [align, fault] {
+            let wire = spec.to_value().dump();
+            let back = JobSpec::from_value(&Value::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected_with_messages() {
+        for (doc, needle) in [
+            (r#"{"kind":"teleport"}"#, "unknown job kind"),
+            (r#"{"kind":"align"}"#, "missing string field 'algo'"),
+            (
+                r#"{"kind":"align","algo":"wfa","tier":"warp","alphabet":"dna","pairs":[]}"#,
+                "unknown tier",
+            ),
+            (
+                r#"{"kind":"align","algo":"wfa","tier":"vec","alphabet":"dna","pairs":[]}"#,
+                "empty batch",
+            ),
+            (
+                r#"{"kind":"align","algo":"wfa","tier":"vec","alphabet":"dna","pairs":[{"pattern":"AXGT","text":"ACGT"}]}"#,
+                "pattern",
+            ),
+            (r#"{"kind":"fault","seed":1,"cases":[]}"#, "empty batch"),
+        ] {
+            let err = JobSpec::from_value(&Value::parse(doc).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{doc} -> {err}");
+        }
+    }
+
+    #[test]
+    fn execute_streams_items_in_order_at_any_thread_count() {
+        let spec = align_spec(3);
+        let config = MachineConfig::default();
+        let collect = |threads: usize, chunk: usize| {
+            let runner = BatchRunner::new(threads);
+            let pool = MachinePool::new(&config, runner.exec_mode());
+            let mut frames = Vec::new();
+            let summary = execute(&runner, &pool, &spec, chunk, &mut |f| frames.push(f));
+            (frames, summary)
+        };
+        let (frames1, summary1) = collect(1, 2);
+        let (frames4, summary4) = collect(4, 2);
+        assert_eq!(frames1, frames4);
+        assert_eq!(summary1, summary4);
+        assert_eq!(summary1.ok, 3);
+        assert_eq!(summary1.failed + summary1.rejected, 0);
+        let items: Vec<usize> = frames1
+            .iter()
+            .filter_map(|f| match f {
+                Response::Item { item, .. } => Some(*item),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(items, vec![0, 1, 2]);
+        assert!(matches!(frames1.last(), Some(Response::Done(_))));
+    }
+
+    #[test]
+    fn fault_jobs_reject_fatal_mutants_before_checkout() {
+        // A healthy window of sweep cases: some run, some fault, and —
+        // crucially — statically fatal ones appear as admission
+        // rejections. Compare built-machine accounting: rejected items
+        // must not have checked anything out.
+        let spec = JobSpec::Fault {
+            seed: 0xF4417,
+            cases: (0..24).collect(),
+        };
+        let runner = BatchRunner::new(2);
+        let config = MachineConfig::default();
+        let pool = MachinePool::new(&config, ExecMode::Cycle);
+        let mut frames = Vec::new();
+        let summary = execute(&runner, &pool, &spec, 8, &mut |f| frames.push(f));
+        assert_eq!(summary.items, 24);
+        assert_eq!(
+            summary.ok + summary.failed + summary.rejected,
+            24,
+            "every item is accounted for exactly once"
+        );
+        assert!(
+            summary.rejected > 0,
+            "the sweep's early cases include provably-fatal mutants"
+        );
+        let rejected_frames = frames
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    Response::ItemFailed {
+                        cause: "rejected",
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(rejected_frames, summary.rejected);
+    }
+}

@@ -1,0 +1,215 @@
+//! Daemon-wide counters behind the `/stats` frame.
+//!
+//! Everything is a relaxed atomic: the counters are monotonic tallies
+//! read for observability, not synchronisation. Simulated-throughput
+//! (sim-MIPS) is derived from the cumulative retired instructions and
+//! the wall-clock time spent executing jobs, the same quantity the
+//! `BENCH_uarch.json` trajectory floors.
+
+use quetzal::PoolStats;
+use quetzal_trace::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic daemon counters (see [`ServerStats::snapshot`] for the
+/// wire shape).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Jobs that passed admission.
+    pub jobs_accepted: AtomicU64,
+    /// Jobs refused with a `busy` frame (tenant quota).
+    pub jobs_busy: AtomicU64,
+    /// Jobs refused with a `draining` frame (shutdown in progress).
+    pub jobs_draining: AtomicU64,
+    /// Jobs refused at admission (malformed spec, tenant limit).
+    pub jobs_invalid: AtomicU64,
+    /// Jobs that ran to their `done` frame.
+    pub jobs_completed: AtomicU64,
+    /// Healthy items streamed.
+    pub items_ok: AtomicU64,
+    /// Items that failed both runtime attempts.
+    pub items_failed: AtomicU64,
+    /// Items rejected statically at admission.
+    pub items_rejected: AtomicU64,
+    /// Items recovered by the fresh-machine retry.
+    pub items_recovered: AtomicU64,
+    /// Malformed frames / requests answered with typed errors.
+    pub protocol_errors: AtomicU64,
+    /// Cumulative simulated cycles over healthy items.
+    pub cycles: AtomicU64,
+    /// Cumulative retired instructions over healthy items.
+    pub instructions: AtomicU64,
+    /// Cumulative wall-clock microseconds spent executing jobs.
+    pub busy_micros: AtomicU64,
+}
+
+/// One tenant's occupancy line in the stats frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Pool occupancy (built / free / quarantined).
+    pub pool: PoolStats,
+    /// Jobs currently in flight for the tenant.
+    pub inflight: u64,
+    /// The tenant's in-flight quota.
+    pub max_inflight: u64,
+}
+
+fn get(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+impl ServerStats {
+    /// Adds one completed job's aggregate to the item/throughput
+    /// counters.
+    pub fn absorb_job(&self, summary: &crate::job::JobSummary, busy: std::time::Duration) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.items_ok.fetch_add(summary.ok, Ordering::Relaxed);
+        self.items_failed
+            .fetch_add(summary.failed, Ordering::Relaxed);
+        self.items_rejected
+            .fetch_add(summary.rejected, Ordering::Relaxed);
+        self.items_recovered
+            .fetch_add(summary.recovered, Ordering::Relaxed);
+        self.cycles.fetch_add(summary.cycles, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(summary.instructions, Ordering::Relaxed);
+        self.busy_micros
+            .fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Renders the counters plus per-tenant occupancy as the `/stats`
+    /// wire object.
+    pub fn snapshot(&self, tenants: &[TenantStats]) -> Value {
+        let busy_micros = get(&self.busy_micros);
+        let instructions = get(&self.instructions);
+        // Simulated MIPS: retired guest instructions per wall-clock
+        // second of job execution (0 until the first job lands).
+        let sim_mips = if busy_micros == 0 {
+            0.0
+        } else {
+            instructions as f64 / busy_micros as f64
+        };
+        let jobs: Value = [
+            (
+                "accepted".to_string(),
+                Value::from(get(&self.jobs_accepted)),
+            ),
+            ("busy".to_string(), Value::from(get(&self.jobs_busy))),
+            (
+                "draining".to_string(),
+                Value::from(get(&self.jobs_draining)),
+            ),
+            ("invalid".to_string(), Value::from(get(&self.jobs_invalid))),
+            (
+                "completed".to_string(),
+                Value::from(get(&self.jobs_completed)),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let items: Value = [
+            ("ok".to_string(), Value::from(get(&self.items_ok))),
+            ("failed".to_string(), Value::from(get(&self.items_failed))),
+            (
+                "rejected".to_string(),
+                Value::from(get(&self.items_rejected)),
+            ),
+            (
+                "recovered".to_string(),
+                Value::from(get(&self.items_recovered)),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let totals: Value = [
+            ("cycles".to_string(), Value::from(get(&self.cycles))),
+            ("instructions".to_string(), Value::from(instructions)),
+            ("busy_micros".to_string(), Value::from(busy_micros)),
+            ("sim_mips".to_string(), Value::from(sim_mips)),
+        ]
+        .into_iter()
+        .collect();
+        let tenant_map: Value = tenants
+            .iter()
+            .map(|t| {
+                let line: Value = [
+                    ("built".to_string(), Value::from(t.pool.built)),
+                    ("free".to_string(), Value::from(t.pool.free)),
+                    ("quarantined".to_string(), Value::from(t.pool.quarantined)),
+                    ("inflight".to_string(), Value::from(t.inflight)),
+                    ("max_inflight".to_string(), Value::from(t.max_inflight)),
+                ]
+                .into_iter()
+                .collect();
+                (t.name.clone(), line)
+            })
+            .collect();
+        [
+            ("jobs".to_string(), jobs),
+            ("items".to_string(), items),
+            (
+                "protocol_errors".to_string(),
+                Value::from(get(&self.protocol_errors)),
+            ),
+            ("totals".to_string(), totals),
+            ("tenants".to_string(), tenant_map),
+        ]
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSummary;
+
+    #[test]
+    fn snapshot_carries_tenant_occupancy_and_totals() {
+        let stats = ServerStats::default();
+        stats.jobs_accepted.fetch_add(2, Ordering::Relaxed);
+        stats.absorb_job(
+            &JobSummary {
+                items: 5,
+                ok: 4,
+                failed: 1,
+                rejected: 0,
+                recovered: 1,
+                cycles: 100,
+                instructions: 2_000_000,
+            },
+            std::time::Duration::from_secs(1),
+        );
+        let snap = stats.snapshot(&[TenantStats {
+            name: "acme".to_string(),
+            pool: PoolStats {
+                built: 3,
+                free: 2,
+                quarantined: 1,
+            },
+            inflight: 1,
+            max_inflight: 4,
+        }]);
+        assert_eq!(
+            snap.get("jobs").unwrap().get("accepted").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("items").unwrap().get("ok").unwrap().as_u64(),
+            Some(4)
+        );
+        let tenant = snap.get("tenants").unwrap().get("acme").unwrap();
+        assert_eq!(tenant.get("quarantined").unwrap().as_u64(), Some(1));
+        let mips = snap
+            .get("totals")
+            .unwrap()
+            .get("sim_mips")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((mips - 2.0).abs() < 1e-9, "2M insts / 1s = 2 sim-MIPS");
+        // The wire shape is valid JSON end-to-end.
+        assert!(Value::parse(&snap.dump()).is_ok());
+    }
+}

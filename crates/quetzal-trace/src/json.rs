@@ -1,10 +1,12 @@
-//! Minimal in-tree JSON parser.
+//! Minimal in-tree JSON parser and emitter.
 //!
 //! Exists to *validate* the JSON this workspace emits (Chrome traces,
-//! `BENCH_uarch.json`) without an external dependency (DESIGN.md §5's
+//! `BENCH_uarch.json`) and to carry the `qzserved` wire protocol
+//! without an external dependency (DESIGN.md §5's
 //! zero-external-dependency policy). It is a strict recursive-descent
 //! parser for the JSON grammar — objects, arrays, strings with escape
-//! sequences, numbers, booleans, null — with a depth bound. It is not a
+//! sequences, numbers, booleans, null — with a depth bound, plus a
+//! deterministic serialiser ([`Value::dump`]). It is not a
 //! performance-oriented deserialiser and does not preserve number
 //! fidelity beyond `f64`/`u64`.
 
@@ -112,6 +114,166 @@ impl Value {
             }
             _ => None,
         }
+    }
+
+    /// The number as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serialises the value as a compact JSON document.
+    ///
+    /// The output is **deterministic**: object keys come out in sorted
+    /// order (they are stored in a `BTreeMap`), integral numbers in the
+    /// `f64`-exact range print without a fractional part, and no
+    /// whitespace is emitted. `Value::parse(v.dump())` round-trips for
+    /// every finite value; non-finite numbers (which JSON cannot
+    /// represent) serialise as `null`.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_into(&mut out);
+        out
+    }
+
+    fn dump_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => dump_number(*n, out),
+            Value::Str(s) => dump_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.dump_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (key, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    dump_string(key, out);
+                    out.push(':');
+                    val.dump_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Integers that `f64` represents exactly (|n| ≤ 2^53) print without a
+/// fractional part; everything else uses Rust's shortest-round-trip
+/// float formatting. Non-finite values serialise as `null`.
+fn dump_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= EXACT {
+        write!(out, "{}", n as i64).expect("write to String");
+    } else {
+        write!(out, "{n}").expect("write to String");
+    }
+}
+
+fn dump_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Array(items)
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(map: BTreeMap<String, Value>) -> Value {
+        Value::Object(map)
+    }
+}
+
+impl FromIterator<(String, Value)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Value {
+        Value::Object(iter.into_iter().collect())
     }
 }
 
@@ -394,5 +556,56 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(Value::parse("{} x").is_err());
         assert!(Value::parse("{}  ").is_ok());
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        for doc in [
+            r#"{"a":[1,2.5,-300,true,false,null],"b":{"c":"x\ny é 😀"}}"#,
+            "[]",
+            "{}",
+            r#""quote \" backslash \\ tab \t""#,
+            "-9007199254740992",
+            "0.125",
+            "[[[1]]]",
+        ] {
+            let v = Value::parse(doc).unwrap();
+            let dumped = v.dump();
+            assert_eq!(Value::parse(&dumped).unwrap(), v, "doc: {doc}");
+        }
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_sorted() {
+        let v = Value::parse(r#"{"zeta": 1, "alpha": {"y": [2, 3], "x": "s"}}"#).unwrap();
+        assert_eq!(v.dump(), r#"{"alpha":{"x":"s","y":[2,3]},"zeta":1}"#);
+    }
+
+    #[test]
+    fn dump_prints_exact_integers_without_fraction() {
+        assert_eq!(Value::from(42u64).dump(), "42");
+        assert_eq!(Value::from(-7i64).dump(), "-7");
+        assert_eq!(Value::from(0.5f64).dump(), "0.5");
+        assert_eq!(Value::Num(f64::NAN).dump(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn dump_escapes_control_characters() {
+        let v = Value::Str("a\u{1}b\u{8}c".to_string());
+        let dumped = v.dump();
+        assert_eq!(dumped, "\"a\\u0001b\\bc\"");
+        assert_eq!(Value::parse(&dumped).unwrap(), v);
+    }
+
+    #[test]
+    fn object_builds_from_iterator() {
+        let v: Value = [
+            ("b".to_string(), Value::from(2u64)),
+            ("a".to_string(), Value::from("x")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(v.dump(), r#"{"a":"x","b":2}"#);
     }
 }

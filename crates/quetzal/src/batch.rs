@@ -7,6 +7,12 @@
 //! work items across `QUETZAL_THREADS` worker threads, each shard
 //! simulated on its own fresh [`Machine`] (core + caches + QBUFFERs).
 //!
+//! Machine lifecycle — pooling, quarantine, reset ≡ fresh, the
+//! retry-on-fresh-machine boundary — lives in [`crate::pool`]; this
+//! module owns sharding, deterministic merging, and the report-shaped
+//! entry points. The `qzserved` daemon (`quetzal-served`) drives the
+//! same two layers over long-lived per-tenant pools.
+//!
 //! # Determinism guarantee
 //!
 //! The output is **bit-identical for every thread count**, including 1.
@@ -64,7 +70,8 @@
 //! assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
 //! ```
 
-use crate::{ExecMode, Machine, MachineConfig, PredecodeRegistry, SimError};
+use crate::pool::{panic_message, retry_item, PooledMachine};
+use crate::{ExecMode, Machine, MachineConfig, SimError};
 use quetzal_isa::Program;
 use quetzal_verify::{Report as VerifyReport, Verdict};
 use std::collections::HashMap;
@@ -72,132 +79,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Best-effort panic payload extraction.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Locks a pool list, ignoring lock poisoning: the lists are only ever
-/// pushed to / popped from, and a panic cannot unwind mid-`Vec`
-/// operation in a way that leaves the list structurally broken.
-fn lock(list: &Mutex<Vec<Machine>>) -> std::sync::MutexGuard<'_, Vec<Machine>> {
-    list.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// The machine pool behind [`BatchRunner::run_machines`] and
-/// [`BatchRunner::run_machines_report`].
-///
-/// Machines are recycled through `free` (reset-on-checkout), except
-/// machines that were live during a panic or a failed item: those are
-/// moved to `quarantine` and never handed out again — a machine that
-/// unwound mid-run may violate the invariants [`Machine::reset`]
-/// assumes, and a machine involved in a fault is cheaper to replace
-/// than to prove clean.
-///
-/// The machine-pooled [`BatchRunner`] entry points build a pool per
-/// call; callers that run many batches over the same configuration
-/// (e.g. repeated timing samples of one kernel) can instead build one
-/// pool up front and pass it to
-/// [`run_machines_report_pooled`](BatchRunner::run_machines_report_pooled),
-/// amortising machine construction (multi-megabyte cache tag arrays)
-/// across batches. Checkout resets every recycled machine to cold-boot
-/// state (reset ≡ fresh is pinned by `tests/parallel.rs`), so results
-/// are bit-identical to per-call pools.
-pub struct MachinePool<'a> {
-    config: &'a MachineConfig,
-    registry: PredecodeRegistry,
-    /// Engine every pooled machine runs on. Applied after construction
-    /// *and* after every reset ([`Machine::reset`] restores the
-    /// cold-boot default, [`ExecMode::Cycle`]).
-    exec_mode: ExecMode,
-    free: Mutex<Vec<Machine>>,
-    quarantine: Mutex<Vec<Machine>>,
-}
-
-impl<'a> MachinePool<'a> {
-    /// Creates an empty pool over `config`; every machine it hands out
-    /// runs on `exec_mode` (applied after construction and after every
-    /// reset-on-checkout).
-    pub fn new(config: &'a MachineConfig, exec_mode: ExecMode) -> MachinePool<'a> {
-        MachinePool {
-            config,
-            registry: PredecodeRegistry::new(),
-            exec_mode,
-            free: Mutex::new(Vec::new()),
-            quarantine: Mutex::new(Vec::new()),
-        }
-    }
-
-    /// A brand-new machine (never pooled) sharing the run's predecode
-    /// registry and execution mode.
-    fn fresh(&self) -> Machine {
-        let mut machine = Machine::new(self.config.clone());
-        machine.set_predecode_registry(self.registry.clone());
-        machine.set_exec_mode(self.exec_mode);
-        machine
-    }
-
-    /// Checks a machine out of the free list (reset to cold-boot
-    /// state), or builds a fresh one if the list is empty.
-    fn checkout(&'a self) -> PooledMachine<'a> {
-        let machine = match lock(&self.free).pop() {
-            Some(mut machine) => {
-                machine.reset();
-                machine.set_exec_mode(self.exec_mode);
-                machine
-            }
-            None => self.fresh(),
-        };
-        PooledMachine {
-            machine: Some(machine),
-            pool: self,
-        }
-    }
-}
-
-/// Shard context of the machine-pooled entry points: a machine checked
-/// out of the run's pool. On drop it returns to the free list — unless
-/// the thread is unwinding, in which case it is quarantined (a panic
-/// mid-[`Machine::run`] leaves state `reset` is not pinned against).
-struct PooledMachine<'a> {
-    machine: Option<Machine>,
-    pool: &'a MachinePool<'a>,
-}
-
-impl PooledMachine<'_> {
-    fn machine(&mut self) -> &mut Machine {
-        self.machine.as_mut().expect("checked-out machine")
-    }
-
-    /// Quarantines the current machine and installs a brand-new one —
-    /// the fault-recovery path: never re-pool a machine that was live
-    /// during a failure.
-    fn replace_with_fresh(&mut self) {
-        if let Some(old) = self.machine.take() {
-            lock(&self.pool.quarantine).push(old);
-        }
-        self.machine = Some(self.pool.fresh());
-    }
-}
-
-impl Drop for PooledMachine<'_> {
-    fn drop(&mut self) {
-        let Some(machine) = self.machine.take() else {
-            return;
-        };
-        if std::thread::panicking() {
-            lock(&self.pool.quarantine).push(machine);
-        } else {
-            lock(&self.pool.free).push(machine);
-        }
-    }
-}
+pub use crate::pool::{FailureCause, ItemFailure, MachinePool, PoolStats};
 
 /// Environment variable selecting the worker-thread count
 /// (`QUETZAL_THREADS`). Unset or invalid values fall back to the host's
@@ -228,64 +110,6 @@ impl std::fmt::Display for BatchError {
 }
 
 impl std::error::Error for BatchError {}
-
-/// Why a single batch item failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FailureCause {
-    /// The work closure returned a typed simulation error.
-    Sim(SimError),
-    /// The work closure panicked; the payload, if it was a string.
-    Panic(String),
-    /// The `*_verified` entry points rejected the item's program before
-    /// any simulation ran: `quetzal-verify` proved it would fault. The
-    /// full static report says where and why.
-    Rejected(VerifyReport),
-}
-
-impl std::fmt::Display for FailureCause {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FailureCause::Sim(e) => write!(f, "simulation error: {e}"),
-            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
-            FailureCause::Rejected(report) => write!(
-                f,
-                "statically rejected: program '{}' has {} diagnostic(s)",
-                report.name(),
-                report.diagnostics().len()
-            ),
-        }
-    }
-}
-
-/// One failed item of a [`RunReport`]. The recorded cause is the *first*
-/// attempt's failure; `recovered` says whether the retry on a fresh
-/// context produced a result after all.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ItemFailure {
-    /// Index of the failing item in the input slice.
-    pub item: usize,
-    /// What the first attempt died of.
-    pub cause: FailureCause,
-    /// `true` if the one retry on a brand-new context succeeded (the
-    /// item's result is present despite the failure entry).
-    pub recovered: bool,
-}
-
-impl std::fmt::Display for ItemFailure {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "item {}: {}{}",
-            self.item,
-            self.cause,
-            if self.recovered {
-                " (recovered on retry)"
-            } else {
-                ""
-            }
-        )
-    }
-}
 
 /// Partial results of a fault-tolerant batch run: one result slot per
 /// input item (`None` where the item failed twice), plus the failure
@@ -497,7 +321,8 @@ impl BatchRunner {
     ///   instead of reallocating the multi-megabyte cache tag arrays
     ///   per shard (reset ≡ fresh is pinned by `tests/parallel.rs`);
     /// * predecode is **shared**: all machines of the run resolve
-    ///   predecode misses through one [`PredecodeRegistry`], so each
+    ///   predecode misses through one
+    ///   [`PredecodeRegistry`](crate::PredecodeRegistry), so each
     ///   kernel program is decoded once per run, not once per shard
     ///   (sound because predecode is a pure function of the program).
     ///
@@ -553,30 +378,8 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
-        let attempt = |ctx: &mut C, i: usize, item: &T| -> Result<R, FailureCause> {
-            match catch_unwind(AssertUnwindSafe(|| work(ctx, i, item))) {
-                Ok(Ok(r)) => Ok(r),
-                Ok(Err(e)) => Err(FailureCause::Sim(e)),
-                Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
-            }
-        };
-        let rows = self.run(items, &init, |ctx, i, item| match attempt(ctx, i, item) {
-            Ok(r) => (Some(r), None),
-            Err(cause) => {
-                *ctx = init();
-                let failure = |recovered| ItemFailure {
-                    item: i,
-                    cause: cause.clone(),
-                    recovered,
-                };
-                match attempt(ctx, i, item) {
-                    Ok(r) => (Some(r), Some(failure(true))),
-                    Err(_) => {
-                        *ctx = init();
-                        (None, Some(failure(false)))
-                    }
-                }
-            }
+        let rows = self.run(items, &init, |ctx, i, item| {
+            retry_item(ctx, |c| *c = init(), i, item, &work)
         })?;
         Ok(Self::collect_report(rows))
     }
@@ -621,7 +424,7 @@ impl BatchRunner {
     /// failures land in the report.
     pub fn run_machines_report_pooled<T, R>(
         &self,
-        pool: &MachinePool<'_>,
+        pool: &MachinePool,
         items: &[T],
         work: impl Fn(&mut Machine, usize, &T) -> Result<R, SimError> + Sync,
     ) -> Result<RunReport<R>, BatchError>
@@ -629,34 +432,17 @@ impl BatchRunner {
         T: Sync,
         R: Send,
     {
-        let attempt =
-            |pooled: &mut PooledMachine<'_>, i: usize, item: &T| -> Result<R, FailureCause> {
-                match catch_unwind(AssertUnwindSafe(|| work(pooled.machine(), i, item))) {
-                    Ok(Ok(r)) => Ok(r),
-                    Ok(Err(e)) => Err(FailureCause::Sim(e)),
-                    Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
-                }
-            };
         let rows = self.run(
             items,
             || pool.checkout(),
-            |pooled, i, item| match attempt(pooled, i, item) {
-                Ok(r) => (Some(r), None),
-                Err(cause) => {
-                    pooled.replace_with_fresh();
-                    let failure = |recovered| ItemFailure {
-                        item: i,
-                        cause: cause.clone(),
-                        recovered,
-                    };
-                    match attempt(pooled, i, item) {
-                        Ok(r) => (Some(r), Some(failure(true))),
-                        Err(_) => {
-                            pooled.replace_with_fresh();
-                            (None, Some(failure(false)))
-                        }
-                    }
-                }
+            |pooled, i, item| {
+                retry_item(
+                    pooled,
+                    PooledMachine::replace_with_fresh,
+                    i,
+                    item,
+                    |p, i, item| work(p.machine(), i, item),
+                )
             },
         )?;
         Ok(Self::collect_report(rows))
@@ -691,13 +477,6 @@ impl BatchRunner {
         R: Send,
     {
         let rejected = Self::reject_set(items, &program_of);
-        let attempt = |ctx: &mut C, i: usize, item: &T| -> Result<R, FailureCause> {
-            match catch_unwind(AssertUnwindSafe(|| work(ctx, i, item))) {
-                Ok(Ok(r)) => Ok(r),
-                Ok(Err(e)) => Err(FailureCause::Sim(e)),
-                Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
-            }
-        };
         let rows = self.run(
             items,
             || None::<C>,
@@ -706,24 +485,7 @@ impl BatchRunner {
                     return (None, Some(Self::rejection(i, report)));
                 }
                 let ctx = slot.get_or_insert_with(&init);
-                match attempt(ctx, i, item) {
-                    Ok(r) => (Some(r), None),
-                    Err(cause) => {
-                        *ctx = init();
-                        let failure = |recovered| ItemFailure {
-                            item: i,
-                            cause: cause.clone(),
-                            recovered,
-                        };
-                        match attempt(ctx, i, item) {
-                            Ok(r) => (Some(r), Some(failure(true))),
-                            Err(_) => {
-                                *ctx = init();
-                                (None, Some(failure(false)))
-                            }
-                        }
-                    }
-                }
+                retry_item(ctx, |c| *c = init(), i, item, &work)
             },
         )?;
         Ok(Self::collect_report(rows))
@@ -752,15 +514,32 @@ impl BatchRunner {
         R: Send,
     {
         let pool = MachinePool::new(config, self.exec_mode);
+        self.run_machines_report_verified_pooled(&pool, items, program_of, work)
+    }
+
+    /// [`run_machines_report_verified`](Self::run_machines_report_verified)
+    /// over a caller-owned [`MachinePool`] — the entry point a
+    /// long-lived service drives: verifier-gated admission (statically
+    /// fatal programs never check a machine out of the tenant's pool),
+    /// pooled machines across jobs, per-item fault boundary with
+    /// quarantine + retry-on-fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] only for infrastructure panics; rejections
+    /// and simulation failures land in the report.
+    pub fn run_machines_report_verified_pooled<T, R>(
+        &self,
+        pool: &MachinePool,
+        items: &[T],
+        program_of: impl Fn(&T) -> &Program + Sync,
+        work: impl Fn(&mut Machine, usize, &T) -> Result<R, SimError> + Sync,
+    ) -> Result<RunReport<R>, BatchError>
+    where
+        T: Sync,
+        R: Send,
+    {
         let rejected = Self::reject_set(items, &program_of);
-        let attempt =
-            |pooled: &mut PooledMachine<'_>, i: usize, item: &T| -> Result<R, FailureCause> {
-                match catch_unwind(AssertUnwindSafe(|| work(pooled.machine(), i, item))) {
-                    Ok(Ok(r)) => Ok(r),
-                    Ok(Err(e)) => Err(FailureCause::Sim(e)),
-                    Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
-                }
-            };
         let rows = self.run(
             items,
             || None::<PooledMachine<'_>>,
@@ -769,24 +548,13 @@ impl BatchRunner {
                     return (None, Some(Self::rejection(i, report)));
                 }
                 let pooled = slot.get_or_insert_with(|| pool.checkout());
-                match attempt(pooled, i, item) {
-                    Ok(r) => (Some(r), None),
-                    Err(cause) => {
-                        pooled.replace_with_fresh();
-                        let failure = |recovered| ItemFailure {
-                            item: i,
-                            cause: cause.clone(),
-                            recovered,
-                        };
-                        match attempt(pooled, i, item) {
-                            Ok(r) => (Some(r), Some(failure(true))),
-                            Err(_) => {
-                                pooled.replace_with_fresh();
-                                (None, Some(failure(false)))
-                            }
-                        }
-                    }
-                }
+                retry_item(
+                    pooled,
+                    PooledMachine::replace_with_fresh,
+                    i,
+                    item,
+                    |p, i, item| work(p.machine(), i, item),
+                )
             },
         )?;
         Ok(Self::collect_report(rows))
@@ -848,6 +616,7 @@ impl Default for BatchRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::lock;
     use quetzal_isa::*;
 
     fn square_batch(runner: &BatchRunner, n: usize) -> Vec<u64> {
@@ -1003,11 +772,15 @@ mod tests {
         }));
         assert!(outcome.is_err());
         assert_eq!(
-            lock(&pool.free).len(),
+            lock(pool.free_list()).len(),
             0,
             "panicked machine must not return to the free pool"
         );
-        assert_eq!(lock(&pool.quarantine).len(), 1, "the panicked machine");
+        assert_eq!(
+            lock(pool.quarantine_list()).len(),
+            1,
+            "the panicked machine"
+        );
         let mut pooled = pool.checkout();
         assert_eq!(
             pooled.machine().alloc(8),
@@ -1169,6 +942,34 @@ mod tests {
             assert_eq!(verify.verdict(), Verdict::Fatal);
             assert!(failure.to_string().contains("statically rejected"));
         }
+    }
+
+    #[test]
+    fn verified_pooled_rejections_never_touch_the_pool() {
+        // All items statically fatal: the tenant pool must stay empty —
+        // no machine is ever built or checked out for rejected work.
+        let bad = Program::from_raw(vec![Instruction::MovImm { rd: X0, imm: 7 }], "falls-off");
+        let items = [bad.clone(), bad];
+        let config = MachineConfig::default();
+        let pool = MachinePool::new(&config, ExecMode::default());
+        let report = BatchRunner::new(1)
+            .run_machines_report_verified_pooled(
+                &pool,
+                &items,
+                |p| p,
+                |m, _i, p| {
+                    m.run(p)?;
+                    Ok(m.core().state().x(X0))
+                },
+            )
+            .unwrap();
+        assert_eq!(report.results, vec![None, None]);
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(
+            pool.stats(),
+            PoolStats::default(),
+            "rejected-only batches must not build machines"
+        );
     }
 
     #[test]

@@ -46,9 +46,11 @@ pub use quetzal_verify as verify;
 
 pub mod batch;
 pub mod fault;
+pub mod pool;
 
-pub use batch::{BatchError, BatchRunner, FailureCause, ItemFailure, MachinePool, RunReport};
+pub use batch::{BatchError, BatchRunner, RunReport};
 pub use fault::{FaultPlan, Mutation};
+pub use pool::{FailureCause, ItemFailure, MachinePool, PoolStats, PooledMachine};
 pub use quetzal_accel::{PortCount, QzConfig};
 pub use quetzal_isa::Program;
 pub use quetzal_uarch::{

@@ -1,0 +1,400 @@
+//! Machine lifecycle management: pooling, quarantine, and the
+//! retry-on-fresh-machine fault boundary.
+//!
+//! This module is the **single owner** of `Machine` lifecycle semantics.
+//! Both consumers drive it:
+//!
+//! * the one-shot [`BatchRunner`](crate::BatchRunner) entry points build
+//!   a pool per call (or accept a caller-owned one);
+//! * the `qzserved` alignment daemon (`quetzal-served`) keeps one
+//!   long-lived pool per tenant across jobs.
+//!
+//! The rules, in one place:
+//!
+//! * **checkout** hands out a machine [`Machine::reset`] to cold-boot
+//!   state, or builds a fresh one — reset ≡ fresh is pinned by
+//!   `tests/parallel.rs`, so the two are indistinguishable;
+//! * **return** happens on drop of the [`PooledMachine`] guard, back to
+//!   the free list — unless the thread is unwinding, in which case the
+//!   machine is **quarantined**: a panic mid-run leaves state `reset`
+//!   is not pinned against;
+//! * a machine live during any per-item failure is quarantined via
+//!   [`PooledMachine::replace_with_fresh`] and the item retried **once**
+//!   on a brand-new (never pooled) machine — the
+//!   [`retry_item`] boundary used by every fault-tolerant entry point;
+//! * quarantined machines are never handed out again, only counted
+//!   ([`MachinePool::stats`]) — a service surfaces the tally instead of
+//!   trying to prove a poisoned machine clean.
+
+use crate::{ExecMode, Machine, MachineConfig, PredecodeRegistry, SimError};
+use quetzal_verify::Report as VerifyReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Best-effort panic payload extraction.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Locks a pool list, ignoring lock poisoning: the lists are only ever
+/// pushed to / popped from, and a panic cannot unwind mid-`Vec`
+/// operation in a way that leaves the list structurally broken.
+pub(crate) fn lock(list: &Mutex<Vec<Machine>>) -> std::sync::MutexGuard<'_, Vec<Machine>> {
+    list.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Why a single batch item failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The work closure returned a typed simulation error.
+    Sim(SimError),
+    /// The work closure panicked; the payload, if it was a string.
+    Panic(String),
+    /// The `*_verified` entry points rejected the item's program before
+    /// any simulation ran: `quetzal-verify` proved it would fault. The
+    /// full static report says where and why.
+    Rejected(VerifyReport),
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Sim(e) => write!(f, "simulation error: {e}"),
+            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureCause::Rejected(report) => write!(
+                f,
+                "statically rejected: program '{}' has {} diagnostic(s)",
+                report.name(),
+                report.diagnostics().len()
+            ),
+        }
+    }
+}
+
+/// One failed item of a [`RunReport`](crate::RunReport). The recorded
+/// cause is the *first* attempt's failure; `recovered` says whether the
+/// retry on a fresh context produced a result after all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemFailure {
+    /// Index of the failing item in the input slice.
+    pub item: usize,
+    /// What the first attempt died of.
+    pub cause: FailureCause,
+    /// `true` if the one retry on a brand-new context succeeded (the
+    /// item's result is present despite the failure entry).
+    pub recovered: bool,
+}
+
+impl std::fmt::Display for ItemFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "item {}: {}{}",
+            self.item,
+            self.cause,
+            if self.recovered {
+                " (recovered on retry)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Occupancy counters of a [`MachinePool`] — what a service reports per
+/// tenant: how many machines were ever built, how many sit idle, and
+/// how many were quarantined by failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Machines ever constructed by this pool (fresh + fault
+    /// replacements).
+    pub built: u64,
+    /// Machines currently idle in the free list.
+    pub free: usize,
+    /// Machines quarantined by panics or per-item failures.
+    pub quarantined: usize,
+}
+
+/// A pool of reusable [`Machine`]s over one configuration.
+///
+/// Machines are recycled through `free` (reset-on-checkout), except
+/// machines that were live during a panic or a failed item: those are
+/// moved to `quarantine` and never handed out again — a machine that
+/// unwound mid-run may violate the invariants [`Machine::reset`]
+/// assumes, and a machine involved in a fault is cheaper to replace
+/// than to prove clean.
+///
+/// The machine-pooled [`BatchRunner`](crate::BatchRunner) entry points
+/// build a pool per call; callers that run many batches over the same
+/// configuration — repeated timing samples of one kernel, or a
+/// long-lived service's per-tenant pools — build one pool up front and
+/// pass it to the `*_pooled` entry points, amortising machine
+/// construction (multi-megabyte cache tag arrays) across batches.
+/// Checkout resets every recycled machine to cold-boot state (reset ≡
+/// fresh is pinned by `tests/parallel.rs`), so results are bit-identical
+/// to per-call pools.
+pub struct MachinePool {
+    config: MachineConfig,
+    registry: PredecodeRegistry,
+    /// Engine every pooled machine runs on. Applied after construction
+    /// *and* after every reset ([`Machine::reset`] restores the
+    /// cold-boot default, [`ExecMode::Cycle`]).
+    exec_mode: ExecMode,
+    built: AtomicU64,
+    free: Mutex<Vec<Machine>>,
+    quarantine: Mutex<Vec<Machine>>,
+}
+
+impl MachinePool {
+    /// Creates an empty pool over `config` (cloned — the pool owns its
+    /// configuration, so it can outlive the caller's borrow; a
+    /// long-lived daemon keeps pools for the process lifetime). Every
+    /// machine it hands out runs on `exec_mode` (applied after
+    /// construction and after every reset-on-checkout).
+    pub fn new(config: &MachineConfig, exec_mode: ExecMode) -> MachinePool {
+        MachinePool {
+            config: config.clone(),
+            registry: PredecodeRegistry::new(),
+            exec_mode,
+            built: AtomicU64::new(0),
+            free: Mutex::new(Vec::new()),
+            quarantine: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configuration every pooled machine is built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The execution engine applied to every checkout.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Current occupancy counters (built / free / quarantined).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            built: self.built.load(Ordering::Relaxed),
+            free: lock(&self.free).len(),
+            quarantined: lock(&self.quarantine).len(),
+        }
+    }
+
+    /// Drops every quarantined machine, returning how many were
+    /// reclaimed. A long-lived service calls this to cap memory; the
+    /// quarantine tally in [`stats`](Self::stats) then restarts from
+    /// zero, so services should accumulate the count before purging.
+    pub fn purge_quarantine(&self) -> usize {
+        let mut q = lock(&self.quarantine);
+        let n = q.len();
+        q.clear();
+        n
+    }
+
+    /// A brand-new machine (never pooled) sharing the run's predecode
+    /// registry and execution mode.
+    fn fresh(&self) -> Machine {
+        self.built.fetch_add(1, Ordering::Relaxed);
+        let mut machine = Machine::new(self.config.clone());
+        machine.set_predecode_registry(self.registry.clone());
+        machine.set_exec_mode(self.exec_mode);
+        machine
+    }
+
+    /// Checks a machine out of the free list (reset to cold-boot
+    /// state), or builds a fresh one if the list is empty.
+    pub fn checkout(&self) -> PooledMachine<'_> {
+        let machine = match lock(&self.free).pop() {
+            Some(mut machine) => {
+                machine.reset();
+                machine.set_exec_mode(self.exec_mode);
+                machine
+            }
+            None => self.fresh(),
+        };
+        PooledMachine {
+            machine: Some(machine),
+            pool: self,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn free_list(&self) -> &Mutex<Vec<Machine>> {
+        &self.free
+    }
+
+    #[cfg(test)]
+    pub(crate) fn quarantine_list(&self) -> &Mutex<Vec<Machine>> {
+        &self.quarantine
+    }
+}
+
+impl std::fmt::Debug for MachinePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("MachinePool")
+            .field("exec_mode", &self.exec_mode)
+            .field("built", &stats.built)
+            .field("free", &stats.free)
+            .field("quarantined", &stats.quarantined)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A machine checked out of a [`MachinePool`]. On drop it returns to
+/// the free list — unless the thread is unwinding, in which case it is
+/// quarantined (a panic mid-[`Machine::run`] leaves state `reset` is
+/// not pinned against).
+pub struct PooledMachine<'a> {
+    machine: Option<Machine>,
+    pool: &'a MachinePool,
+}
+
+impl PooledMachine<'_> {
+    /// The checked-out machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine.as_mut().expect("checked-out machine")
+    }
+
+    /// Quarantines the current machine and installs a brand-new one —
+    /// the fault-recovery path: never re-pool a machine that was live
+    /// during a failure.
+    pub fn replace_with_fresh(&mut self) {
+        if let Some(old) = self.machine.take() {
+            lock(&self.pool.quarantine).push(old);
+        }
+        self.machine = Some(self.pool.fresh());
+    }
+}
+
+impl Drop for PooledMachine<'_> {
+    fn drop(&mut self) {
+        let Some(machine) = self.machine.take() else {
+            return;
+        };
+        if std::thread::panicking() {
+            lock(&self.pool.quarantine).push(machine);
+        } else {
+            lock(&self.pool.free).push(machine);
+        }
+    }
+}
+
+/// Runs one attempt of a fallible work closure inside a panic boundary,
+/// folding both failure modes into a [`FailureCause`].
+pub(crate) fn attempt<C, R>(
+    ctx: &mut C,
+    work: impl FnOnce(&mut C) -> Result<R, SimError>,
+) -> Result<R, FailureCause> {
+    match catch_unwind(AssertUnwindSafe(|| work(ctx))) {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(e)) => Err(FailureCause::Sim(e)),
+        Err(payload) => Err(FailureCause::Panic(panic_message(payload))),
+    }
+}
+
+/// The per-item fault boundary shared by every fault-tolerant batch
+/// entry point: try the item, and on failure replace the context with a
+/// brand-new one (`replace` — for machines, quarantine + fresh) and
+/// retry **once**. After a failed retry the context is replaced again,
+/// so later items of the shard never run on a context a failure
+/// touched. Returns the item's result slot plus its failure-log entry.
+pub(crate) fn retry_item<C, T, R>(
+    ctx: &mut C,
+    replace: impl Fn(&mut C),
+    i: usize,
+    item: &T,
+    work: impl Fn(&mut C, usize, &T) -> Result<R, SimError> + Sync,
+) -> (Option<R>, Option<ItemFailure>) {
+    match attempt(ctx, |c| work(c, i, item)) {
+        Ok(r) => (Some(r), None),
+        Err(cause) => {
+            replace(ctx);
+            let failure = |recovered| ItemFailure {
+                item: i,
+                cause: cause.clone(),
+                recovered,
+            };
+            match attempt(ctx, |c| work(c, i, item)) {
+                Ok(r) => (Some(r), Some(failure(true))),
+                Err(_) => {
+                    replace(ctx);
+                    (None, Some(failure(false)))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_counts_built_free_and_quarantined() {
+        let config = MachineConfig::default();
+        let pool = MachinePool::new(&config, ExecMode::default());
+        assert_eq!(pool.stats(), PoolStats::default());
+        {
+            let mut a = pool.checkout();
+            let _ = a.machine();
+            let mut b = pool.checkout();
+            let _ = b.machine();
+            assert_eq!(pool.stats().built, 2);
+            b.replace_with_fresh();
+            assert_eq!(pool.stats().built, 3);
+            assert_eq!(pool.stats().quarantined, 1);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.free, 2, "both guards returned their machines");
+        assert_eq!(pool.purge_quarantine(), 1);
+        assert_eq!(pool.stats().quarantined, 0);
+        // A checkout after the purge recycles, so nothing new is built.
+        let _ = pool.checkout();
+        assert_eq!(pool.stats().built, 3);
+    }
+
+    #[test]
+    fn checkout_prefers_recycled_machines() {
+        let config = MachineConfig::default();
+        let pool = MachinePool::new(&config, ExecMode::default());
+        drop(pool.checkout());
+        assert_eq!(pool.stats().built, 1);
+        drop(pool.checkout());
+        assert_eq!(pool.stats().built, 1, "second checkout reused the first");
+    }
+
+    #[test]
+    fn retry_item_replaces_context_on_both_failures() {
+        // First attempt and retry both fail: the context must be
+        // replaced twice, and the failure must be unrecovered.
+        let replaced = std::sync::atomic::AtomicUsize::new(0);
+        let mut ctx = 0u64;
+        let (result, failure) = retry_item(
+            &mut ctx,
+            |_c| {
+                replaced.fetch_add(1, Ordering::Relaxed);
+            },
+            4,
+            &(),
+            |_c, _i, _item| -> Result<u64, SimError> { Err(SimError::InstLimit { budget: 1 }) },
+        );
+        assert!(result.is_none());
+        assert_eq!(replaced.load(Ordering::Relaxed), 2);
+        let failure = failure.expect("failure entry");
+        assert_eq!(failure.item, 4);
+        assert!(!failure.recovered);
+        assert_eq!(
+            failure.cause,
+            FailureCause::Sim(SimError::InstLimit { budget: 1 })
+        );
+    }
+}

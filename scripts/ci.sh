@@ -58,7 +58,7 @@ QUETZAL_SCALE=0.25 \
 
 echo "==> smoke: run_all at reduced scale, 1 vs N threads byte-identical"
 out_dir="$(mktemp -d)"
-trap 'rm -rf "$out_dir"' EXIT
+trap '[ -n "${served_pid:-}" ] && kill "$served_pid" 2>/dev/null; rm -rf "$out_dir"' EXIT
 QUETZAL_SCALE=0.25 QUETZAL_THREADS=1 \
     cargo run -q --release --offline -p quetzal-bench --bin run_all \
     > "$out_dir/t1.txt"
@@ -84,6 +84,45 @@ cmp "$out_dir/ds1.json" "$out_dir/ds4.json" \
     || { echo "FAIL: design_space JSON depends on QUETZAL_THREADS"; exit 1; }
 grep -q '"benchmark": "uarch-design-space"' "$out_dir/ds1.json" \
     || { echo "FAIL: design_space wrote no JSON artifact"; exit 1; }
+
+echo "==> smoke: qzserved daemon loopback, byte-identical to offline"
+# Alignment-as-a-service: start the daemon on an ephemeral port, submit
+# the same align and fault jobs through qzclient and through the
+# in-process --offline path, and require byte-identical reports. The
+# fault job must show verifier-gated admission (typed `rejected`
+# frames), /stats must answer, and the shutdown frame must produce a
+# clean daemon exit.
+./target/release/qzserved --listen 127.0.0.1:0 > "$out_dir/qzserved.log" &
+served_pid=$!
+served_addr=""
+for _ in $(seq 1 100); do
+    served_addr="$(sed -n 's/^qzserved listening on //p' "$out_dir/qzserved.log")"
+    [ -n "$served_addr" ] && break
+    sleep 0.1
+done
+[ -n "$served_addr" ] \
+    || { echo "FAIL: qzserved never reported a listen address"; exit 1; }
+./target/release/qzclient submit --addr "$served_addr" --pairs 4 \
+    > "$out_dir/served_align.txt" 2>/dev/null
+./target/release/qzclient submit --offline --pairs 4 \
+    > "$out_dir/offline_align.txt" 2>/dev/null
+cmp "$out_dir/served_align.txt" "$out_dir/offline_align.txt" \
+    || { echo "FAIL: served align report differs from offline BatchRunner"; exit 1; }
+./target/release/qzclient fault --addr "$served_addr" --cases 24 \
+    > "$out_dir/served_fault.txt" 2>/dev/null
+./target/release/qzclient fault --offline --cases 24 \
+    > "$out_dir/offline_fault.txt" 2>/dev/null
+cmp "$out_dir/served_fault.txt" "$out_dir/offline_fault.txt" \
+    || { echo "FAIL: served fault report differs from offline BatchRunner"; exit 1; }
+grep -q '"cause":"rejected"' "$out_dir/served_fault.txt" \
+    || { echo "FAIL: fault smoke exercised no verifier-gated rejection"; exit 1; }
+./target/release/qzclient stats --addr "$served_addr" > "$out_dir/served_stats.json"
+grep -q '"jobs":{"accepted":2' "$out_dir/served_stats.json" \
+    || { echo "FAIL: /stats did not account for both smoke jobs"; exit 1; }
+./target/release/qzclient shutdown --addr "$served_addr" > /dev/null
+wait "$served_pid" \
+    || { echo "FAIL: qzserved did not exit cleanly after shutdown"; exit 1; }
+served_pid=""
 
 echo "==> smoke: trace_run probed replay + Chrome-trace JSON"
 QUETZAL_SCALE=0.25 \
