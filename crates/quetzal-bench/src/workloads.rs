@@ -280,11 +280,16 @@ pub fn run_algo_pairs_pooled(
         })
         .expect("simulation infrastructure panicked");
     if !report.is_clean() {
+        let recovered = report.failures.iter().filter(|f| f.recovered).count();
+        let stats = pool.stats();
         eprintln!(
-            "warning: {} of {} pairs failed ({algo}, {}, {tier}):",
+            "warning: {} of {} pairs failed ({algo}, {}, {tier}; \
+             {recovered} recovered by retry; pool built {} quarantined {}):",
             report.failures.len(),
             wl.pairs.len(),
             wl.spec.name,
+            stats.built,
+            stats.quarantined,
         );
         for failure in &report.failures {
             eprintln!("  {failure}");

@@ -182,14 +182,21 @@ impl DatasetSpec {
     /// Generates `n` pairs (overriding `self.pairs`), deterministically
     /// from `seed`. Experiments use this to scale workload size.
     pub fn generate_n(&self, seed: u64, n: usize) -> Vec<SeqPair> {
+        self.pair_stream(seed).take(n).collect()
+    }
+
+    /// An unbounded streaming generator of this dataset's pairs: the
+    /// same PRNG sequence as [`DatasetSpec::generate_n`] (the first `n`
+    /// pairs are identical), but holding one pair in memory at a time —
+    /// `qzingest stage` writes genome-scale pair files from this
+    /// without materialising them.
+    pub fn pair_stream(&self, seed: u64) -> impl Iterator<Item = SeqPair> + '_ {
         let mut rng = SplitMix64::new(seed ^ fnv1a(self.name.as_bytes()));
-        (0..n)
-            .map(|_| {
-                let pattern = random_seq(&mut rng, self.read_len, self.alphabet);
-                let text = mutate(&mut rng, &pattern, self.edit_rate, self.profile);
-                SeqPair { pattern, text }
-            })
-            .collect()
+        std::iter::from_fn(move || {
+            let pattern = random_seq(&mut rng, self.read_len, self.alphabet);
+            let text = mutate(&mut rng, &pattern, self.edit_rate, self.profile);
+            Some(SeqPair { pattern, text })
+        })
     }
 }
 

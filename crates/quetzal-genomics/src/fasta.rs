@@ -67,9 +67,103 @@ impl From<io::Error> for FastaError {
     }
 }
 
+/// Streaming FASTA reader: an iterator of records that holds **one
+/// record in memory at a time** — the genome-scale ingestion path
+/// feeds shards from this without ever materialising the collection.
+///
+/// [`read_fasta`] is this iterator collected.
+#[derive(Debug)]
+pub struct FastaReader<R> {
+    reader: R,
+    alphabet: Alphabet,
+    /// 1-based number of the next line to read.
+    line: usize,
+    /// Header and start line of the record being accumulated.
+    pending: Option<(String, Vec<u8>, usize)>,
+    /// A fatal error or EOF was reached; yield nothing further.
+    finished: bool,
+}
+
+impl<R: BufRead> FastaReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R, alphabet: Alphabet) -> FastaReader<R> {
+        FastaReader {
+            reader,
+            alphabet,
+            line: 0,
+            pending: None,
+            finished: false,
+        }
+    }
+
+    fn seal(&self, pending: (String, Vec<u8>, usize)) -> Result<FastaRecord, FastaError> {
+        let (id, bytes, start) = pending;
+        Ok(FastaRecord {
+            id,
+            seq: Seq::new(bytes, self.alphabet).map_err(|source| FastaError::Seq {
+                line: start,
+                source,
+            })?,
+        })
+    }
+}
+
+impl<R: BufRead> Iterator for FastaReader<R> {
+    type Item = Result<FastaRecord, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            match self.reader.read_line(&mut buf) {
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(FastaError::Io(e)));
+                }
+                Ok(0) => {
+                    self.finished = true;
+                    return self.pending.take().map(|p| self.seal(p));
+                }
+                Ok(_) => {}
+            }
+            self.line += 1;
+            let line = buf.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(id) = line.strip_prefix('>') {
+                let sealed = self.pending.take().map(|p| self.seal(p));
+                self.pending = Some((id.trim().to_string(), Vec::new(), self.line));
+                if let Some(record) = sealed {
+                    if record.is_err() {
+                        self.finished = true;
+                    }
+                    return Some(record);
+                }
+            } else {
+                match &mut self.pending {
+                    Some((_, bytes, _)) => bytes.extend_from_slice(line.as_bytes()),
+                    None => {
+                        self.finished = true;
+                        return Some(Err(FastaError::Format {
+                            line: self.line,
+                            message: "sequence data before first '>' header".into(),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Reads all records from FASTA-formatted input.
 ///
 /// Multi-line sequences are concatenated; blank lines are ignored.
+/// This is [`FastaReader`] collected — use the iterator directly when
+/// the input may not fit in memory.
 ///
 /// # Errors
 ///
@@ -79,47 +173,7 @@ pub fn read_fasta<R: BufRead>(
     reader: R,
     alphabet: Alphabet,
 ) -> Result<Vec<FastaRecord>, FastaError> {
-    let mut records = Vec::new();
-    let mut current: Option<(String, Vec<u8>, usize)> = None;
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(id) = line.strip_prefix('>') {
-            if let Some((id, bytes, start)) = current.take() {
-                records.push(FastaRecord {
-                    id,
-                    seq: Seq::new(bytes, alphabet).map_err(|source| FastaError::Seq {
-                        line: start,
-                        source,
-                    })?,
-                });
-            }
-            current = Some((id.trim().to_string(), Vec::new(), i + 1));
-        } else {
-            match &mut current {
-                Some((_, bytes, _)) => bytes.extend_from_slice(line.as_bytes()),
-                None => {
-                    return Err(FastaError::Format {
-                        line: i + 1,
-                        message: "sequence data before first '>' header".into(),
-                    })
-                }
-            }
-        }
-    }
-    if let Some((id, bytes, start)) = current {
-        records.push(FastaRecord {
-            id,
-            seq: Seq::new(bytes, alphabet).map_err(|source| FastaError::Seq {
-                line: start,
-                source,
-            })?,
-        });
-    }
-    Ok(records)
+    FastaReader::new(reader, alphabet).collect()
 }
 
 /// Writes records as FASTA with 70-column wrapping.
@@ -138,43 +192,100 @@ pub fn write_fasta<W: Write>(mut writer: W, records: &[FastaRecord]) -> io::Resu
     Ok(())
 }
 
+/// Streaming pair-file reader: an iterator of [`SeqPair`]s that holds
+/// **one pair in memory at a time**. One `pattern<TAB>text` pair per
+/// line (spaces also accepted as the separator); `#` comments and
+/// blank lines are skipped.
+///
+/// [`read_pairs`] is this iterator collected; the crash-safe ingestion
+/// pipeline consumes it directly so memory stays bounded by the shard
+/// size at any input size.
+#[derive(Debug)]
+pub struct PairReader<R> {
+    reader: R,
+    alphabet: Alphabet,
+    /// 1-based number of the next line to read.
+    line: usize,
+    /// A fatal error or EOF was reached; yield nothing further.
+    finished: bool,
+}
+
+impl<R: BufRead> PairReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R, alphabet: Alphabet) -> PairReader<R> {
+        PairReader {
+            reader,
+            alphabet,
+            line: 0,
+            finished: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for PairReader<R> {
+    type Item = Result<SeqPair, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            match self.reader.read_line(&mut buf) {
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(FastaError::Io(e)));
+                }
+                Ok(0) => {
+                    self.finished = true;
+                    return None;
+                }
+                Ok(_) => {}
+            }
+            self.line += 1;
+            let line = buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let (p, t) = match (fields.next(), fields.next()) {
+                (Some(p), Some(t)) => (p, t),
+                _ => {
+                    self.finished = true;
+                    return Some(Err(FastaError::Format {
+                        line: self.line,
+                        message: "expected two whitespace-separated sequences".into(),
+                    }));
+                }
+            };
+            let seq_of = |s: &str| {
+                Seq::new(s.as_bytes().to_vec(), self.alphabet).map_err(|source| FastaError::Seq {
+                    line: self.line,
+                    source,
+                })
+            };
+            let pair =
+                seq_of(p).and_then(|pattern| seq_of(t).map(|text| SeqPair { pattern, text }));
+            if pair.is_err() {
+                self.finished = true;
+            }
+            return Some(pair);
+        }
+    }
+}
+
 /// Reads a SneakySnake-style pair file: one `pattern<TAB>text` pair per
-/// line (spaces also accepted as the separator).
+/// line (spaces also accepted as the separator). This is [`PairReader`]
+/// collected — use the iterator directly when the input may not fit in
+/// memory.
 ///
 /// # Errors
 ///
 /// Returns [`FastaError`] on I/O failure, missing fields, or invalid
 /// symbols.
 pub fn read_pairs<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<SeqPair>, FastaError> {
-    let mut pairs = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut fields = line.split_whitespace();
-        let (p, t) = match (fields.next(), fields.next()) {
-            (Some(p), Some(t)) => (p, t),
-            _ => {
-                return Err(FastaError::Format {
-                    line: i + 1,
-                    message: "expected two whitespace-separated sequences".into(),
-                })
-            }
-        };
-        let pattern =
-            Seq::new(p.as_bytes().to_vec(), alphabet).map_err(|source| FastaError::Seq {
-                line: i + 1,
-                source,
-            })?;
-        let text = Seq::new(t.as_bytes().to_vec(), alphabet).map_err(|source| FastaError::Seq {
-            line: i + 1,
-            source,
-        })?;
-        pairs.push(SeqPair { pattern, text });
-    }
-    Ok(pairs)
+    PairReader::new(reader, alphabet).collect()
 }
 
 /// Writes pairs in the pair-file format read by [`read_pairs`].
@@ -254,5 +365,33 @@ mod tests {
     fn pairs_reject_single_field() {
         let err = read_pairs(&b"ACGT\n"[..], Alphabet::Dna).unwrap_err();
         assert!(matches!(err, FastaError::Format { line: 1, .. }));
+    }
+
+    #[test]
+    fn streaming_pair_reader_matches_collected_and_stops_after_error() {
+        let input = b"# comment\nACGT\tAGGT\n\nTTTT\tTTAT\nBAD!\tBAD!\nACGT\tACGT\n";
+        let collected: Vec<_> = PairReader::new(&input[..], Alphabet::Dna).collect();
+        assert_eq!(collected.len(), 3, "iteration fuses after the error");
+        assert!(collected[0].is_ok() && collected[1].is_ok());
+        assert!(matches!(collected[2], Err(FastaError::Seq { line: 5, .. })));
+        let clean = b"ACGT\tAGGT\nTTTT\tTTAT\n";
+        let streamed: Vec<SeqPair> = PairReader::new(&clean[..], Alphabet::Dna)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, read_pairs(&clean[..], Alphabet::Dna).unwrap());
+    }
+
+    #[test]
+    fn streaming_fasta_reader_matches_collected() {
+        let input = b">r1\nACGT\nACGT\n>r2\nTTTT\n";
+        let streamed: Vec<FastaRecord> = FastaReader::new(&input[..], Alphabet::Dna)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, read_fasta(&input[..], Alphabet::Dna).unwrap());
+        // Errors carry the record's start line and fuse the iterator.
+        let bad = b">r1\nACGN\n>r2\nTTTT\n";
+        let items: Vec<_> = FastaReader::new(&bad[..], Alphabet::Dna).collect();
+        assert_eq!(items.len(), 1);
+        assert!(matches!(items[0], Err(FastaError::Seq { line: 1, .. })));
     }
 }

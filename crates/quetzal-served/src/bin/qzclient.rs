@@ -3,6 +3,10 @@
 //! ```text
 //! qzclient submit  --addr HOST:PORT [--tenant NAME] [--algo A] [--tier T]
 //!                  [--dataset D] [--pairs N] [--offline]
+//! qzclient ingest  --addr HOST:PORT --input FILE --ckpt DIR [--output FILE]
+//!                  [--tenant NAME] [--algo A] [--tier T] [--alphabet X]
+//!                  [--threshold N] [--shard N] [--shard-deadline-ms N]
+//!                  [--shard-insts N] [--retry-quarantined] [--offline]
 //! qzclient fault   --addr HOST:PORT [--tenant NAME] [--seed S] [--cases N]
 //!                  [--offline]
 //! qzclient ping    --addr HOST:PORT
@@ -13,22 +17,35 @@
 //! `submit` stages a Fig. 3 workload slice (a Table II dataset's
 //! generated pairs) and prints the daemon's streamed report on stdout —
 //! one compact JSON document per item plus the final `done` line.
-//! `--offline` runs the identical job through the in-process
-//! [`BatchRunner`] instead of a daemon; the CI smoke byte-compares the
-//! two outputs.
+//! `ingest` points the daemon at a *daemon-local* pair file and
+//! checkpoint directory (stage one with `qzingest stage`): the job
+//! streams the file in bounded shards, committing a durable manifest
+//! per shard, so resubmitting after a daemon crash resumes instead of
+//! recomputing. `--offline` runs the identical job through the
+//! in-process [`BatchRunner`] instead of a daemon; the CI smoke
+//! byte-compares the two outputs.
+//!
+//! A typed `busy` refusal (tenant quota) is retried up to `--retries`
+//! times with jittered exponential backoff, bounded by `--deadline`
+//! milliseconds overall; `--retries 0` fails fast instead.
 
 use quetzal::{BatchRunner, MachineConfig, MachinePool};
 use quetzal_algos::Tier;
 use quetzal_bench::workloads::{Algo, Workload, SEED};
-use quetzal_genomics::DatasetSpec;
-use quetzal_served::{job, render_report, Budgets, Client, JobSpec, SubmitOutcome};
+use quetzal_genomics::{Alphabet, DatasetSpec};
+use quetzal_served::{job, render_report, Budgets, Client, JobSpec, RetryPolicy, SubmitOutcome};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: qzclient <submit|fault|ping|stats|shutdown> --addr HOST:PORT\n\
+        "usage: qzclient <submit|ingest|fault|ping|stats|shutdown> --addr HOST:PORT\n\
          \x20 submit: [--tenant NAME] [--algo wfa|biwfa|ss|sw|nw] \
          [--tier base|vec|quetzal|quetzal+c] [--dataset NAME] [--pairs N] [--offline]\n\
-         \x20 fault:  [--tenant NAME] [--seed S] [--cases N] [--offline]"
+         \x20 ingest: --input FILE --ckpt DIR [--output FILE] [--tenant NAME] [--algo A]\n\
+         \x20         [--tier T] [--alphabet dna|rna|protein] [--threshold N] [--shard N]\n\
+         \x20         [--shard-deadline-ms N] [--shard-insts N] [--retry-quarantined] [--offline]\n\
+         \x20 fault:  [--tenant NAME] [--seed S] [--cases N] [--offline]\n\
+         \x20 common: [--retries N] [--deadline MS]"
     );
     std::process::exit(2);
 }
@@ -72,6 +89,15 @@ fn parse_tier(code: &str) -> Tier {
     }
 }
 
+fn parse_alphabet(code: &str) -> Alphabet {
+    match code {
+        "dna" => Alphabet::Dna,
+        "rna" => Alphabet::Rna,
+        "protein" => Alphabet::Protein,
+        other => fail(&format!("unknown alphabet '{other}'")),
+    }
+}
+
 struct Options {
     addr: Option<String>,
     tenant: String,
@@ -82,6 +108,17 @@ struct Options {
     seed: u64,
     cases: u64,
     offline: bool,
+    input: Option<String>,
+    ckpt: Option<String>,
+    output: Option<String>,
+    alphabet: Alphabet,
+    threshold: u32,
+    shard: u64,
+    shard_deadline_ms: Option<u64>,
+    shard_insts: Option<u64>,
+    retry_quarantined: bool,
+    retries: u32,
+    deadline_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -96,6 +133,17 @@ impl Default for Options {
             seed: 0xF4417,
             cases: 16,
             offline: false,
+            input: None,
+            ckpt: None,
+            output: None,
+            alphabet: Alphabet::Dna,
+            threshold: 100,
+            shard: 256,
+            shard_deadline_ms: None,
+            shard_insts: None,
+            retry_quarantined: false,
+            retries: 5,
+            deadline_ms: None,
         }
     }
 }
@@ -133,6 +181,47 @@ fn parse_options(mut args: impl Iterator<Item = String>) -> Options {
                     .unwrap_or_else(|_| fail("--cases needs a number"))
             }
             "--offline" => opts.offline = true,
+            "--input" => opts.input = Some(next_arg(&mut args, "--input")),
+            "--ckpt" => opts.ckpt = Some(next_arg(&mut args, "--ckpt")),
+            "--output" => opts.output = Some(next_arg(&mut args, "--output")),
+            "--alphabet" => opts.alphabet = parse_alphabet(&next_arg(&mut args, "--alphabet")),
+            "--threshold" => {
+                opts.threshold = next_arg(&mut args, "--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threshold needs a number"))
+            }
+            "--shard" => {
+                opts.shard = next_arg(&mut args, "--shard")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--shard needs a number"))
+            }
+            "--shard-deadline-ms" => {
+                opts.shard_deadline_ms = Some(
+                    next_arg(&mut args, "--shard-deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--shard-deadline-ms needs a number")),
+                )
+            }
+            "--shard-insts" => {
+                opts.shard_insts = Some(
+                    next_arg(&mut args, "--shard-insts")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--shard-insts needs a number")),
+                )
+            }
+            "--retry-quarantined" => opts.retry_quarantined = true,
+            "--retries" => {
+                opts.retries = next_arg(&mut args, "--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retries needs a number"))
+            }
+            "--deadline" => {
+                opts.deadline_ms = Some(
+                    next_arg(&mut args, "--deadline")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--deadline needs milliseconds")),
+                )
+            }
             "--help" | "-h" => usage(),
             other => fail(&format!("unknown argument '{other}'")),
         }
@@ -181,7 +270,25 @@ fn run_submit(opts: &Options, spec: &JobSpec) {
         return;
     }
     let mut client = connect(opts);
-    match client.submit(&opts.tenant, spec) {
+    let policy = RetryPolicy {
+        retries: opts.retries,
+        deadline: opts.deadline_ms.map(Duration::from_millis),
+        seed: opts.seed,
+        ..RetryPolicy::default()
+    };
+    let outcome = client.submit_with_retry(
+        &opts.tenant,
+        spec,
+        &policy,
+        |attempt, inflight, max, delay| {
+            eprintln!(
+                "qzclient: tenant busy ({inflight}/{max} in flight); \
+                 retry {attempt}/{retries} in {delay:?}",
+                retries = policy.retries
+            );
+        },
+    );
+    match outcome {
         Ok(SubmitOutcome::Report(frames)) => {
             print!("{}", render_report(&frames));
             if let Some(quetzal_served::Response::Done(s)) = frames.last() {
@@ -191,11 +298,40 @@ fn run_submit(opts: &Options, spec: &JobSpec) {
                 );
             }
         }
-        Ok(SubmitOutcome::Busy { inflight, max }) => {
-            fail(&format!("tenant busy ({inflight}/{max} in flight)"))
-        }
+        Ok(SubmitOutcome::Busy { inflight, max }) => fail(&format!(
+            "tenant busy ({inflight}/{max} in flight) after {} attempt(s)",
+            opts.retries + 1
+        )),
         Ok(SubmitOutcome::Draining) => fail("daemon is draining for shutdown"),
         Err(e) => fail(&e.to_string()),
+    }
+}
+
+/// Stages the crash-safe ingestion job from the `ingest` subcommand's
+/// flags. Paths are daemon-local: the daemon, not this client, opens
+/// them.
+fn stage_ingest_job(opts: &Options) -> JobSpec {
+    let input = opts
+        .input
+        .clone()
+        .unwrap_or_else(|| fail("ingest needs --input FILE (daemon-local path)"));
+    let checkpoint_dir = opts
+        .ckpt
+        .clone()
+        .unwrap_or_else(|| fail("ingest needs --ckpt DIR (daemon-local path)"));
+    JobSpec::Ingest {
+        input,
+        checkpoint_dir,
+        output: opts.output.clone(),
+        algo: opts.algo,
+        tier: opts.tier,
+        alphabet: opts.alphabet,
+        ss_threshold: opts.threshold,
+        budgets: Budgets::default(),
+        shard_items: opts.shard.max(1),
+        deadline_ms: opts.shard_deadline_ms,
+        shard_insts: opts.shard_insts,
+        retry_quarantined: opts.retry_quarantined,
     }
 }
 
@@ -206,6 +342,10 @@ fn main() {
     match command.as_str() {
         "submit" => {
             let spec = stage_align_job(&opts);
+            run_submit(&opts, &spec);
+        }
+        "ingest" => {
+            let spec = stage_ingest_job(&opts);
             run_submit(&opts, &spec);
         }
         "fault" => {

@@ -3,6 +3,7 @@
 //! ```text
 //! qzserved [--listen ADDR] [--stdio] [--threads N] [--chunk N]
 //!          [--max-inflight N] [--max-tenants N] [--functional]
+//!          [--idle-timeout-ms N]
 //! ```
 //!
 //! TCP mode (default) binds `--listen` (use port 0 for an ephemeral
@@ -16,7 +17,7 @@ use quetzal_served::{Daemon, DaemonConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: qzserved [--listen ADDR] [--stdio] [--threads N] [--chunk N] \
-         [--max-inflight N] [--max-tenants N] [--functional]"
+         [--max-inflight N] [--max-tenants N] [--functional] [--idle-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -42,6 +43,10 @@ fn main() {
             "--max-inflight" => config.max_inflight = parse_num(&mut args, "--max-inflight"),
             "--max-tenants" => config.max_tenants = parse_num(&mut args, "--max-tenants"),
             "--functional" => config.exec_mode = ExecMode::Functional,
+            "--idle-timeout-ms" => {
+                let ms: u64 = parse_num(&mut args, "--idle-timeout-ms");
+                config.idle_timeout = Some(std::time::Duration::from_millis(ms.max(1)));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("qzserved: unknown argument '{other}'");

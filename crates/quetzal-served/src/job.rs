@@ -23,13 +23,18 @@
 //!   checked out of the tenant's pool**.
 
 use crate::protocol::Response;
+use quetzal::ingest::{self, pair_digest, IngestConfig, ItemOutput, ShardDeadline};
 use quetzal::uarch::RunStats;
 use quetzal::{BatchRunner, FailureCause, FaultPlan, Machine, MachinePool, Program, RunReport};
 use quetzal_algos::Tier;
 use quetzal_bench::workloads::try_simulate_pair_outcome;
 use quetzal_genomics::dataset::SeqPair;
+use quetzal_genomics::fasta::PairReader;
 use quetzal_genomics::{Alphabet, Seq};
 use quetzal_trace::json::Value;
+use std::io::BufReader;
+use std::path::Path;
+use std::time::Duration;
 
 /// Fault-job machine budgets — the fault-injection sweep's constants,
 /// so a served fault case reproduces the sweep's outcome exactly.
@@ -92,6 +97,39 @@ pub enum JobSpec {
         seed: u64,
         /// Case indices to replay.
         cases: Vec<u64>,
+    },
+    /// Crash-safe streaming ingestion of a daemon-local pair file: the
+    /// durable long-running job. Items stream from disk in bounded
+    /// shards, every shard commits a checkpoint, and resubmitting the
+    /// same job after a crash resumes from the last committed shard
+    /// (resumed shards stream back with `resumed:true`).
+    Ingest {
+        /// Daemon-local pair-file path (one `pattern<TAB>text` per line).
+        input: String,
+        /// Daemon-local checkpoint directory (created if missing).
+        checkpoint_dir: String,
+        /// Optional daemon-local path for the final concatenated report.
+        output: Option<String>,
+        /// The algorithm (WFA, BiWFA, SS, SW, NW).
+        algo: quetzal_bench::workloads::Algo,
+        /// The acceleration tier.
+        tier: Tier,
+        /// Sequence alphabet of the pair file.
+        alphabet: Alphabet,
+        /// SneakySnake edit threshold (ignored by the other algorithms).
+        ss_threshold: u32,
+        /// Optional machine budgets applied to every item.
+        budgets: Budgets,
+        /// Items per shard (checkpoint granularity and memory bound).
+        shard_items: u64,
+        /// Optional per-shard wall-clock deadline in milliseconds
+        /// (nondeterministic; quarantines the shard's remainder).
+        deadline_ms: Option<u64>,
+        /// Optional per-shard retired-instruction budget
+        /// (deterministic; quarantines the shard's remainder).
+        shard_insts: Option<u64>,
+        /// Re-run previously quarantined shards instead of skipping.
+        retry_quarantined: bool,
     },
 }
 
@@ -236,7 +274,66 @@ impl JobSpec {
                     .collect::<Result<Vec<u64>, String>>()?;
                 Ok(JobSpec::Fault { seed, cases })
             }
-            other => Err(format!("unknown job kind '{other}' (align|fault)")),
+            "ingest" => {
+                let input = str_field(v, "input")?.to_string();
+                if input.is_empty() {
+                    return Err("'input' must be a non-empty path".to_string());
+                }
+                let checkpoint_dir = str_field(v, "checkpoint_dir")?.to_string();
+                if checkpoint_dir.is_empty() {
+                    return Err("'checkpoint_dir' must be a non-empty path".to_string());
+                }
+                let output = match v.get("output") {
+                    None => None,
+                    Some(o) => Some(o.as_str().ok_or("'output' must be a string")?.to_string()),
+                };
+                let algo = parse_algo(str_field(v, "algo")?)?;
+                let tier = parse_tier(str_field(v, "tier")?)?;
+                let alphabet = parse_alphabet(str_field(v, "alphabet")?)?;
+                let ss_threshold = match v.get("ss_threshold") {
+                    None => 100,
+                    Some(t) => {
+                        u32::try_from(t.as_u64().ok_or("'ss_threshold' must be an integer")?)
+                            .map_err(|_| "'ss_threshold' out of range".to_string())?
+                    }
+                };
+                let budgets = match v.get("budgets") {
+                    None => Budgets::default(),
+                    Some(b) => Budgets {
+                        insts: b.get("insts").and_then(Value::as_u64),
+                        cycles: b.get("cycles").and_then(Value::as_u64),
+                        pages: b.get("pages").and_then(Value::as_u64).map(|n| n as usize),
+                    },
+                };
+                let shard_items = match v.get("shard_items") {
+                    None => 256,
+                    Some(n) => {
+                        let n = n.as_u64().ok_or("'shard_items' must be an integer")?;
+                        if n == 0 {
+                            return Err("'shard_items' must be at least 1".to_string());
+                        }
+                        n
+                    }
+                };
+                Ok(JobSpec::Ingest {
+                    input,
+                    checkpoint_dir,
+                    output,
+                    algo,
+                    tier,
+                    alphabet,
+                    ss_threshold,
+                    budgets,
+                    shard_items,
+                    deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+                    shard_insts: v.get("shard_insts").and_then(Value::as_u64),
+                    retry_quarantined: v
+                        .get("retry_quarantined")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                })
+            }
+            other => Err(format!("unknown job kind '{other}' (align|fault|ingest)")),
         }
     }
 
@@ -311,14 +408,77 @@ impl JobSpec {
             ]
             .into_iter()
             .collect(),
+            JobSpec::Ingest {
+                input,
+                checkpoint_dir,
+                output,
+                algo,
+                tier,
+                alphabet,
+                ss_threshold,
+                budgets,
+                shard_items,
+                deadline_ms,
+                shard_insts,
+                retry_quarantined,
+            } => {
+                let mut fields = vec![
+                    ("kind".to_string(), Value::from("ingest")),
+                    ("input".to_string(), Value::from(input.clone())),
+                    (
+                        "checkpoint_dir".to_string(),
+                        Value::from(checkpoint_dir.clone()),
+                    ),
+                    ("algo".to_string(), Value::from(algo_code(*algo))),
+                    ("tier".to_string(), Value::from(tier_code(*tier))),
+                    (
+                        "alphabet".to_string(),
+                        Value::from(alphabet_code(*alphabet)),
+                    ),
+                    (
+                        "ss_threshold".to_string(),
+                        Value::from(u64::from(*ss_threshold)),
+                    ),
+                    ("shard_items".to_string(), Value::from(*shard_items)),
+                ];
+                if let Some(path) = output {
+                    fields.push(("output".to_string(), Value::from(path.clone())));
+                }
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".to_string(), Value::from(*ms)));
+                }
+                if let Some(n) = shard_insts {
+                    fields.push(("shard_insts".to_string(), Value::from(*n)));
+                }
+                if *retry_quarantined {
+                    fields.push(("retry_quarantined".to_string(), Value::from(true)));
+                }
+                if !budgets.is_default() {
+                    let mut b = Vec::new();
+                    if let Some(n) = budgets.insts {
+                        b.push(("insts".to_string(), Value::from(n)));
+                    }
+                    if let Some(n) = budgets.cycles {
+                        b.push(("cycles".to_string(), Value::from(n)));
+                    }
+                    if let Some(n) = budgets.pages {
+                        b.push(("pages".to_string(), Value::from(n)));
+                    }
+                    fields.push(("budgets".to_string(), b.into_iter().collect()));
+                }
+                fields.into_iter().collect()
+            }
         }
     }
 
-    /// Number of items the job will stream frames for.
+    /// Number of items the job will stream frames for (`0` for ingest
+    /// jobs: the input streams from disk, so the count is unknown at
+    /// admission — progress arrives as `shard_done` frames instead).
     pub fn items(&self) -> usize {
         match self {
             JobSpec::Align { pairs, .. } => pairs.len(),
             JobSpec::Fault { cases, .. } => cases.len(),
+            JobSpec::Ingest { .. } => 0,
         }
     }
 }
@@ -496,6 +656,105 @@ pub fn execute(
                             message: e.to_string(),
                         });
                         break;
+                    }
+                }
+            }
+        }
+        JobSpec::Ingest {
+            input,
+            checkpoint_dir,
+            output,
+            algo,
+            tier,
+            alphabet,
+            ss_threshold,
+            budgets,
+            shard_items,
+            deadline_ms,
+            shard_insts,
+            retry_quarantined,
+        } => {
+            let config = IngestConfig {
+                shard_items: *shard_items as usize,
+                chunk_items: chunk,
+                deadline: ShardDeadline {
+                    wall: deadline_ms.map(Duration::from_millis),
+                    instructions: *shard_insts,
+                },
+                heartbeat: Some(Duration::from_secs(5)),
+                retry_quarantined: *retry_quarantined,
+                ..IngestConfig::new(checkpoint_dir)
+            };
+            match std::fs::File::open(input) {
+                Err(e) => emit(Response::Error {
+                    kind: "internal",
+                    message: format!("opening '{input}': {e}"),
+                }),
+                Ok(file) => {
+                    let source = PairReader::new(BufReader::new(file), *alphabet);
+                    let outcome = ingest::run_ingest(
+                        &config,
+                        runner,
+                        pool,
+                        source,
+                        pair_digest,
+                        |m, _g, pair| {
+                            budgets.apply(m);
+                            let out = try_simulate_pair_outcome(
+                                m,
+                                *algo,
+                                *alphabet,
+                                *ss_threshold,
+                                pair,
+                                *tier,
+                            )?;
+                            Ok(ItemOutput {
+                                value: out.value,
+                                cycles: out.stats.cycles,
+                                instructions: out.stats.instructions,
+                            })
+                        },
+                        |report| {
+                            emit(Response::ShardDone {
+                                shard: report.shard,
+                                start: report.start,
+                                count: report.count,
+                                ok: report.ok,
+                                failed: report.failed,
+                                recovered: report.recovered,
+                                cycles: report.cycles,
+                                instructions: report.instructions,
+                                resumed: report.resumed,
+                                quarantined: report.quarantined.clone(),
+                                output_fnv: format!("{:016x}", report.output_fnv),
+                            })
+                        },
+                    );
+                    match outcome {
+                        Ok(ingested) => {
+                            summary.items = ingested.items;
+                            summary.ok = ingested.ok;
+                            summary.failed = ingested.failed;
+                            summary.recovered = ingested.recovered;
+                            summary.cycles = ingested.cycles;
+                            summary.instructions = ingested.instructions;
+                            if let Some(path) = output {
+                                if let Err(e) = ingest::concat_to_path(
+                                    Path::new(checkpoint_dir),
+                                    ingested.shards,
+                                    Path::new(path),
+                                ) {
+                                    emit(Response::Error {
+                                        kind: "internal",
+                                        message: format!("assembling '{path}': {e}"),
+                                    });
+                                }
+                            }
+                        }
+                        Err(e) => emit(Response::Error {
+                            kind: "internal",
+                            message: e.to_string(),
+                        }),
                     }
                 }
             }

@@ -38,7 +38,7 @@ pub mod server;
 pub mod stats;
 pub mod wire;
 
-pub use client::{Client, ClientError, SubmitOutcome};
+pub use client::{Client, ClientError, RetryPolicy, SubmitOutcome};
 pub use job::{Budgets, JobSpec, JobSummary};
 pub use protocol::{render_report, Request, Response};
 pub use server::{Daemon, DaemonConfig};

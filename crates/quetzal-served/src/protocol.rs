@@ -123,6 +123,34 @@ pub enum Response {
         /// payload, or the static verifier's summary).
         message: String,
     },
+    /// One completed ingestion shard (streamed in shard order by
+    /// `submit{kind:"ingest"}` jobs; the durable checkpoint for the
+    /// shard is already committed when this frame is sent).
+    ShardDone {
+        /// Shard index.
+        shard: u64,
+        /// Global index of the shard's first item.
+        start: u64,
+        /// Items in the shard.
+        count: u64,
+        /// Items that produced a result.
+        ok: u64,
+        /// Items that failed.
+        failed: u64,
+        /// Items recovered by the fresh-machine retry.
+        recovered: u64,
+        /// Simulated cycles over healthy items.
+        cycles: u64,
+        /// Retired instructions over healthy items.
+        instructions: u64,
+        /// The shard was satisfied from an existing checkpoint.
+        resumed: bool,
+        /// Quarantine cause when the shard hit its deadline / budget.
+        quarantined: Option<String>,
+        /// Checksum of the shard's output lines (16-digit hex — full
+        /// u64 range, which JSON integers cannot carry exactly).
+        output_fnv: String,
+    },
     /// Job finished; aggregate counters.
     Done(JobSummary),
     /// Daemon counters (reply to [`Request::Stats`]).
@@ -163,6 +191,7 @@ fn error_kind_str(s: &str) -> &'static str {
         "bad-frame" => "bad-frame",
         "bad-request" => "bad-request",
         "tenant-limit" => "tenant-limit",
+        "idle-timeout" => "idle-timeout",
         "internal" => "internal",
         _ => "error",
     }
@@ -222,6 +251,40 @@ impl Response {
                 ("cause", Value::from(*cause)),
                 ("message", Value::from(message.clone())),
             ]),
+            Response::ShardDone {
+                shard,
+                start,
+                count,
+                ok,
+                failed,
+                recovered,
+                cycles,
+                instructions,
+                resumed,
+                quarantined,
+                output_fnv,
+            } => {
+                let mut fields = vec![
+                    ("type", Value::from("shard_done")),
+                    ("shard", Value::from(*shard)),
+                    ("start", Value::from(*start)),
+                    ("count", Value::from(*count)),
+                    ("ok", Value::from(*ok)),
+                    ("failed", Value::from(*failed)),
+                    ("recovered", Value::from(*recovered)),
+                    ("cycles", Value::from(*cycles)),
+                    ("instructions", Value::from(*instructions)),
+                    ("resumed", Value::from(*resumed)),
+                    ("output_fnv", Value::from(output_fnv.clone())),
+                ];
+                if let Some(cause) = quarantined {
+                    fields.push(("quarantined", Value::from(cause.clone())));
+                }
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect()
+            }
             Response::Done(s) => obj([
                 ("type", Value::from("done")),
                 ("items", Value::from(s.items)),
@@ -293,6 +356,29 @@ impl Response {
                 cause: cause_str(&str_of("cause")?)?,
                 message: str_of("message")?,
             }),
+            Some("shard_done") => Ok(Response::ShardDone {
+                shard: u64_of("shard")?,
+                start: u64_of("start")?,
+                count: u64_of("count")?,
+                ok: u64_of("ok")?,
+                failed: u64_of("failed")?,
+                recovered: u64_of("recovered")?,
+                cycles: u64_of("cycles")?,
+                instructions: u64_of("instructions")?,
+                resumed: v
+                    .get("resumed")
+                    .and_then(Value::as_bool)
+                    .ok_or("missing boolean field 'resumed'")?,
+                quarantined: match v.get("quarantined") {
+                    None => None,
+                    Some(c) => Some(
+                        c.as_str()
+                            .ok_or("'quarantined' must be a string")?
+                            .to_string(),
+                    ),
+                },
+                output_fnv: str_of("output_fnv")?,
+            }),
             Some("done") => Ok(Response::Done(JobSummary {
                 items: u64_of("items")?,
                 ok: u64_of("ok")?,
@@ -328,7 +414,10 @@ pub fn render_report(frames: &[Response]) -> String {
     for frame in frames {
         if matches!(
             frame,
-            Response::Item { .. } | Response::ItemFailed { .. } | Response::Done(_)
+            Response::Item { .. }
+                | Response::ItemFailed { .. }
+                | Response::ShardDone { .. }
+                | Response::Done(_)
         ) {
             out.push_str(&frame.to_value().dump());
             out.push('\n');
@@ -394,6 +483,32 @@ mod tests {
                 item: 5,
                 cause: "sim",
                 message: "instruction budget".to_string(),
+            },
+            Response::ShardDone {
+                shard: 2,
+                start: 512,
+                count: 256,
+                ok: 255,
+                failed: 1,
+                recovered: 0,
+                cycles: 99,
+                instructions: 42,
+                resumed: true,
+                quarantined: Some("wall deadline 5ms exceeded".to_string()),
+                output_fnv: "cbf29ce484222325".to_string(),
+            },
+            Response::ShardDone {
+                shard: 0,
+                start: 0,
+                count: 4,
+                ok: 4,
+                failed: 0,
+                recovered: 0,
+                cycles: 1,
+                instructions: 1,
+                resumed: false,
+                quarantined: None,
+                output_fnv: "0000000000000000".to_string(),
             },
             Response::Done(JobSummary {
                 items: 6,

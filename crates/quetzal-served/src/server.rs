@@ -61,6 +61,12 @@ pub struct DaemonConfig {
     pub machine: MachineConfig,
     /// Execution engine for every pool.
     pub exec_mode: ExecMode,
+    /// Idle-connection read deadline (slow-loris guard): a TCP peer
+    /// that sends nothing — or dribbles a frame byte-by-byte — for this
+    /// long gets a typed `idle-timeout` error frame and its connection
+    /// closed. Other connections and in-flight jobs are untouched.
+    /// `None` (the default) keeps connections forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for DaemonConfig {
@@ -72,6 +78,7 @@ impl Default for DaemonConfig {
             max_tenants: 64,
             machine: MachineConfig::default(),
             exec_mode: ExecMode::Cycle,
+            idle_timeout: None,
         }
     }
 }
@@ -258,6 +265,23 @@ impl Shared {
             let value = match wire::read_value(reader) {
                 Ok(None) => return ConnOutcome::Closed,
                 Ok(Some(v)) => v,
+                Err(e) if e.is_timeout() => {
+                    // Slow-loris guard: the peer idled past the read
+                    // deadline (or dribbled a frame too slowly). Tell
+                    // it why and hang up; nothing else on the daemon is
+                    // affected — the deadline only ever fires on a
+                    // connection thread that is waiting for input.
+                    self.stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                    let _ = wire::write_value(
+                        writer,
+                        &Response::Error {
+                            kind: "idle-timeout",
+                            message: "connection idle past the read deadline".to_string(),
+                        }
+                        .to_value(),
+                    );
+                    return ConnOutcome::Closed;
+                }
                 Err(e) => {
                     self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     // Best effort: a peer that truncated a frame is
@@ -402,6 +426,9 @@ impl Daemon {
 }
 
 fn serve_tcp(shared: &Shared, stream: TcpStream, listen_addr: SocketAddr) {
+    // The deadline only bounds reads: response streaming on the write
+    // half (a long submit's frames) is never cut short by it.
+    let _ = stream.set_read_timeout(shared.config.idle_timeout);
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -531,5 +558,55 @@ mod tests {
             }
         ));
         assert!(s.tenant("first").is_ok(), "existing tenants still resolve");
+    }
+
+    /// A reader that yields its framed bytes, then reports a read
+    /// timeout — like a TCP socket whose read deadline expired.
+    struct TimesOut<'a>(&'a [u8]);
+
+    impl Read for TimesOut<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "read deadline elapsed",
+                ));
+            }
+            let n = self.0.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn idle_read_deadline_answers_typed_error_and_closes() {
+        let s = shared(DaemonConfig::default());
+        let input = frame_bytes(&[Request::Ping]);
+        let mut reader = TimesOut(&input);
+        let mut out = Vec::new();
+        let outcome = s.serve_connection(&mut reader, &mut out);
+        assert!(matches!(outcome, ConnOutcome::Closed));
+        let mut frames = Vec::new();
+        let mut r = out.as_slice();
+        while let Ok(Some(v)) = wire::read_value(&mut r) {
+            frames.push(Response::from_value(&v).expect("daemon emits valid frames"));
+        }
+        // The ping before the stall was served normally; the stall gets
+        // a typed idle-timeout error, not a generic bad-frame.
+        assert!(matches!(frames[0], Response::Pong));
+        assert!(matches!(
+            frames[1],
+            Response::Error {
+                kind: "idle-timeout",
+                ..
+            }
+        ));
+        assert_eq!(s.stats.idle_timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            s.stats.protocol_errors.load(Ordering::Relaxed),
+            0,
+            "a deadline expiry is not a protocol error"
+        );
     }
 }

@@ -34,6 +34,9 @@ pub struct ServerStats {
     pub items_recovered: AtomicU64,
     /// Malformed frames / requests answered with typed errors.
     pub protocol_errors: AtomicU64,
+    /// Connections closed for idling past the read deadline
+    /// (slow-loris guard).
+    pub idle_timeouts: AtomicU64,
     /// Cumulative simulated cycles over healthy items.
     pub cycles: AtomicU64,
     /// Cumulative retired instructions over healthy items.
@@ -151,6 +154,10 @@ impl ServerStats {
             (
                 "protocol_errors".to_string(),
                 Value::from(get(&self.protocol_errors)),
+            ),
+            (
+                "idle_timeouts".to_string(),
+                Value::from(get(&self.idle_timeouts)),
             ),
             ("totals".to_string(), totals),
             ("tenants".to_string(), tenant_map),

@@ -49,6 +49,14 @@ impl WireError {
         !matches!(self, WireError::BadPayload(_))
     }
 
+    /// Whether the error is a read-deadline expiry (the socket's
+    /// configured read timeout elapsed), as opposed to a broken stream.
+    /// Platforms report this as either `TimedOut` or `WouldBlock`.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, WireError::Io(e)
+            if e.kind() == ErrorKind::TimedOut || e.kind() == ErrorKind::WouldBlock)
+    }
+
     /// Short machine-readable kind, used in typed `error` frames.
     pub fn kind(&self) -> &'static str {
         match self {

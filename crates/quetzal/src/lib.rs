@@ -46,10 +46,15 @@ pub use quetzal_verify as verify;
 
 pub mod batch;
 pub mod fault;
+pub mod ingest;
 pub mod pool;
 
 pub use batch::{BatchError, BatchRunner, RunReport};
 pub use fault::{FaultPlan, Mutation};
+pub use ingest::{
+    CrashPlan, CrashSite, IngestConfig, IngestError, IngestSummary, ItemOutput, ShardDeadline,
+    ShardReport,
+};
 pub use pool::{FailureCause, ItemFailure, MachinePool, PoolStats, PooledMachine};
 pub use quetzal_accel::{PortCount, QzConfig};
 pub use quetzal_isa::Program;

@@ -124,6 +124,44 @@ wait "$served_pid" \
     || { echo "FAIL: qzserved did not exit cleanly after shutdown"; exit 1; }
 served_pid=""
 
+echo "==> smoke: qzingest crash/resume, byte-identical at 1 and 4 threads"
+# Crash-safe ingestion: stage a pair file, run it uninterrupted, then
+# kill a second run at a shard boundary (real process death, exit 137)
+# and a third mid-manifest-write (torn manifest on disk), resume both,
+# and require the assembled reports byte-identical to the uninterrupted
+# run — with the killed run and its resume at different thread counts.
+./target/release/qzingest stage --dataset 100bp_1 --pairs 48 \
+    --out "$out_dir/pairs.tsv" 2>/dev/null
+QUETZAL_THREADS=1 ./target/release/qzingest run --input "$out_dir/pairs.tsv" \
+    --ckpt "$out_dir/ck-fresh" --output "$out_dir/ingest-fresh.out" \
+    --shard 8 --quiet 2>/dev/null
+rc=0
+QUETZAL_THREADS=1 ./target/release/qzingest run --input "$out_dir/pairs.tsv" \
+    --ckpt "$out_dir/ck-kill" --shard 8 --quiet \
+    --crash-after-shard 2 2>/dev/null || rc=$?
+[ "$rc" -eq 137 ] \
+    || { echo "FAIL: injected shard-boundary crash exited $rc, not 137"; exit 1; }
+QUETZAL_THREADS=4 ./target/release/qzingest run --input "$out_dir/pairs.tsv" \
+    --ckpt "$out_dir/ck-kill" --output "$out_dir/ingest-resumed.out" \
+    --shard 8 --quiet 2> "$out_dir/ingest-resume.log"
+cmp "$out_dir/ingest-fresh.out" "$out_dir/ingest-resumed.out" \
+    || { echo "FAIL: resumed ingest differs from uninterrupted run"; exit 1; }
+grep -q "3 resumed" "$out_dir/ingest-resume.log" \
+    || { echo "FAIL: resume re-ran shards instead of validating checkpoints"; exit 1; }
+rc=0
+QUETZAL_THREADS=4 ./target/release/qzingest run --input "$out_dir/pairs.tsv" \
+    --ckpt "$out_dir/ck-torn" --shard 8 --quiet \
+    --crash-mid-manifest 1 2>/dev/null || rc=$?
+[ "$rc" -eq 137 ] \
+    || { echo "FAIL: injected mid-manifest crash exited $rc, not 137"; exit 1; }
+QUETZAL_THREADS=1 ./target/release/qzingest run --input "$out_dir/pairs.tsv" \
+    --ckpt "$out_dir/ck-torn" --output "$out_dir/ingest-torn.out" \
+    --shard 8 --quiet 2> "$out_dir/ingest-torn.log"
+cmp "$out_dir/ingest-fresh.out" "$out_dir/ingest-torn.out" \
+    || { echo "FAIL: torn-manifest recovery differs from uninterrupted run"; exit 1; }
+grep -q "1 torn" "$out_dir/ingest-torn.log" \
+    || { echo "FAIL: recovery never flagged the torn manifest"; exit 1; }
+
 echo "==> smoke: trace_run probed replay + Chrome-trace JSON"
 QUETZAL_SCALE=0.25 \
     cargo run -q --release --offline -p quetzal-bench --bin trace_run -- \
